@@ -1,0 +1,56 @@
+"""EXP ABL-1 — ablation: phase-overflow handling in Algorithm 3 (§3.1).
+
+The paper separates *phase-overflow vertices* and serves them with a
+dedicated pipelined BFS, arguing this caps per-phase congestion. Disabling
+the caps (``enforce_caps=False``) lets the simulator charge the true
+uncapped per-phase load; on bottleneck-heavy workloads (a hub vertex that
+lies in P(v) for nearly every v) the capped variant's maximum per-step link
+load stays bounded while the uncapped variant's grows with n.
+"""
+
+from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
+from repro.graphs import Graph
+from repro.harness import SweepRow, emit, run_sweep
+from repro.sequential import exact_mwc
+
+SIZES = [32, 64, 128]
+
+
+def hub_workload(n: int) -> Graph:
+    """A hub on every short cycle: maximal P(v)-overlap congestion."""
+    g = Graph(n, directed=True)
+    hub = 0
+    for v in range(1, n - 1):
+        g.add_edge(hub, v)
+        g.add_edge(v, (v % (n - 2)) + 1)
+        g.add_edge(v, hub)
+    g.add_edge(n - 1, hub)
+    g.add_edge(hub, n - 1)
+    return g
+
+
+def _run(n: int, enforce: bool) -> SweepRow:
+    g = hub_workload(n)
+    true = exact_mwc(g)
+    params = DirectedMwcParams(cap=6, beta=3, enforce_caps=enforce)
+    res = directed_mwc_2approx(g, seed=1, params=params)
+    assert true <= res.value <= 2 * true
+    return SweepRow(n=n, rounds=res.rounds, value=res.value, true_value=true,
+                    extra={"max_link_load": res.stats.max_link_load,
+                           "overflow": res.details["overflow_count"]})
+
+
+def test_overflow_ablation(once):
+    def sweep():
+        capped = [_run(n, True) for n in SIZES]
+        uncapped = [_run(n, False) for n in SIZES]
+        return capped, uncapped
+
+    capped, uncapped = once(sweep)
+    for c, u in zip(capped, uncapped):
+        print(f"  n={c.n}: capped max-load={c.extra['max_link_load']} "
+              f"(overflow={c.extra['overflow']}), "
+              f"uncapped max-load={u.extra['max_link_load']}")
+    # Both remain correct; without caps the peak per-step congestion grows
+    # past the capped variant's on the largest instance.
+    assert uncapped[-1].extra["max_link_load"] >= capped[-1].extra["max_link_load"]

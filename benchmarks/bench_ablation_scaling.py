@@ -1,0 +1,45 @@
+"""EXP ABL-3 — ablation: the eps knob of the §5 scaling ladder.
+
+In the worst case a smaller eps costs more rounds (hop budget
+h* = (1 + 2/eps) h per scale). On simulated workloads the waves are
+quiescence-driven — they stop when distances are settled, well before the
+budget — so the *measured* rounds stay nearly flat and the knob's visible
+effect is accuracy: the scaled weights are coarser for larger eps, so the
+returned value drifts up (while always staying within the (2+eps)
+guarantee). The sweep documents both observations.
+"""
+
+from repro.graphs import cycle_with_chords
+from repro.core.weighted_mwc import undirected_weighted_mwc_approx
+from repro.harness import SweepRow, emit
+from repro.sequential import exact_mwc
+
+N = 96
+EPSES = [0.25, 0.5, 1.0, 2.0]
+
+
+def test_scaling_eps_ablation(once):
+    g = cycle_with_chords(N, 8, weighted=True, max_weight=12, seed=3)
+    true = exact_mwc(g)
+
+    def sweep():
+        rows = []
+        for eps in EPSES:
+            res = undirected_weighted_mwc_approx(g, eps=eps, seed=1)
+            assert true <= res.value <= (2 + eps) * true + 1e-9
+            rows.append(SweepRow(n=int(eps * 100), rounds=res.rounds,
+                                 value=res.value, true_value=true,
+                                 extra={"eps": eps,
+                                        "scales": res.details["num_scales"]}))
+        return rows
+
+    rows = once(sweep)
+    for row in rows:
+        print(f"  eps={row.extra['eps']}: rounds={row.rounds} "
+              f"ratio={row.ratio:.3f} scales={row.extra['scales']}")
+    # Accuracy degrades (weakly) as eps coarsens the scaled weights...
+    assert rows[-1].value >= rows[0].value
+    # ...while measured rounds stay within a narrow band (quiescence-driven
+    # exploration; the h* budget is a worst-case cap, not a typical cost).
+    all_rounds = [r.rounds for r in rows]
+    assert max(all_rounds) <= 1.25 * min(all_rounds)

@@ -1,0 +1,56 @@
+"""EXP T1-R2-UB — Theorem 1.2.C: 2-approx directed unweighted MWC.
+
+Paper claim: Õ(n^{4/5} + D) rounds, ratio <= 2. The sweep fits the round
+exponent on sparse random digraphs (D = O(log n)), checks every output is
+within [MWC, 2 MWC], and compares against the exact Õ(n)-round APSP
+algorithm on the largest instance to show the sublinear win.
+"""
+
+import pytest
+
+from conftest import sparse_digraph
+from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.harness import SweepRow, emit, run_sweep
+from repro.sequential import exact_mwc
+
+SIZES = [48, 96, 192, 384]
+
+# Polylog knobs (per-phase cap, R(v) partitions) held constant across the
+# sweep so the fitted slope reflects the n^{4/5} phase count; the paper's
+# Θ(log n) caps would add a log^2-factor that dominates at simulable n
+# (DESIGN.md §1, "Õ absorbing polylog factors").
+PARAMS = DirectedMwcParams(cap=8, beta=3, sample_constant=3.0)
+
+
+def _point(n: int) -> SweepRow:
+    g = sparse_digraph(n, seed=n)
+    true = exact_mwc(g)
+    res = directed_mwc_2approx(g, seed=1, params=PARAMS)
+    assert true <= res.value <= 2 * true, (n, true, res.value)
+    return SweepRow(
+        n=n, rounds=res.rounds, value=res.value, true_value=true,
+        extra={"sample": res.details["sample_size"],
+               "overflow": res.details["overflow_count"]},
+    )
+
+
+def test_directed_2approx_row(once):
+    # Two hidden log factors: hitting-set sampling in Algorithm 1's skeleton
+    # and the O(log^2 n)-round phases of the restricted BFS.
+    report = once(lambda: run_sweep("T1-R2-UB", SIZES, _point,
+                                    polylog_correction=2.0))
+    # Round comparison against the exact Õ(n) APSP algorithm at the largest
+    # size. NOTE: at simulable n the approximation's polylog constants still
+    # exceed exact APSP's lean pipeline — the paper's win is asymptotic; the
+    # reproducible claim is the sublinear *growth exponent*.
+    g = sparse_digraph(SIZES[-1], seed=SIZES[-1])
+    exact_rounds = exact_mwc_congest(g, seed=1).rounds
+    report.notes = (f"exact APSP: {exact_rounds} rounds at n={SIZES[-1]}; "
+                    f"2-approx: {report.rows[-1].rounds} "
+                    f"(constants favor exact at small n; slope is the claim)")
+    emit(report)
+    assert report.max_ratio() is not None and report.max_ratio() <= 2.0
+    # Shape check: sublinear growth once the hidden polylog is divided out
+    # (paper exponent 0.8).
+    assert report.corrected_fit.exponent < 1.0

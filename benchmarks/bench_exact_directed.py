@@ -1,0 +1,28 @@
+"""EXP T1-R1-UB — exact directed MWC via APSP in Õ(n) rounds ([8]).
+
+Unweighted case: pipelined n-source BFS, exact, slope ~ 1. The weighted
+analogue is covered by ``bench_exact_undirected.py`` (same substrate).
+"""
+
+from conftest import sparse_digraph
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.harness import SweepRow, emit, run_sweep
+from repro.sequential import exact_mwc
+
+SIZES = [64, 128, 256, 512]
+
+
+def _point(n: int) -> SweepRow:
+    g = sparse_digraph(n, seed=n)
+    true = exact_mwc(g)
+    res = exact_mwc_congest(g, seed=1)
+    assert res.value == true, (n, true, res.value)
+    return SweepRow(n=n, rounds=res.rounds, value=res.value, true_value=true)
+
+
+def test_exact_directed_row(once):
+    report = once(lambda: run_sweep("T1-R1-UB", SIZES, _point))
+    emit(report)
+    assert report.max_ratio() == 1.0
+    # O(n + D): near-linear slope.
+    assert 0.75 <= report.fit.exponent <= 1.25

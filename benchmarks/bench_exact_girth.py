@@ -1,0 +1,23 @@
+"""EXP T1-R5-UB — exact girth in O(n) rounds (Holzer–Wattenhofer [28])."""
+
+from conftest import sparse_graph
+from repro.core.baselines import exact_girth_congest
+from repro.harness import SweepRow, emit, run_sweep
+from repro.sequential import exact_girth
+
+SIZES = [64, 128, 256, 512]
+
+
+def _point(n: int) -> SweepRow:
+    g = sparse_graph(n, seed=n)
+    true = exact_girth(g)
+    res = exact_girth_congest(g, seed=1)
+    assert res.value == true, (n, true, res.value)
+    return SweepRow(n=n, rounds=res.rounds, value=res.value, true_value=true)
+
+
+def test_exact_girth_row(once):
+    report = once(lambda: run_sweep("T1-R5-UB", SIZES, _point))
+    emit(report)
+    assert report.max_ratio() == 1.0
+    assert 0.75 <= report.fit.exponent <= 1.25

@@ -1,0 +1,31 @@
+"""EXP T1-R3-UB — exact undirected *weighted* MWC via APSP, Õ(n) ([8]).
+
+Substitution note (DESIGN.md §1 / EXPERIMENTS.md): the weighted APSP
+substrate is the improvement-driven pipelined Bellman–Ford skeleton of [8];
+its measured rounds are near-linear on these workloads, while [8]'s full
+machinery guarantees Õ(n) in the worst case.
+"""
+
+from conftest import sparse_weighted
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.harness import SweepRow, emit, run_sweep
+from repro.sequential import exact_mwc
+
+SIZES = [48, 96, 192, 384]
+
+
+def _point(n: int) -> SweepRow:
+    g = sparse_weighted(n, seed=n, max_weight=16)
+    true = exact_mwc(g)
+    res = exact_mwc_congest(g, seed=1)
+    assert res.value == true, (n, true, res.value)
+    return SweepRow(n=n, rounds=res.rounds, value=res.value, true_value=true)
+
+
+def test_exact_undirected_weighted_row(once):
+    report = once(lambda: run_sweep(
+        "T1-R3-UB", SIZES, _point,
+        notes="improvement-driven pipelined BF APSP (skeleton of [8])"))
+    emit(report)
+    assert report.max_ratio() == 1.0
+    assert 0.7 <= report.fit.exponent <= 1.4

@@ -1,0 +1,53 @@
+"""EXP T6-A — Theorem 1.6.A: exact k-source BFS, Õ(sqrt(nk) + D).
+
+Workload: a directed cycle with a few chords — eccentricities are Θ(n), so
+the skeleton machinery (not plain h-hop BFS) carries the long distances and
+the sqrt(nk) shape is exposed. The theorem's regime at simulable n starts
+where the skeleton broadcast |S|^2 = (n log n / h)^2 is dominated, i.e.
+k >= n^{1/3} polylog; the sweep stays in that range.
+
+Checks: exactness at every k; sublinear-in-k growth; the skeleton algorithm
+beats the k * SSSP repetition baseline (k * Θ(n) on this workload).
+"""
+
+import math
+
+from repro.congest import CongestNetwork
+from repro.core.ksource import k_source_bfs, k_source_bfs_repeated_on
+from repro.graphs import cycle_with_chords
+from repro.harness import SweepRow, emit, run_sweep
+from repro.sequential import k_source_distances
+
+N = 128
+KS = [24, 40, 64, 96, 128]
+
+
+def workload():
+    return cycle_with_chords(N, num_chords=3, directed=True, seed=4)
+
+
+def _point(k: int) -> SweepRow:
+    g = workload()
+    sources = list(range(0, N, max(1, N // k)))[:k]
+    res = k_source_bfs(g, sources, seed=1, method="skeleton",
+                       sample_constant=1.0)
+    ref = k_source_distances(g, sources)
+    exact = all(
+        res.distance(u, v) == ref[u][v] for u in sources for v in range(N)
+    )
+    net = CongestNetwork(g, seed=1)
+    rep = k_source_bfs_repeated_on(net, sources)
+    return SweepRow(n=k, rounds=res.rounds,
+                    extra={"exact": exact, "repeat_rounds": rep.rounds,
+                           "sqrt_nk": int(math.sqrt(N * k))})
+
+
+def test_ksource_bfs_curve(once):
+    report = once(lambda: run_sweep("T6-A", KS, _point, polylog_correction=1.0))
+    report.notes = f"fixed n={N}, high-eccentricity workload; x-axis is k"
+    emit(report)
+    assert all(r.extra["exact"] for r in report.rows)
+    # Sublinear in k (the repetition baseline is linear in k).
+    assert report.fit.exponent < 0.9
+    # Beats the repetition baseline everywhere on this workload.
+    assert all(r.rounds < r.extra["repeat_rounds"] for r in report.rows)

@@ -1,0 +1,69 @@
+"""EXP T1-R2-LB — Theorem 1.2.B: alpha-approx directed MWC needs Ω̃(sqrt(n)).
+
+Loop family with k = ell = Θ(sqrt(n)): gap > alpha verified for alpha in
+{2, 8}, diameter O(log n) via the directed out-tree overlay, implied zone
+bound growing ~ sqrt(n).
+"""
+
+import math
+
+from repro.harness import SweepRow, emit, run_sweep
+from repro.lowerbounds import (
+    alpha_approx_directed_family,
+    implied_round_bound,
+    random_disjoint,
+    random_intersecting,
+    verify_instance,
+)
+
+LOOPS = [(4, 4), (8, 8), (16, 16), (32, 32)]
+ALPHA = 8.0
+
+
+def _point(params) -> SweepRow:
+    k, ell = params
+    yes = alpha_approx_directed_family(k, ell, ALPHA,
+                                       random_intersecting(k, seed=k))
+    no = alpha_approx_directed_family(k, ell, ALPHA,
+                                      random_disjoint(k, seed=k + 1))
+    rep_yes = verify_instance(yes)
+    rep_no = verify_instance(no)
+    assert rep_no["mwc"] > ALPHA * rep_yes["mwc"]
+    assert rep_no["diameter"] <= 4 * math.ceil(math.log2(no.graph.n)) + 4
+    return SweepRow(n=no.graph.n, rounds=implied_round_bound(no),
+                    extra={"k_bits": no.k_bits, "ell": ell,
+                           "diameter": rep_no["diameter"]})
+
+
+def test_lb_alpha_directed_row(once):
+    def sweep():
+        return [_point(p) for p in LOOPS]
+
+    rows = once(sweep)
+    for row in rows:
+        print(f"  n={row.n}: implied >= {row.rounds:.2f} "
+              f"(D={row.extra['diameter']})")
+    growth = math.log(rows[-1].rounds / rows[0].rounds) / math.log(
+        rows[-1].n / rows[0].n)
+    assert 0.25 <= growth <= 0.8, growth  # Omega~(sqrt(n)); polylog bends the small-n slope
+
+
+def test_lb_alpha_gap_scales_with_alpha(once):
+    """The same family supports arbitrarily large constant alpha."""
+
+    def run():
+        out = []
+        for alpha in (2.0, 4.0, 16.0):
+            k, ell = 8, 8
+            no = alpha_approx_directed_family(
+                k, ell, alpha, random_disjoint(k, seed=1))
+            yes = alpha_approx_directed_family(
+                k, ell, alpha, random_intersecting(k, seed=2))
+            out.append((alpha, verify_instance(yes)["mwc"],
+                        verify_instance(no)["mwc"]))
+        return out
+
+    rows = once(run)
+    for alpha, y, n_ in rows:
+        print(f"  alpha={alpha}: yes={y}, no={n_}")
+        assert n_ > alpha * y

@@ -1,0 +1,54 @@
+"""EXP T1-R1-LB — Theorem 1.2.A: (2-eps)-approx directed MWC needs Ω(n/log n).
+
+Regenerates the lower-bound row: builds the disjointness-encoding family at
+growing sizes, machine-verifies the 4-vs-8 gap and the constant diameter,
+computes the implied round bound k/(cut log n) (slope ~ 1 in n), and runs
+the real exact algorithm through the two-party cut meter to show a correct
+distinguisher indeed moves Ω(k)-scale information across the cut.
+"""
+
+from repro.core.exact_mwc import exact_mwc_congest_on
+from repro.harness import SweepRow, emit, run_sweep
+from repro.lowerbounds import (
+    directed_mwc_family,
+    implied_round_bound,
+    measure_cut_traffic,
+    random_disjoint,
+    random_intersecting,
+    verify_instance,
+)
+
+MS = [6, 12, 24, 48]
+
+
+def _point(m: int) -> SweepRow:
+    yes = directed_mwc_family(m, random_intersecting(m * m, seed=m))
+    no = directed_mwc_family(m, random_disjoint(m * m, seed=m + 1))
+    rep_yes = verify_instance(yes)
+    rep_no = verify_instance(no)
+    assert rep_yes["mwc"] == 4 and rep_no["mwc"] == 8
+    bound = implied_round_bound(no)
+    return SweepRow(n=no.graph.n, rounds=bound,
+                    extra={"k_bits": no.k_bits, "cut": rep_no["cut"],
+                           "diameter": rep_no["diameter"]})
+
+
+def test_lb_directed_row(once):
+    report = once(lambda: run_sweep("T1-R1-LB", MS, _point))
+    report.notes = ("'rounds' column = implied lower bound k/(cut log n); "
+                    "gap 4 vs 8 verified per instance")
+    emit(report)
+    assert 0.75 <= report.fit.exponent <= 1.25  # Omega(n / log n)
+    assert all(r.extra["diameter"] <= 4 for r in report.rows)
+
+
+def test_lb_directed_cut_traffic(once):
+    def run():
+        inst = directed_mwc_family(12, random_disjoint(144, seed=3))
+        return measure_cut_traffic(inst, exact_mwc_congest_on, seed=0)
+
+    outcome = once(run)
+    print(f"  exact distinguisher crossed {outcome['bits_crossed']} bits "
+          f"(k = {outcome['k_bits']})")
+    assert outcome["result"].value == 8
+    assert outcome["bits_crossed"] >= outcome["k_bits"] / 8

@@ -1,0 +1,71 @@
+"""EXP T1-R5-LB — Theorem 1.3.A: alpha-approx girth needs Ω̃(n^{1/4}).
+
+Two parts, split by what is checkable at which scale:
+
+1. **Gap verification** on constructible instances: the unweighted loop
+   family's girth is ell + 4 iff the sets intersect and > alpha (ell + 4)
+   otherwise, across random inputs (exact sequential girth check).
+2. **Exponent of the implied bound** at the theorem's parameterization
+   (ell = Θ(n^{1/4}), k = Θ(n^{3/4}) bits): the bound formula
+   min(ell / 2, k / log^2 n) is evaluated over a large synthetic n-range —
+   constructing those instances is infeasible (and unnecessary: the bound
+   depends only on the parameters), and its fitted exponent must be ~ 1/4.
+   The n^{1/4} balance point genuinely requires n >> 10^4, which is why
+   part 2 is formula-level (EXPERIMENTS.md discusses).
+"""
+
+import math
+
+from repro.analysis.complexity import fit_exponent
+from repro.harness import SweepRow, emit, run_sweep
+from repro.lowerbounds import (
+    girth_alpha_family,
+    implied_round_bound,
+    random_disjoint,
+    random_intersecting,
+    verify_instance,
+)
+
+SMALL = [(6, 3), (12, 4), (24, 6)]
+ALPHA = 3.0
+SYNTH_NS = [10 ** 5, 10 ** 6, 10 ** 7, 10 ** 8, 10 ** 9]
+
+
+def test_lb_girth_gap_verified(once):
+    def sweep():
+        rows = []
+        for k, ell in SMALL:
+            yes = girth_alpha_family(k, ell, ALPHA,
+                                     random_intersecting(k, seed=k))
+            no = girth_alpha_family(k, ell, ALPHA, random_disjoint(k, seed=k + 1))
+            rep_yes = verify_instance(yes)
+            rep_no = verify_instance(no)
+            assert rep_yes["mwc"] == ell + 4
+            assert rep_no["mwc"] > ALPHA * (ell + 4)
+            rows.append(SweepRow(n=no.graph.n,
+                                 rounds=implied_round_bound(no),
+                                 extra={"k_bits": k, "ell": ell}))
+        return rows
+
+    rows = once(sweep)
+    for row in rows:
+        print(f"  n={row.n}: gap verified, implied >= {row.rounds:.2f}")
+
+
+def test_lb_girth_theorem_exponent(once):
+    """The bound formula at ell = n^{1/4}, k = n^{3/4} fits exponent ~ 1/4."""
+
+    def compute():
+        out = []
+        for n in SYNTH_NS:
+            ell = n ** 0.25
+            k = n ** 0.75
+            out.append(min(ell / 2.0, k / math.log2(n) ** 2))
+        return out
+
+    bounds = once(compute)
+    for n, bound in zip(SYNTH_NS, bounds):
+        print(f"  n={n:.0e}: implied >= {bound:.1f}")
+    fit = fit_exponent(SYNTH_NS, bounds)
+    print(f"  formula-level exponent: {fit.exponent:.3f} (paper: 0.25)")
+    assert 0.2 <= fit.exponent <= 0.3

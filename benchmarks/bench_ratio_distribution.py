@@ -1,0 +1,72 @@
+"""EXP QUAL-1 — approximation-quality distribution across seeds/workloads.
+
+The paper proves worst-case ratios (2, 2-1/g, 2+eps); this experiment
+measures the *empirical* ratio distribution of every approximation
+algorithm over many (graph, seed) pairs. Expected shape: heavily
+concentrated at 1.0 (the algorithms are exact whenever a sampled vertex
+lands on an optimal cycle, which is the common case), never above the
+guarantee.
+"""
+
+import statistics
+
+from conftest import sparse_digraph, sparse_graph, sparse_weighted
+from repro.core.directed_mwc import directed_mwc_2approx
+from repro.core.girth import GirthParams, girth_2approx
+from repro.core.weighted_mwc import (
+    directed_weighted_mwc_approx,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs import cycle_with_chords
+from repro.graphs.graph import INF
+from repro.sequential import exact_mwc
+
+N = 40
+SEEDS = range(6)
+
+# Starved sampling/neighborhood constants: forces the approximation paths
+# to actually engage (default constants make every run exact at this n).
+LEAN_GIRTH = GirthParams(sample_constant=0.4, sigma_constant=0.3)
+
+CASES = [
+    ("girth 2-1/g", lambda s: sparse_graph(N, seed=100 + s),
+     lambda g, s: girth_2approx(g, seed=s), 2.0),
+    ("girth (lean)", lambda s: cycle_with_chords(48, 4, seed=200 + s),
+     lambda g, s: girth_2approx(g, seed=s, params=LEAN_GIRTH), 2.0),
+    ("directed 2", lambda s: sparse_digraph(N, seed=100 + s),
+     lambda g, s: directed_mwc_2approx(g, seed=s), 2.0),
+    ("undirected 2+eps", lambda s: sparse_weighted(N, seed=100 + s),
+     lambda g, s: undirected_weighted_mwc_approx(g, eps=0.5, seed=s), 2.5),
+    ("directed 2+eps",
+     lambda s: sparse_weighted(N, seed=100 + s, directed=True),
+     lambda g, s: directed_weighted_mwc_approx(g, eps=0.5, seed=s), 2.5),
+]
+
+
+def test_ratio_distribution(once):
+    def sweep():
+        table = {}
+        for name, workload, algorithm, bound in CASES:
+            ratios = []
+            for s in SEEDS:
+                g = workload(s)
+                true = exact_mwc(g)
+                if true == INF:
+                    continue
+                res = algorithm(g, s)
+                assert true - 1e-9 <= res.value <= bound * true + 1e-9, (
+                    name, s, true, res.value)
+                ratios.append(res.value / true)
+            table[name] = ratios
+        return table
+
+    table = once(sweep)
+    for name, ratios in table.items():
+        mean = statistics.mean(ratios)
+        worst = max(ratios)
+        exact_frac = sum(1 for r in ratios if r <= 1 + 1e-9) / len(ratios)
+        print(f"  {name:<18} mean={mean:.3f} worst={worst:.3f} "
+              f"exact={100 * exact_frac:.0f}% ({len(ratios)} runs)")
+        assert worst <= 2.5 + 1e-9
+        # Concentration claim: the typical run is exact or near-exact.
+        assert mean <= 1.5

@@ -1,0 +1,41 @@
+"""Shared workload builders for the benchmark suite.
+
+Benchmarks measure CONGEST *rounds* (the paper's complexity measure) on
+simulated networks; pytest-benchmark additionally records wall time of each
+experiment sweep. Each file regenerates one Table 1 row / Theorem 1.6 curve
+(see DESIGN.md §3 for the index) and persists its report under
+``benchmarks/results/``.
+"""
+
+import pytest
+
+from repro.graphs import erdos_renyi
+
+
+def sparse_digraph(n: int, seed: int = 1, avg_degree: float = 5.0):
+    """Connected sparse random digraph: the directed MWC workload."""
+    return erdos_renyi(n, p=min(1.0, avg_degree / n), directed=True, seed=seed)
+
+
+def sparse_graph(n: int, seed: int = 1, avg_degree: float = 5.0):
+    """Connected sparse random graph: the undirected workload."""
+    return erdos_renyi(n, p=min(1.0, 2 * avg_degree / n), directed=False,
+                       seed=seed)
+
+
+def sparse_weighted(n: int, seed: int = 1, max_weight: int = 8,
+                    directed: bool = False, avg_degree: float = 5.0):
+    """Connected sparse weighted graph, W = poly(n)-bounded weights."""
+    p = min(1.0, (avg_degree if directed else 2 * avg_degree) / n)
+    return erdos_renyi(n, p=p, directed=directed, weighted=True,
+                       max_weight=max_weight, seed=seed)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a whole experiment sweep exactly once under pytest-benchmark."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

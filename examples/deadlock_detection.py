@@ -1,0 +1,65 @@
+"""Deadlock analysis in a distributed lock manager via directed MWC.
+
+The paper's motivation (§1): "a shortest cycle can model the likelihood of
+deadlocks in routing or in database applications [38]". This example builds
+a waits-for graph — node = transaction, edge T -> U with weight = how long T
+has already waited for a lock U holds — and uses the CONGEST MWC algorithms
+to find the *tightest* deadlock cycle: the cycle of minimum total waiting
+time is the one to break first (fewest wasted work units rolled back).
+
+Run:  python examples/deadlock_detection.py
+"""
+
+import numpy as np
+
+from repro.core.weighted_mwc import directed_weighted_mwc_approx
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.graphs import Graph
+from repro.graphs.graph import INF
+from repro.sequential.mwc import mwc_witness
+
+
+def build_waits_for(num_txns: int = 40, seed: int = 3) -> Graph:
+    """A synthetic waits-for graph with a couple of lock cycles."""
+    rng = np.random.default_rng(seed)
+    g = Graph(num_txns, directed=True, weighted=True)
+    # Background waits: mostly acyclic (higher id waits on lower id).
+    for t in range(1, num_txns):
+        for _ in range(rng.integers(1, 3)):
+            holder = int(rng.integers(0, t))
+            g.add_edge(t, holder, int(rng.integers(1, 20)))
+    # Two genuine deadlocks: a tight 3-cycle and a sprawling 6-cycle.
+    tight = [5, 11, 23]
+    for a, b in zip(tight, tight[1:] + tight[:1]):
+        g.add_edge(a, b, int(rng.integers(1, 4)))
+    wide = [2, 9, 17, 25, 31, 38]
+    for a, b in zip(wide, wide[1:] + wide[:1]):
+        g.add_edge(a, b, int(rng.integers(10, 25)))
+    return g
+
+
+def main() -> None:
+    g = build_waits_for()
+    print(f"waits-for graph: {g}")
+
+    exact = exact_mwc_congest(g, seed=0)
+    if exact.value == INF:
+        print("no deadlock: waits-for graph is acyclic")
+        return
+    print(f"\ntightest deadlock (exact, {exact.rounds} rounds): "
+          f"total wait {exact.value}")
+
+    approx = directed_weighted_mwc_approx(g, eps=0.5, seed=0)
+    print(f"(2+eps)-approx estimate ({approx.rounds} rounds): "
+          f"total wait <= {approx.value:.1f}")
+
+    weight, cycle = mwc_witness(g)
+    print(f"\ntransactions to examine (cycle of weight {weight}):")
+    for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+        print(f"  T{a} waits {g.weight(a, b)} units on T{b}")
+    victim = min(cycle)
+    print(f"suggested victim to abort: T{victim} (breaks the tightest cycle)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""A guided tour of the paper's lower-bound machinery.
+
+Builds the Theorem 1.2.A reduction family step by step: encode a set
+disjointness instance into a network, verify the 4-vs-8 MWC gap, compute
+the implied round bound, and run a real CONGEST algorithm through the
+two-party cut meter — demonstrating why (2 - eps)-approximation of directed
+MWC cannot be sublinear while 2-approximation can.
+
+Run:  python examples/lower_bound_tour.py
+"""
+
+from repro.core.directed_mwc import directed_mwc_2approx_on
+from repro.lowerbounds import (
+    directed_mwc_family,
+    implied_round_bound,
+    random_disjoint,
+    random_intersecting,
+    verify_instance,
+)
+from repro.lowerbounds.protocol import solve_disjointness_via_mwc
+
+
+def main() -> None:
+    m = 8
+    k = m * m
+    print(f"Encoding {k}-bit set disjointness into a {4 * m + 10}-node "
+          f"directed network (Theorem 1.2.A family)\n")
+
+    for label, maker in (("disjoint", random_disjoint),
+                         ("intersecting", random_intersecting)):
+        inst = directed_mwc_family(m, maker(k, seed=1))
+        report = verify_instance(inst)
+        print(f"{label} sets:  MWC = {report['mwc']}  "
+              f"(cut = {report['cut']} edges, D = {report['diameter']})")
+    print()
+
+    inst = directed_mwc_family(m, random_disjoint(k, seed=1))
+    bound = implied_round_bound(inst)
+    print("Any algorithm distinguishing MWC=4 from MWC=8 — i.e. any")
+    print(f"(2-eps)-approximation — solves disjointness, so it needs at")
+    print(f"least k/(cut * log n) ~ {bound:.1f} rounds at this size,")
+    print("growing as Omega(n / log n).\n")
+
+    print("The reduction, end to end (exact algorithm as distinguisher):")
+    outcome = solve_disjointness_via_mwc(inst, seed=0)
+    print(f"  declared disjoint: {outcome['declared_disjoint']} "
+          f"(correct: {outcome['correct']})")
+    print(f"  rounds: {outcome['rounds']}, bits across the Alice/Bob cut: "
+          f"{outcome['bits_crossed']} (k = {outcome['k_bits']})\n")
+
+    print("Why 2-approximation escapes: composite 8-cycles cap the disjoint")
+    print("value at exactly twice the intersecting value, so a factor-2")
+    print("algorithm may legally answer 8 on both. Running the paper's")
+    print("2-approximation on the intersecting instance:")
+    yes = directed_mwc_family(m, random_intersecting(k, seed=1))
+    result = solve_disjointness_via_mwc(yes, runner=directed_mwc_2approx_on,
+                                        seed=0)
+    print(f"  value reported: {result['value']} (anywhere in [4, 8] is a")
+    print("  valid 2-approximation — the reduction cannot rely on it, which")
+    print("  is exactly why the sublinear Theorem 1.2.C algorithm exists).")
+
+
+if __name__ == "__main__":
+    main()

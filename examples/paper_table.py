@@ -1,0 +1,82 @@
+"""Mini reproduction of the paper's Table 1 in one run.
+
+Runs a reduced version of every upper-bound experiment at a single modest
+size (so it finishes in ~a minute) and prints the paper-vs-measured table.
+The full sweeps with exponent fits live in `benchmarks/` — this example is
+the at-a-glance version.
+
+Run:  python examples/paper_table.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.baselines import exact_girth_congest
+from repro.core.directed_mwc import directed_mwc_2approx
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.core.girth import girth_2approx
+from repro.core.ksource import k_source_bfs, k_source_sssp
+from repro.core.weighted_mwc import (
+    directed_weighted_mwc_approx,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs import erdos_renyi
+from repro.sequential import exact_mwc
+
+
+def main() -> None:
+    n = 72
+    measured = {}
+
+    g = erdos_renyi(n, 5 / n, directed=True, seed=1)
+    true = exact_mwc(g)
+    res = exact_mwc_congest(g, seed=0)
+    measured["T1-R1-UB"] = {"note": f"n={n}: {res.rounds} rounds, exact"}
+
+    res = directed_mwc_2approx(g, seed=0)
+    measured["T1-R2-UB"] = {
+        "ratio_ok": true <= res.value <= 2 * true,
+        "note": f"{res.rounds} rounds",
+    }
+
+    gw = erdos_renyi(n, 5 / n, directed=True, weighted=True, max_weight=8,
+                     seed=1)
+    truew = exact_mwc(gw)
+    res = directed_weighted_mwc_approx(gw, eps=0.5, seed=0)
+    measured["T1-R2-UBw"] = {
+        "ratio_ok": truew <= res.value <= 2.5 * truew,
+        "note": f"{res.rounds} rounds",
+    }
+
+    gu = erdos_renyi(n, 10 / n, weighted=True, max_weight=8, seed=1)
+    trueu = exact_mwc(gu)
+    res = exact_mwc_congest(gu, seed=0)
+    measured["T1-R3-UB"] = {"note": f"{res.rounds} rounds, exact"}
+    res = undirected_weighted_mwc_approx(gu, eps=0.5, seed=0)
+    measured["T1-R4-UB"] = {
+        "ratio_ok": trueu <= res.value <= 2.5 * trueu,
+        "note": f"{res.rounds} rounds",
+    }
+
+    gg = erdos_renyi(n, 10 / n, seed=1)
+    trueg = exact_mwc(gg)
+    res = exact_girth_congest(gg, seed=0)
+    measured["T1-R5-UB"] = {"note": f"{res.rounds} rounds, exact"}
+    res = girth_2approx(gg, seed=0)
+    measured["T1-R6-UB"] = {
+        "ratio_ok": trueg <= res.value <= (2 - 1 / trueg) * trueg,
+        "note": f"{res.rounds} rounds",
+    }
+
+    sources = list(range(0, n, 6))
+    res = k_source_bfs(gg, sources, seed=0, method="skeleton")
+    measured["T6-A"] = {"note": f"k={len(sources)}: {res.rounds} rounds"}
+    res = k_source_sssp(gu, sources, eps=0.5, seed=0)
+    measured["T6-B"] = {"note": f"k={len(sources)}: {res.rounds} rounds"}
+
+    for lb in ("T1-R1-LB", "T1-R2-LB", "T1-R3-LB", "T1-R5-LB"):
+        measured[lb] = {"note": "see benchmarks/bench_lb_*.py"}
+
+    print(render_table(measured))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: Minimum Weight Cycle in the CONGEST model (PODC 2024 reproduction).
+
+Public API
+----------
+Graphs and generators live in :mod:`repro.graphs`; the CONGEST simulator in
+:mod:`repro.congest`; the paper's algorithms in :mod:`repro.core`;
+lower-bound constructions in :mod:`repro.lowerbounds`; sequential ground
+truth in :mod:`repro.sequential`; analysis helpers in :mod:`repro.analysis`.
+"""
+
+from repro.graphs.graph import Graph, INF
+from repro.congest.network import CongestNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "INF",
+    "CongestNetwork",
+    "directed_mwc_2approx",
+    "directed_weighted_mwc_approx",
+    "exact_mwc_congest",
+    "girth_2approx",
+    "k_source_bfs",
+    "k_source_sssp",
+    "undirected_weighted_mwc_approx",
+    "apsp_unweighted",
+    "apsp_weighted_exact",
+    "apsp_approx",
+    "mwc_via_approx_apsp",
+    "shortest_cycle_within",
+    "has_cycle_of_length_at_most",
+    "load_edgelist",
+    "save_edgelist",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports: the algorithm modules pull in the full stack; deferring
+    # keeps `import repro` cheap and avoids cycles during partial builds.
+    if name == "directed_mwc_2approx":
+        from repro.core.directed_mwc import directed_mwc_2approx
+        return directed_mwc_2approx
+    if name in {"directed_weighted_mwc_approx", "undirected_weighted_mwc_approx"}:
+        from repro.core import weighted_mwc
+        return getattr(weighted_mwc, name)
+    if name == "girth_2approx":
+        from repro.core.girth import girth_2approx
+        return girth_2approx
+    if name in {"k_source_bfs", "k_source_sssp"}:
+        from repro.core import ksource
+        return getattr(ksource, name)
+    if name == "exact_mwc_congest":
+        from repro.core.exact_mwc import exact_mwc_congest
+        return exact_mwc_congest
+    if name in {"apsp_unweighted", "apsp_weighted_exact", "apsp_approx",
+                "mwc_via_approx_apsp"}:
+        from repro.core import apsp
+        return getattr(apsp, name)
+    if name in {"shortest_cycle_within", "has_cycle_of_length_at_most"}:
+        from repro.core import cycle_detection
+        return getattr(cycle_detection, name)
+    if name in {"load_edgelist", "save_edgelist"}:
+        from repro.graphs import io
+        return getattr(io, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

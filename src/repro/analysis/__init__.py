@@ -1,0 +1,19 @@
+"""Analysis utilities: exponent fitting, crossover detection, Table 1 view."""
+
+from repro.analysis.complexity import (
+    crossover_point,
+    fit_exponent,
+    FitResult,
+    geometric_sizes,
+)
+from repro.analysis.tables import Table1Row, render_table, TABLE1_CLAIMS
+
+__all__ = [
+    "fit_exponent",
+    "FitResult",
+    "crossover_point",
+    "geometric_sizes",
+    "Table1Row",
+    "render_table",
+    "TABLE1_CLAIMS",
+]

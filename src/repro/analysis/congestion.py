@@ -1,0 +1,70 @@
+"""Congestion analysis of simulator runs.
+
+Summarizes a :class:`~repro.congest.network.NetworkStats` into the numbers
+the paper's congestion arguments talk about (per-phase link loads, how often
+the bandwidth was exceeded and by how much), and renders a compact ASCII
+histogram for benchmark/ablation output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.congest.network import NetworkStats
+
+
+@dataclass
+class CongestionSummary:
+    """Digest of per-step maximum link loads."""
+
+    steps: int
+    max_load: int
+    mean_load: float
+    overloaded_steps: int      # steps whose max load exceeded the bandwidth
+    overload_fraction: float
+    words_per_step: float
+
+    def __str__(self) -> str:
+        return (f"steps={self.steps} max_load={self.max_load} "
+                f"mean_load={self.mean_load:.2f} "
+                f"overloaded={self.overloaded_steps} "
+                f"({100 * self.overload_fraction:.1f}%)")
+
+
+def summarize(stats: NetworkStats, bandwidth: int = 1) -> CongestionSummary:
+    """Digest the link-load histogram of a finished run."""
+    hist = stats.link_load_histogram
+    steps = sum(hist.values())
+    if steps == 0:
+        return CongestionSummary(0, 0, 0.0, 0, 0.0, 0.0)
+    total_load = sum(load * count for load, count in hist.items())
+    overloaded = sum(count for load, count in hist.items() if load > bandwidth)
+    return CongestionSummary(
+        steps=steps,
+        max_load=stats.max_link_load,
+        mean_load=total_load / steps,
+        overloaded_steps=overloaded,
+        overload_fraction=overloaded / steps,
+        words_per_step=stats.words / steps,
+    )
+
+
+def load_histogram_ascii(stats: NetworkStats, width: int = 40,
+                         buckets: int = 8) -> str:
+    """Render the per-step max-load distribution as an ASCII histogram."""
+    hist = stats.link_load_histogram
+    if not hist:
+        return "(no steps recorded)"
+    max_load = max(hist)
+    bucket_size = max(1, (max_load + buckets) // buckets)
+    counts: Dict[int, int] = {}
+    for load, count in hist.items():
+        counts[load // bucket_size] = counts.get(load // bucket_size, 0) + count
+    peak = max(counts.values())
+    lines: List[str] = []
+    for b in sorted(counts):
+        lo, hi = b * bucket_size, (b + 1) * bucket_size - 1
+        bar = "#" * max(1, round(width * counts[b] / peak))
+        lines.append(f"load {lo:>4}-{hi:<4} | {bar} {counts[b]}")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Regenerate the experiments report from persisted benchmark results.
+
+``pytest benchmarks/ --benchmark-only`` persists one JSON per experiment
+under ``benchmarks/results/``; this module turns that directory back into
+the paper-vs-measured markdown used in EXPERIMENTS.md — so the document is
+reproducible from artifacts rather than hand-maintained numbers. Exposed on
+the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import TABLE1_CLAIMS
+
+
+def load_results(directory: str) -> Dict[str, dict]:
+    """Load every ``<exp_id>.json`` in ``directory``."""
+    out: Dict[str, dict] = {}
+    if not os.path.isdir(directory):
+        return out
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name)) as f:
+            payload = json.load(f)
+        exp_id = payload.get("exp_id")
+        if exp_id:
+            out[exp_id] = payload
+    return out
+
+
+def _fmt_rounds(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+def _row_markdown(exp_id: str, payload: dict) -> List[str]:
+    claim = TABLE1_CLAIMS.get(exp_id)
+    title = f"### {exp_id}"
+    if claim:
+        title += f" — {claim.problem} ({claim.ratio}): paper {claim.paper_bound}"
+    lines = [title, ""]
+    rows = payload.get("rows", [])
+    if rows:
+        lines.append("| n | rounds | ratio | extras |")
+        lines.append("|---|---|---|---|")
+        for row in rows:
+            value = row.get("value")
+            truth = row.get("true_value")
+            if value is not None and truth not in (None, 0, float("inf")):
+                try:
+                    ratio = f"{float(value) / float(truth):.3f}"
+                except (TypeError, ZeroDivisionError, ValueError):
+                    ratio = "-"
+            else:
+                ratio = "-"
+            extras = ", ".join(f"{k}={v}" for k, v in row.get("extra", {}).items())
+            lines.append(f"| {row['n']} | {_fmt_rounds(row['rounds'])} "
+                         f"| {ratio} | {extras} |")
+        lines.append("")
+    fit = payload.get("fit")
+    if fit:
+        claim_txt = (f" (paper exponent {claim.claimed_exponent:.2f})"
+                     if claim else "")
+        lines.append(f"- fitted exponent: **{fit['exponent']:.3f}**{claim_txt}, "
+                     f"R² = {fit['r_squared']:.3f}")
+    corrected = payload.get("corrected_fit")
+    if corrected:
+        lines.append(
+            f"- polylog-corrected exponent "
+            f"(p = {corrected.get('polylog_correction', '?')}): "
+            f"**{corrected['exponent']:.3f}**, R² = {corrected['r_squared']:.3f}")
+    notes = payload.get("notes")
+    if notes:
+        lines.append(f"- note: {notes}")
+    lines.append("")
+    return lines
+
+
+def render_report(directory: str) -> str:
+    """Markdown report for every persisted experiment, Table 1 order first."""
+    results = load_results(directory)
+    lines = [
+        "# Measured results (auto-generated)",
+        "",
+        f"Source: `{directory}` — regenerate with "
+        "`pytest benchmarks/ --benchmark-only` followed by "
+        "`python -m repro report`.",
+        "",
+    ]
+    ordered = [k for k in TABLE1_CLAIMS if k in results]
+    ordered += [k for k in results if k not in TABLE1_CLAIMS]
+    if not ordered:
+        lines.append("_No persisted results found._")
+    for exp_id in ordered:
+        lines.extend(_row_markdown(exp_id, results[exp_id]))
+    return "\n".join(lines)
+
+
+def write_report(directory: str, out_path: Optional[str] = None) -> str:
+    """Render and optionally write the report; returns the markdown."""
+    text = render_report(directory)
+    if out_path:
+        with open(out_path, "w") as f:
+            f.write(text + "\n")
+    return text

@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``mwc``       compute (approximate) MWC of an edge-list graph
+``apsp``      distributed APSP round/value report
+``generate``  write a workload graph as an edge list
+``table``     render Table 1 with any persisted benchmark results
+``verify-lb`` build + verify a lower-bound reduction instance
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.graphs.graph import INF
+
+
+def _add_seed(p: argparse.ArgumentParser) -> None:
+    """Attach the standard --seed option."""
+    p.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minimum Weight Cycle in the CONGEST model (PODC 2024 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mwc", help="compute (approximate) MWC")
+    p.add_argument("graph", help="edge-list file (see repro.graphs.io)")
+    p.add_argument("--algorithm", default="auto",
+                   choices=["auto", "exact", "2approx", "weighted-approx",
+                            "girth-approx", "apsp-approx"],
+                   help="'auto' picks the paper's algorithm for the class")
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--witness", action="store_true",
+                   help="also construct a witness cycle (exact only)")
+    _add_seed(p)
+
+    p = sub.add_parser("apsp", help="distributed APSP")
+    p.add_argument("graph")
+    p.add_argument("--mode", default="auto",
+                   choices=["auto", "exact", "approx"])
+    p.add_argument("--eps", type=float, default=0.5)
+    _add_seed(p)
+
+    p = sub.add_parser("generate", help="generate a workload graph")
+    p.add_argument("out", help="output edge-list path")
+    p.add_argument("--type", default="er",
+                   choices=["er", "cycle", "cycle-chords", "grid", "planted"])
+    p.add_argument("-n", type=int, default=64)
+    p.add_argument("-p", type=float, default=0.08)
+    p.add_argument("--directed", action="store_true")
+    p.add_argument("--weighted", action="store_true")
+    p.add_argument("--max-weight", type=int, default=8)
+    p.add_argument("--cycle-len", type=int, default=4)
+    p.add_argument("--chords", type=int, default=3)
+    _add_seed(p)
+
+    p = sub.add_parser("table", help="render Table 1 (paper vs measured)")
+    p.add_argument("--results", default=None,
+                   help="benchmarks/results directory (default: autodetect)")
+
+    p = sub.add_parser("report",
+                       help="regenerate the measured-results markdown from "
+                            "persisted benchmark JSONs")
+    p.add_argument("--results", default=None)
+    p.add_argument("--out", default=None,
+                   help="write markdown to this path (default: stdout)")
+
+    p = sub.add_parser("verify-lb", help="verify a lower-bound family")
+    p.add_argument("--family", default="directed",
+                   choices=["directed", "undirected-weighted",
+                            "alpha-directed", "alpha-undirected", "girth"])
+    p.add_argument("-m", type=int, default=6, help="encoding size parameter")
+    p.add_argument("--alpha", type=float, default=4.0)
+    p.add_argument("--intersecting", action="store_true")
+    _add_seed(p)
+    return parser
+
+
+def _load(path: str):
+    from repro.graphs.io import load_edgelist
+    return load_edgelist(path)
+
+
+def cmd_mwc(args) -> int:
+    """Handle `repro mwc`: compute (approximate) MWC of an edge list."""
+    from repro.core.apsp import mwc_via_approx_apsp
+    from repro.core.directed_mwc import directed_mwc_2approx
+    from repro.core.exact_mwc import exact_mwc_congest
+    from repro.core.girth import girth_2approx
+    from repro.core.weighted_mwc import (
+        directed_weighted_mwc_approx,
+        undirected_weighted_mwc_approx,
+    )
+
+    g = _load(args.graph)
+    algorithm = args.algorithm
+    if algorithm == "auto":
+        if not g.weighted and g.directed:
+            algorithm = "2approx"
+        elif not g.weighted:
+            algorithm = "girth-approx"
+        else:
+            algorithm = "weighted-approx"
+    if algorithm == "exact":
+        res = exact_mwc_congest(g, seed=args.seed,
+                                construct_witness=args.witness)
+    elif algorithm == "2approx":
+        res = directed_mwc_2approx(g, seed=args.seed)
+    elif algorithm == "girth-approx":
+        res = girth_2approx(g, seed=args.seed)
+    elif algorithm == "weighted-approx":
+        if g.directed:
+            res = directed_weighted_mwc_approx(g, eps=args.eps, seed=args.seed)
+        else:
+            res = undirected_weighted_mwc_approx(g, eps=args.eps, seed=args.seed)
+    elif algorithm == "apsp-approx":
+        res = mwc_via_approx_apsp(g, eps=args.eps, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(algorithm)
+    value = "inf (acyclic)" if res.value == INF else f"{res.value:g}"
+    print(f"graph: {g}")
+    print(f"algorithm: {algorithm}")
+    print(f"mwc value: {value}")
+    print(f"congest rounds: {res.rounds}")
+    witness = res.details.get("witness")
+    if witness:
+        print(f"witness cycle: {' -> '.join(map(str, witness))}")
+    return 0
+
+
+def cmd_apsp(args) -> int:
+    """Handle `repro apsp`: distributed APSP report."""
+    from repro.core.apsp import apsp_approx, apsp_unweighted, apsp_weighted_exact
+
+    g = _load(args.graph)
+    mode = args.mode
+    if mode == "auto":
+        mode = "approx" if g.weighted else "exact"
+    if mode == "exact":
+        res = apsp_weighted_exact(g, seed=args.seed) if g.weighted \
+            else apsp_unweighted(g, seed=args.seed)
+    else:
+        res = apsp_approx(g, eps=args.eps, seed=args.seed)
+    reachable = sum(len(d) for d in res.dist)
+    print(f"graph: {g}")
+    print(f"mode: {res.details['mode']}")
+    print(f"congest rounds: {res.rounds}")
+    print(f"reachable pairs: {reachable} / {g.n * g.n}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """Handle `repro generate`: write a workload graph."""
+    from repro.graphs import (
+        cycle_graph,
+        cycle_with_chords,
+        erdos_renyi,
+        grid_graph,
+        planted_mwc,
+    )
+    from repro.graphs.io import save_edgelist
+
+    if args.type == "er":
+        g = erdos_renyi(args.n, args.p, directed=args.directed,
+                        weighted=args.weighted, max_weight=args.max_weight,
+                        seed=args.seed)
+    elif args.type == "cycle":
+        g = cycle_graph(args.n, directed=args.directed,
+                        weighted=args.weighted,
+                        weights=[1] * args.n if args.weighted else None)
+    elif args.type == "cycle-chords":
+        g = cycle_with_chords(args.n, args.chords, directed=args.directed,
+                              weighted=args.weighted,
+                              max_weight=args.max_weight, seed=args.seed)
+    elif args.type == "grid":
+        side = max(2, int(args.n ** 0.5))
+        g = grid_graph(side, side, weighted=args.weighted,
+                       max_weight=args.max_weight, seed=args.seed)
+    else:
+        g = planted_mwc(args.n, cycle_len=args.cycle_len, p=args.p,
+                        directed=args.directed, weighted=args.weighted,
+                        seed=args.seed)
+    save_edgelist(g, args.out)
+    print(f"wrote {g} to {args.out}")
+    return 0
+
+
+def cmd_table(args) -> int:
+    """Handle `repro table`: render Table 1 with measured results."""
+    from repro.analysis.tables import render_table
+    from repro.harness import results_dir
+
+    directory = args.results or results_dir()
+    measured = {}
+    if os.path.isdir(directory):
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(directory, name)) as f:
+                payload = json.load(f)
+            entry = {}
+            if "fit" in payload:
+                entry["exponent"] = payload["fit"]["exponent"]
+            ratios = [r.get("value") is not None for r in payload.get("rows", [])]
+            if any(ratios):
+                entry["ratio_ok"] = True
+            measured[payload["exp_id"]] = entry
+    print(render_table(measured))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Handle `repro report`: regenerate the measured-results markdown."""
+    from repro.analysis.report import write_report
+    from repro.harness import results_dir
+
+    directory = args.results or results_dir()
+    text = write_report(directory, args.out)
+    if args.out:
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_verify_lb(args) -> int:
+    """Handle `repro verify-lb`: build + verify a reduction instance."""
+    from repro.lowerbounds import (
+        alpha_approx_directed_family,
+        alpha_approx_undirected_family,
+        directed_mwc_family,
+        girth_alpha_family,
+        random_disjoint,
+        random_intersecting,
+        undirected_weighted_family,
+        verify_instance,
+    )
+
+    m = args.m
+    maker = random_intersecting if args.intersecting else random_disjoint
+    if args.family == "directed":
+        inst = directed_mwc_family(m, maker(m * m, seed=args.seed))
+    elif args.family == "undirected-weighted":
+        inst = undirected_weighted_family(m, maker(m * m, seed=args.seed))
+    elif args.family == "alpha-directed":
+        inst = alpha_approx_directed_family(m, m, args.alpha,
+                                            maker(m, seed=args.seed))
+    elif args.family == "alpha-undirected":
+        inst = alpha_approx_undirected_family(m, m, args.alpha,
+                                              maker(m, seed=args.seed))
+    else:
+        inst = girth_alpha_family(m, max(3, m // 2), args.alpha,
+                                  maker(m, seed=args.seed))
+    report = verify_instance(inst)
+    print(f"family: {inst.meta['family']} (theorem {inst.meta['theorem']})")
+    for key, val in report.items():
+        print(f"  {key}: {val}")
+    print("gap property verified.")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "mwc": cmd_mwc,
+        "apsp": cmd_apsp,
+        "generate": cmd_generate,
+        "table": cmd_table,
+        "report": cmd_report,
+        "verify-lb": cmd_verify_lb,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""CONGEST model simulator.
+
+The simulator executes synchronous message-passing algorithms on a network
+whose topology is the underlying undirected graph of the input
+:class:`~repro.graphs.graph.Graph` (communication links are bidirectional
+even for directed inputs, per the paper's §1.1 convention).
+
+Round accounting
+----------------
+Each :meth:`CongestNetwork.exchange` call is one synchronous *step*. The
+round counter advances by ``max(1, ceil(L / B))`` where ``L`` is the largest
+per-direction word load on any physical link in that step and ``B`` is the
+link bandwidth in Θ(log n)-bit words. A step whose messages all fit in the
+bandwidth is exactly one CONGEST round; a step with per-link load ``L``
+corresponds to ``ceil(L / B)`` rounds of the standard pipelined simulation.
+Primitives that claim per-round bandwidth bounds (the pipelined broadcast,
+multi-source BFS, ...) are tested in ``strict`` mode, where exceeding the
+bandwidth raises instead of charging extra rounds.
+
+Virtual hosting
+---------------
+For the paper's *stretched graph* simulation (§4), several virtual vertices
+may be hosted on one physical node. Messages between co-hosted vertices are
+delivered with the usual one-step latency (synchrony is preserved) but
+consume no link bandwidth, matching the paper's "simulate all but the last
+edge of the path at one of the endpoints".
+"""
+
+from repro.congest.network import (
+    BandwidthExceeded,
+    CongestNetwork,
+    LocalityViolation,
+    NetworkStats,
+)
+
+__all__ = [
+    "CongestNetwork",
+    "BandwidthExceeded",
+    "LocalityViolation",
+    "NetworkStats",
+]

@@ -1,0 +1,232 @@
+"""Synchronous CONGEST network simulator with exact round accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError
+
+#: An outbox maps each destination vertex to a list of (payload, words) pairs.
+Outbox = Dict[int, List[Tuple[Any, int]]]
+#: An inbox maps each source vertex to the list of payloads received from it.
+Inbox = Dict[int, List[Any]]
+
+
+class BandwidthExceeded(RuntimeError):
+    """Raised in strict mode when a step overloads a physical link."""
+
+
+class LocalityViolation(RuntimeError):
+    """Raised when a node sends to a vertex it has no link to."""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics, for ablations and congestion analysis."""
+
+    steps: int = 0
+    messages: int = 0
+    words: int = 0
+    local_messages: int = 0
+    max_link_load: int = 0
+    #: Histogram of per-step maximum link load (load value -> step count).
+    link_load_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def record_step(self, max_load: int) -> None:
+        """Record one exchange step's maximum per-link load."""
+        self.steps += 1
+        self.max_link_load = max(self.max_link_load, max_load)
+        self.link_load_histogram[max_load] = self.link_load_histogram.get(max_load, 0) + 1
+
+
+class CongestNetwork:
+    """A CONGEST network over the communication topology of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (directed or undirected, weighted or unweighted).
+        The physical topology is its underlying undirected graph, after
+        applying ``host`` if given.
+    bandwidth:
+        Link bandwidth per direction per round, in Θ(log n)-bit words.
+    host:
+        Optional mapping (sequence of length ``graph.n``) from vertex to
+        *physical node id*. Co-hosted vertices exchange messages for free.
+        Defaults to the identity (every vertex is its own processor).
+    seed:
+        Seed for the network RNG. CONGEST permits shared randomness for the
+        algorithms in this paper; nodes draw from per-node generators derived
+        from this seed so runs are reproducible.
+    strict:
+        If True, any step whose per-link word load exceeds ``bandwidth``
+        raises :class:`BandwidthExceeded` instead of charging extra rounds.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth: int = 1,
+        host: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+        strict: bool = False,
+    ):
+        if graph.n == 0:
+            raise GraphError("cannot build a network on an empty graph")
+        if not graph.is_connected():
+            raise GraphError("CONGEST requires a connected communication graph")
+        if bandwidth < 1:
+            raise GraphError(f"bandwidth must be >= 1 word, got {bandwidth}")
+        self.graph = graph
+        self.n = graph.n
+        self.bandwidth = bandwidth
+        self.strict = strict
+        if host is None:
+            self._host = list(range(graph.n))
+        else:
+            if len(host) != graph.n:
+                raise GraphError("host map must cover every vertex")
+            self._host = [int(h) for h in host]
+        # Communication neighbors per vertex (underlying undirected).
+        self._comm: List[frozenset] = [frozenset(graph.neighbors(v)) for v in range(graph.n)]
+        self.rounds = 0
+        self.stats = NetworkStats()
+        #: Per-node private key/value storage; algorithm code must only read
+        #: ``state[v]`` while acting on behalf of vertex ``v``.
+        self.state: List[Dict[str, Any]] = [dict() for _ in range(graph.n)]
+        self._seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def comm_neighbors(self, v: int) -> frozenset:
+        """Communication (bidirectional) neighbors of vertex ``v``."""
+        return self._comm[v]
+
+    def host_of(self, v: int) -> int:
+        """Physical node id that simulates vertex ``v``."""
+        return self._host[v]
+
+    def node_rng(self, v: int) -> np.random.Generator:
+        """Deterministic per-vertex generator derived from the network seed."""
+        base = self._seed if self._seed is not None else 0
+        return np.random.default_rng((base, v))
+
+    def diameter_upper_bound(self) -> int:
+        """Eccentricity of vertex 0, a ≤ 2D upper bound known to all nodes.
+
+        Computing an eccentricity takes O(D) rounds by BFS + convergecast;
+        callers that need the charge should use
+        :func:`repro.congest.primitives.flood.build_bfs_tree`.
+        """
+        return self.graph.undirected_eccentricity(0)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def exchange(self, outboxes: Dict[int, Outbox]) -> Dict[int, Inbox]:
+        """Run one synchronous step delivering all ``outboxes``.
+
+        ``outboxes[u][v]`` is the list of ``(payload, words)`` messages sent
+        by vertex ``u`` to vertex ``v``; ``v`` must be a communication
+        neighbor of ``u``. Returns inboxes: ``inbox[v][u]`` is the list of
+        payloads ``v`` received from ``u`` (in send order).
+
+        Advances the round counter by ``max(1, ceil(L / bandwidth))`` where
+        ``L`` is the maximum per-direction physical link load in words.
+        """
+        link_load: Dict[Tuple[int, int], int] = {}
+        inboxes: Dict[int, Inbox] = {}
+        n_msgs = 0
+        n_words = 0
+        n_local = 0
+        for u, outbox in outboxes.items():
+            comm_u = self._comm[u]
+            host_u = self._host[u]
+            for v, msgs in outbox.items():
+                if v not in comm_u:
+                    raise LocalityViolation(
+                        f"vertex {u} attempted to send to non-neighbor {v}"
+                    )
+                if not msgs:
+                    continue
+                words = 0
+                for payload, w in msgs:
+                    if w < 0:
+                        raise ValueError("message word size must be non-negative")
+                    words += w
+                n_msgs += len(msgs)
+                n_words += words
+                if self._host[v] == host_u:
+                    n_local += len(msgs)
+                else:
+                    key = (host_u, self._host[v])
+                    link_load[key] = link_load.get(key, 0) + words
+                inboxes.setdefault(v, {}).setdefault(u, []).extend(
+                    payload for payload, _ in msgs
+                )
+        max_load = max(link_load.values(), default=0)
+        if self.strict and max_load > self.bandwidth:
+            offender = max(link_load, key=link_load.get)  # type: ignore[arg-type]
+            raise BandwidthExceeded(
+                f"link {offender} carried {max_load} words; bandwidth is {self.bandwidth}"
+            )
+        self.rounds += max(1, -(-max_load // self.bandwidth))
+        self.stats.record_step(max_load)
+        self.stats.messages += n_msgs
+        self.stats.words += n_words
+        self.stats.local_messages += n_local
+        return inboxes
+
+    def charge_rounds(self, rounds: int, reason: str = "") -> None:
+        """Explicitly charge ``rounds`` idle/synchronization rounds.
+
+        Used when an algorithm must wait for a globally known number of
+        rounds (e.g. letting a pipeline drain) without traffic.
+        """
+        if rounds < 0:
+            raise ValueError("cannot charge negative rounds")
+        self.rounds += rounds
+
+    def run(
+        self,
+        step: Callable[[int, Dict[int, Inbox]], Dict[int, Outbox]],
+        max_steps: int,
+        quiescence: bool = True,
+    ) -> int:
+        """Drive a step function until quiescence or ``max_steps``.
+
+        ``step(t, inboxes)`` receives the step index and the previous step's
+        inboxes and returns the outboxes for this step. Returns the number of
+        steps executed. If ``quiescence`` is set, stops after a step that
+        produced no messages.
+        """
+        inboxes: Dict[int, Inbox] = {}
+        executed = 0
+        for t in range(max_steps):
+            outboxes = step(t, inboxes)
+            executed += 1
+            if quiescence and not any(
+                msgs for ob in outboxes.values() for msgs in ob.values()
+            ):
+                break
+            inboxes = self.exchange(outboxes)
+        return executed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def reset_accounting(self) -> None:
+        """Zero the round counter and statistics (state is kept)."""
+        self.rounds = 0
+        self.stats = NetworkStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"CongestNetwork(n={self.n}, bandwidth={self.bandwidth}, "
+            f"rounds={self.rounds})"
+        )

@@ -1,0 +1,159 @@
+"""Node-program API: write CONGEST algorithms as per-node state machines.
+
+The primitives in :mod:`repro.congest.primitives` are orchestrated — a
+driver loop builds outboxes from global data structures (with locality kept
+by construction). This module offers the complementary, fully node-local
+style: subclass :class:`NodeProgram`, implement ``on_round``, and
+:func:`run_programs` executes one instance per vertex with *enforced*
+isolation — a program only ever sees its own id, its incident edges, its
+private state, and its inbox.
+
+Used by tests as an equivalence oracle for the primitives (the same BFS
+implemented both ways must agree in results and rounds), and by library
+users who prefer writing genuinely distributed code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.congest.network import CongestNetwork, Inbox
+
+
+@dataclass
+class NodeView:
+    """What a node is allowed to know about the network.
+
+    ``out_edges`` / ``in_edges`` are (neighbor, weight) tuples of the input
+    graph; ``comm_neighbors`` are the (bidirectional) communication links.
+    ``n`` is public (CONGEST nodes know n).
+    """
+
+    id: int
+    n: int
+    out_edges: Tuple[Tuple[int, int], ...]
+    in_edges: Tuple[Tuple[int, int], ...]
+    comm_neighbors: Tuple[int, ...]
+
+
+class NodeProgram:
+    """Base class for per-node CONGEST programs.
+
+    Lifecycle: ``setup(view)`` once, then ``on_round(round_index, inbox)``
+    every round until every program has returned an empty outbox (global
+    quiescence) or the round budget is exhausted. ``result()`` extracts the
+    node's output.
+
+    ``on_round`` must return ``{neighbor: [(payload, words), ...]}``.
+    """
+
+    def setup(self, view: NodeView) -> None:
+        """One-time initialization with the node's local view."""
+        self.view = view
+
+    def on_round(self, r: int, inbox: Inbox) -> Dict[int, List[Tuple[Any, int]]]:
+        """Produce this round's outbox from the previous round's inbox."""
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        """The node's output after quiescence."""
+        return None
+
+
+def run_programs(
+    net: CongestNetwork,
+    programs: Sequence[NodeProgram],
+    max_rounds: int = 10_000,
+) -> List[Any]:
+    """Execute one program per vertex until quiescence; returns results.
+
+    Raises ``RuntimeError`` if the programs are still talking after
+    ``max_rounds`` rounds.
+    """
+    g = net.graph
+    if len(programs) != g.n:
+        raise ValueError("need exactly one program per vertex")
+    for v, prog in enumerate(programs):
+        prog.setup(NodeView(
+            id=v,
+            n=g.n,
+            out_edges=tuple(g.out_items(v)),
+            in_edges=tuple(g.in_items(v)),
+            comm_neighbors=tuple(sorted(net.comm_neighbors(v))),
+        ))
+    inboxes: Dict[int, Inbox] = {}
+    for r in range(max_rounds):
+        outboxes = {}
+        for v, prog in enumerate(programs):
+            out = prog.on_round(r, inboxes.get(v, {}))
+            if out:
+                outboxes[v] = out
+        if not outboxes:
+            return [prog.result() for prog in programs]
+        inboxes = net.exchange(outboxes)
+    raise RuntimeError(f"programs did not quiesce within {max_rounds} rounds")
+
+
+class BfsProgram(NodeProgram):
+    """Reference node-program BFS (equivalence oracle for primitives.bfs).
+
+    The source floods a wave along out-edges; each node adopts the first
+    distance it hears and forwards once.
+    """
+
+    def __init__(self, source: int):
+        self.source = source
+        self.dist: Optional[int] = None
+        self._pending_send = False
+
+    def setup(self, view: NodeView) -> None:
+        """Seed the wave at the source."""
+        super().setup(view)
+        if view.id == self.source:
+            self.dist = 0
+            self._pending_send = True
+
+    def on_round(self, r: int, inbox: Inbox):
+        """Adopt the best heard distance; forward once per improvement."""
+        for sender, payloads in inbox.items():
+            for d in payloads:
+                if self.dist is None or d < self.dist:
+                    self.dist = d
+                    self._pending_send = True
+        if not self._pending_send:
+            return {}
+        self._pending_send = False
+        return {u: [(self.dist + 1, 1)] for u, _w in self.view.out_edges}
+
+    def result(self) -> Optional[int]:
+        """Hop distance from the source, or None if unreached."""
+        return self.dist
+
+
+class MinAggregationProgram(NodeProgram):
+    """Reference node-program global-min (oracle for converge_min).
+
+    Simple flooding of the best-known value: O(D) rounds, O(1) words per
+    edge per round.
+    """
+
+    def __init__(self, value: float):
+        self.best = value
+        self._dirty = True
+
+    def on_round(self, r: int, inbox: Inbox):
+        """Flood the best-known value whenever it improves."""
+        for payloads in inbox.values():
+            for v in payloads:
+                if v < self.best:
+                    self.best = v
+                    self._dirty = True
+        if not self._dirty:
+            return {}
+        self._dirty = False
+        return {u: [(self.best, 1)] for u in self.view.comm_neighbors}
+
+    def result(self) -> float:
+        """The global minimum after quiescence."""
+        return self.best

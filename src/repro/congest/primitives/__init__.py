@@ -1,0 +1,53 @@
+"""Verified CONGEST primitives.
+
+Every primitive executes real synchronous message rounds on a
+:class:`~repro.congest.network.CongestNetwork`; round costs are *measured*
+by the simulator, not formula-charged. The classical bounds they are tested
+against (paper §1.1 and [37, 43]):
+
+==============================  =======================================
+Primitive                       Rounds
+==============================  =======================================
+``build_bfs_tree``              O(D)
+``convergecast``                O(D)
+``broadcast``                   O(M + D) for M values
+``bfs`` (single source)         O(min(h, ecc))
+``multi_source_bfs``            O(h + k) for k sources, h hops
+``multi_source_wave``           O(budget + k)  (stretched-graph BFS)
+``source_detection``            O(budget + sigma)
+``propagate_down_trees``        O(depth + per-edge congestion)
+``elect_leader``                O(D)
+``aggregate_top_k``             O(k + D)
+``route_jobs``                  O(congestion + dilation log n) [24, 36]
+==============================  =======================================
+"""
+
+from repro.congest.primitives.flood import BfsTree, build_bfs_tree
+from repro.congest.primitives.convergecast import converge_max, converge_min, converge_sum, convergecast
+from repro.congest.primitives.broadcast import broadcast
+from repro.congest.primitives.bfs import bfs
+from repro.congest.primitives.multi_bfs import multi_source_bfs
+from repro.congest.primitives.waves import multi_source_wave, source_detection
+from repro.congest.primitives.trees import propagate_down_trees
+from repro.congest.primitives.aggregation import aggregate_top_k, elect_leader
+from repro.congest.primitives.scheduling import Job, congestion_dilation, route_jobs
+
+__all__ = [
+    "BfsTree",
+    "build_bfs_tree",
+    "convergecast",
+    "converge_min",
+    "converge_max",
+    "converge_sum",
+    "broadcast",
+    "bfs",
+    "multi_source_bfs",
+    "multi_source_wave",
+    "source_detection",
+    "propagate_down_trees",
+    "elect_leader",
+    "aggregate_top_k",
+    "Job",
+    "congestion_dilation",
+    "route_jobs",
+]

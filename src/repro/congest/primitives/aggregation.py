@@ -1,0 +1,106 @@
+"""Extra global primitives: leader election and top-k aggregation.
+
+Not used by the MWC algorithms directly, but standard CONGEST toolbox
+members that make the simulator a usable library substrate:
+
+* :func:`elect_leader` — O(D) rounds (convergecast of the min id).
+* :func:`aggregate_top_k` — every node learns the k smallest (value, id)
+  pairs network-wide in O(k + D) rounds: a pipelined convergecast where
+  each tree edge carries at most k pairs in increasing order, followed by a
+  broadcast of the winners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.broadcast import broadcast
+from repro.congest.primitives.convergecast import converge_min
+from repro.congest.primitives.flood import BfsTree, build_bfs_tree
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+def elect_leader(net: CongestNetwork, tree: Optional[BfsTree] = None) -> int:
+    """All nodes agree on the minimum vertex id; O(D) rounds."""
+    return int(converge_min(net, list(range(net.n)), tree))
+
+
+def aggregate_top_k(
+    net: CongestNetwork,
+    values: Sequence[float],
+    k: int,
+    tree: Optional[BfsTree] = None,
+) -> List[Tuple[float, int]]:
+    """The k smallest (value, vertex) pairs, known to every node.
+
+    Upward phase invariant: every node emits pairs to its parent in
+    *increasing* order, so a node may safely emit its i-th smallest known
+    pair as soon as that pair is no larger than the last pair received from
+    every still-active child (anything a child sends later is at least its
+    last emission). Each tree edge carries at most k pairs plus one "done"
+    marker: O(k + height) rounds, then an O(k + D) broadcast.
+    """
+    if len(values) != net.n:
+        raise ValueError("need exactly one value per vertex")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if tree is None:
+        tree = build_bfs_tree(net)
+    n = net.n
+    known: List[List[Tuple[float, int]]] = [[(float(values[v]), v)] for v in range(n)]
+    sent = [0] * n
+    done_sent = [False] * n
+    # Per node: last value received from each child, and which are done.
+    last_from_child: List[dict] = [
+        {c: NEG_INF for c in tree.children[v]} for v in range(n)
+    ]
+    child_done: List[dict] = [
+        {c: False for c in tree.children[v]} for v in range(n)
+    ]
+
+    def frontier(v: int) -> float:
+        """Largest value v may currently emit without risking disorder."""
+        bound = POS_INF
+        for c in tree.children[v]:
+            if not child_done[v][c]:
+                bound = min(bound, last_from_child[v][c])
+        return bound
+
+    max_steps = 2 * (k + tree.height) + n + 16
+    for _ in range(max_steps):
+        outboxes = {}
+        for v in range(n):
+            if v == tree.root:
+                continue
+            out = []
+            ordered = sorted(known[v])
+            limit = min(k, len(ordered))
+            bound = frontier(v)
+            while sent[v] < limit and ordered[sent[v]] <= (bound, n):
+                out.append((("pair", ordered[sent[v]]), 1))
+                sent[v] += 1
+                if len(out) >= 1:  # one pair per round per edge (pipelining)
+                    break
+            if (not done_sent[v] and sent[v] >= limit
+                    and all(child_done[v].values())):
+                out.append((("done", v), 1))
+                done_sent[v] = True
+            if out:
+                outboxes[v] = {tree.parent[v]: out}
+        if not outboxes:
+            break
+        inboxes = net.exchange(outboxes)
+        for v, by_sender in inboxes.items():
+            for c, payloads in by_sender.items():
+                for kind, payload in payloads:
+                    if kind == "pair":
+                        known[v].append(tuple(payload))
+                        last_from_child[v][c] = payload[0]
+                    else:
+                        child_done[v][c] = True
+    winners = sorted(set(known[tree.root]))[:k]
+    received = broadcast(net, {tree.root: winners}, tree=tree)
+    return sorted(tuple(p) for p in received[0])

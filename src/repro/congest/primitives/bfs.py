@@ -1,0 +1,60 @@
+"""Single-source (directed) BFS wave: O(min(h, ecc)) rounds.
+
+BFS messages travel along the input graph's (out-)edges, which are always a
+subset of the communication links; ``reverse=True`` follows in-edges, i.e.
+computes hop distances *to* the source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.congest.network import CongestNetwork
+from repro.graphs.graph import INF
+
+
+def bfs(
+    net: CongestNetwork,
+    source: int,
+    h: Optional[int] = None,
+    reverse: bool = False,
+    record_parents: bool = False,
+):
+    """Run a BFS wave from ``source``; returns (dist, parent) lists.
+
+    ``dist[v]`` is the hop distance (``INF`` beyond ``h`` or unreachable).
+    ``parent[v]`` is the tree predecessor if ``record_parents`` else ``None``.
+    One exchange step per BFS level; one word per edge per step.
+    """
+    g = net.graph
+    dist: List[float] = [INF] * g.n
+    parent: List[int] = [-1] * g.n
+    dist[source] = 0
+    frontier = [source]
+    limit = h if h is not None else g.n
+    neigh = g.in_neighbors if reverse else g.out_neighbors
+    level = 0
+    while frontier and level < limit:
+        outboxes = {}
+        for u in frontier:
+            targets = [v for v in neigh(u) if dist[v] == INF]
+            if targets:
+                outboxes[u] = {v: [((source, dist[u] + 1), 1)] for v in targets}
+        if not outboxes:
+            break
+        inboxes = net.exchange(outboxes)
+        frontier = []
+        for v, by_sender in inboxes.items():
+            if dist[v] != INF:
+                continue
+            best_sender = min(by_sender)
+            dist[v] = level + 1
+            if record_parents:
+                parent[v] = best_sender
+            frontier.append(v)
+        level += 1
+    key = ("bfs_rev" if reverse else "bfs", source)
+    for v in range(g.n):
+        if dist[v] != INF:
+            net.state[v][key] = dist[v]
+    return dist, (parent if record_parents else None)

@@ -1,0 +1,108 @@
+"""Pipelined broadcast of M messages to all nodes in O(M + D) rounds.
+
+Items flow up a BFS spanning tree toward the root while simultaneously being
+flooded down into every other subtree, pipelined so that each tree edge
+carries at most ``bandwidth`` words per direction per round. An item crosses
+each tree edge at most twice (once up, once down), giving the classical
+O(M + D) bound (paper §1.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.flood import BfsTree, build_bfs_tree
+from repro.congest.primitives.convergecast import converge_sum
+
+
+def broadcast(
+    net: CongestNetwork,
+    messages: Dict[int, Sequence[Any]],
+    tree: Optional[BfsTree] = None,
+    words_per_message: int = 1,
+    max_steps: Optional[int] = None,
+) -> List[List[Any]]:
+    """Broadcast all ``messages[v]`` so every node receives every payload.
+
+    Returns ``received`` where ``received[v]`` lists all payloads in a
+    deterministic (origin, sequence) order; also stored under state key
+    ``"broadcast"``. Termination is locally decidable because the total
+    message count is convergecast first (O(D) rounds).
+    """
+    if tree is None:
+        tree = build_bfs_tree(net)
+    n = net.n
+    counts = [len(messages.get(v, ())) for v in range(n)]
+    total = converge_sum(net, counts, tree)
+    # Item identity: (origin, seq). known[v] maps item id -> payload.
+    known: List[Dict[Tuple[int, int], Any]] = [dict() for _ in range(n)]
+    up_q: List[deque] = [deque() for _ in range(n)]
+    # down_q entries are (item, skip_child): flood to children except skip
+    # (the child the item arrived from, which already has it). Items with no
+    # eligible child are never enqueued, so a non-empty queue always has
+    # real work — the quiescence check relies on this.
+    down_q: List[deque] = [deque() for _ in range(n)]
+
+    def enqueue_down(v: int, item, skip: Optional[int]) -> None:
+        if any(c != skip for c in tree.children[v]):
+            down_q[v].append((item, skip))
+
+    for v in range(n):
+        for seq, payload in enumerate(messages.get(v, ())):
+            item = ((v, seq), payload)
+            known[v][item[0]] = payload
+            if v != tree.root:
+                up_q[v].append(item)
+            enqueue_down(v, item, None)
+    per_step = max(1, net.bandwidth // max(1, words_per_message))
+
+    def take(queue: deque) -> list:
+        batch = []
+        for _ in range(per_step):
+            if not queue:
+                break
+            batch.append(queue.popleft())
+        return batch
+
+    budget = max_steps if max_steps is not None else 6 * (total + tree.height + 2) + 8
+    for _ in range(budget):
+        outboxes: Dict[int, Dict[int, list]] = {}
+        for v in range(n):
+            out: Dict[int, list] = {}
+            if v != tree.root and up_q[v]:
+                out[tree.parent[v]] = [
+                    (("up", item), words_per_message) for item in take(up_q[v])
+                ]
+            for item, skip in take(down_q[v]):
+                for c in tree.children[v]:
+                    if c == skip:
+                        continue
+                    out.setdefault(c, []).append(
+                        (("down", item), words_per_message)
+                    )
+            if out:
+                outboxes[v] = out
+        if not outboxes:
+            break
+        inboxes = net.exchange(outboxes)
+        for v, by_sender in inboxes.items():
+            for sender, payloads in by_sender.items():
+                for direction, item in payloads:
+                    item_id, payload = item
+                    if item_id in known[v]:
+                        continue
+                    known[v][item_id] = payload
+                    if direction == "up":
+                        if v != tree.root:
+                            up_q[v].append(item)
+                        enqueue_down(v, item, sender)
+                    else:
+                        enqueue_down(v, item, None)
+    if any(len(known[v]) != total for v in range(n)):
+        raise RuntimeError("broadcast did not complete within the step budget")
+    received = [[known[v][k] for k in sorted(known[v])] for v in range(n)]
+    for v in range(n):
+        net.state[v]["broadcast"] = received[v]
+    return received

@@ -1,0 +1,89 @@
+"""Convergecast: associative aggregation over all nodes in O(D) rounds.
+
+Leaves push their values up the BFS tree; internal nodes combine children's
+partial aggregates with their own and push up; the root's result is then
+flooded back down so *all* nodes know it (paper §1.1's convergecast
+convention: "after which all nodes know the result").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.flood import BfsTree, build_bfs_tree
+
+
+def convergecast(
+    net: CongestNetwork,
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+    tree: Optional[BfsTree] = None,
+) -> Any:
+    """Aggregate ``values[v]`` over all v with associative ``op``; O(D).
+
+    Returns the aggregate; also stores it at every node under state key
+    ``"convergecast_result"``.
+    """
+    if len(values) != net.n:
+        raise ValueError("need exactly one value per vertex")
+    if tree is None:
+        tree = build_bfs_tree(net)
+    n = net.n
+    pending = {v: len(tree.children[v]) for v in range(n)}
+    partial: List[Any] = list(values)
+    # Upward phase: a node fires once all children have reported.
+    ready = [v for v in range(n) if pending[v] == 0 and v != tree.root]
+    reported = [False] * n
+    while True:
+        outboxes = {}
+        fired = []
+        for v in ready:
+            outboxes[v] = {tree.parent[v]: [((v, partial[v]), 1)]}
+            fired.append(v)
+        if not outboxes:
+            break
+        ready = []
+        inboxes = net.exchange(outboxes)
+        for v in fired:
+            reported[v] = True
+        for p, by_child in inboxes.items():
+            for c, payloads in by_child.items():
+                for (_c, val) in payloads:
+                    partial[p] = op(partial[p], val)
+                    pending[p] -= 1
+            if pending[p] == 0 and p != tree.root and not reported[p]:
+                ready.append(p)
+    result = partial[tree.root]
+    # Downward phase: flood the result level by level.
+    frontier = [tree.root]
+    while frontier:
+        outboxes = {}
+        for u in frontier:
+            if tree.children[u]:
+                outboxes[u] = {c: [(result, 1)] for c in tree.children[u]}
+        if not outboxes:
+            break
+        net.exchange(outboxes)
+        frontier = [c for u in frontier for c in tree.children[u]]
+    for v in range(n):
+        net.state[v]["convergecast_result"] = result
+    return result
+
+
+def converge_min(net: CongestNetwork, values: Sequence[Any],
+                 tree: Optional[BfsTree] = None) -> Any:
+    """Global minimum of per-node values; O(D) rounds."""
+    return convergecast(net, values, min, tree)
+
+
+def converge_max(net: CongestNetwork, values: Sequence[Any],
+                 tree: Optional[BfsTree] = None) -> Any:
+    """Global maximum of per-node values; O(D) rounds."""
+    return convergecast(net, values, max, tree)
+
+
+def converge_sum(net: CongestNetwork, values: Sequence[Any],
+                 tree: Optional[BfsTree] = None) -> Any:
+    """Global sum of per-node values; O(D) rounds."""
+    return convergecast(net, values, lambda a, b: a + b, tree)

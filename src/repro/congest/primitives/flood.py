@@ -1,0 +1,77 @@
+"""BFS spanning tree of the communication graph (flooding), O(D) rounds.
+
+The tree is the backbone for convergecast and broadcast. Communication links
+are bidirectional regardless of input-graph direction, so the tree always
+spans the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.congest.network import CongestNetwork
+
+
+@dataclass
+class BfsTree:
+    """Spanning BFS tree of the communication graph rooted at ``root``."""
+
+    root: int
+    parent: List[int]
+    depth: List[int]
+    children: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def height(self) -> int:
+        return max(self.depth)
+
+
+def build_bfs_tree(net: CongestNetwork, root: int = 0) -> BfsTree:
+    """Build a BFS spanning tree by flooding; O(ecc(root)) <= O(D) rounds.
+
+    Each vertex adopts as parent the smallest-id neighbor from which it first
+    receives the wave, then acknowledges so parents learn their children
+    (one extra round per level, interleaved with the wave).
+    """
+    n = net.n
+    parent = [-1] * n
+    depth = [-1] * n
+    children: Dict[int, List[int]] = {v: [] for v in range(n)}
+    depth[root] = 0
+    frontier = [root]
+    while frontier:
+        # Wave step: frontier announces (depth) to all communication neighbors.
+        outboxes = {}
+        for u in frontier:
+            msgs = {v: [((u, depth[u]), 1)] for v in net.comm_neighbors(u) if depth[v] == -1}
+            if msgs:
+                outboxes[u] = msgs
+        if not outboxes:
+            break
+        inboxes = net.exchange(outboxes)
+        new_frontier = []
+        acks = {}
+        for v, by_sender in inboxes.items():
+            if depth[v] != -1:
+                continue
+            senders = sorted(by_sender)
+            p = senders[0]
+            parent[v] = p
+            depth[v] = depth[p] + 1
+            new_frontier.append(v)
+            acks.setdefault(v, {})[p] = [(("child", v), 1)]
+        if acks:
+            ack_in = net.exchange(acks)
+            for p, by_child in ack_in.items():
+                for c in by_child:
+                    children[p].append(c)
+        frontier = new_frontier
+    if any(d == -1 for d in depth):
+        raise RuntimeError("flood did not reach every vertex; graph disconnected?")
+    tree = BfsTree(root=root, parent=parent, depth=depth, children=children)
+    for v in range(n):
+        net.state[v]["tree_parent"] = parent[v]
+        net.state[v]["tree_depth"] = depth[v]
+        net.state[v]["tree_children"] = tuple(children[v])
+    return tree

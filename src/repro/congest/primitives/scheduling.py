@@ -1,0 +1,112 @@
+"""Random-delay scheduling of many path transmissions ([24, 36]).
+
+The classical packet-routing result: given jobs j, each a message to be
+forwarded along a fixed path, starting every job at an independently random
+delay in [1, rho] (rho ~ congestion) and then running synchronously
+completes all jobs in O(congestion + dilation * log n) rounds w.h.p. —
+where *congestion* is the maximum number of paths through one edge and
+*dilation* the maximum path length. The paper uses this machinery for
+Algorithm 1 line 9 and the phase argument of Algorithm 3; this module
+provides it as a standalone, measurable primitive.
+
+:func:`route_jobs` executes the schedule on the simulator (each edge
+transmits at most ``bandwidth`` messages per round; excess is FIFO-queued,
+which only helps); :func:`congestion_dilation` computes the two parameters
+so tests can verify the bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.graphs.graph import GraphError
+
+
+@dataclass(frozen=True)
+class Job:
+    """One message to deliver along a fixed path of adjacent vertices."""
+
+    path: Tuple[int, ...]
+    payload: object = None
+
+    def __post_init__(self):
+        if len(self.path) < 2:
+            raise GraphError("a job path needs at least two vertices")
+
+
+def congestion_dilation(jobs: Sequence[Job]) -> Tuple[int, int]:
+    """(max paths per directed edge, max path length in edges)."""
+    per_edge: Dict[Tuple[int, int], int] = {}
+    dilation = 0
+    for job in jobs:
+        dilation = max(dilation, len(job.path) - 1)
+        for a, b in zip(job.path, job.path[1:]):
+            per_edge[(a, b)] = per_edge.get((a, b), 0) + 1
+    return (max(per_edge.values(), default=0), dilation)
+
+
+def route_jobs(
+    net: CongestNetwork,
+    jobs: Sequence[Job],
+    rho: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> List[int]:
+    """Deliver every job along its path with random start delays.
+
+    Returns ``arrival[j]``, the round at which job j's message reached its
+    final vertex. Paths must follow communication links. The per-edge FIFO
+    discharge (``bandwidth`` messages per round) makes the execution valid
+    even when the random delays collide — collisions only queue, never drop.
+    """
+    for job in jobs:
+        for a, b in zip(job.path, job.path[1:]):
+            if b not in net.comm_neighbors(a):
+                raise GraphError(f"job path uses non-edge ({a}, {b})")
+    congestion, dilation = congestion_dilation(jobs)
+    if rho is None:
+        rho = max(1, congestion)
+    delays = [int(net.rng.integers(1, rho + 1)) for _ in jobs]
+    # queues[v][u]: FIFO of (job index, hop index) waiting to cross v -> u.
+    queues: Dict[int, Dict[int, deque]] = {}
+
+    def enqueue(j: int, hop: int) -> None:
+        a, b = jobs[j].path[hop], jobs[j].path[hop + 1]
+        queues.setdefault(a, {}).setdefault(b, deque()).append((j, hop))
+
+    arrival = [-1] * len(jobs)
+    cap = max_rounds if max_rounds is not None else (
+        4 * (congestion + dilation + rho) * max(1, net.bandwidth) + 64)
+    started = [False] * len(jobs)
+    for r in range(1, cap + 1):
+        for j, d in enumerate(delays):
+            if r == d and not started[j]:
+                started[j] = True
+                enqueue(j, 0)
+        outboxes = {}
+        for v, by_target in queues.items():
+            out = {}
+            for u, q in by_target.items():
+                batch = [q.popleft() for _ in range(min(net.bandwidth, len(q)))]
+                if batch:
+                    out[u] = [((j, hop), 1) for j, hop in batch]
+            if out:
+                outboxes[v] = out
+        if not outboxes:
+            if all(started) and all(a >= 0 for a in arrival):
+                break
+            net.charge_rounds(1)
+            continue
+        inboxes = net.exchange(outboxes)
+        for v, by_sender in inboxes.items():
+            for _sender, payloads in by_sender.items():
+                for j, hop in payloads:
+                    if hop + 2 == len(jobs[j].path):
+                        arrival[j] = net.rounds
+                    else:
+                        enqueue(j, hop + 1)
+    else:
+        raise RuntimeError(f"routing did not finish within {cap} rounds")
+    return arrival

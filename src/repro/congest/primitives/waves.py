@@ -1,0 +1,205 @@
+"""Weighted wave primitives: stretched-graph BFS without materialization.
+
+``multi_source_wave`` computes *weight-limited* distances: exactly what an
+``h``-hop-limited BFS on the paper's stretched graph ``G^s`` (§4) computes,
+because hop length in ``G^s`` equals path weight in ``G``. A wave takes
+``w`` rounds to cross a weight-``w`` edge and transmits one physical message
+for it — matching the paper's "simulate all but the last edge of the path at
+one of the endpoints" convention — so rounds and bandwidth agree with the
+materialized simulation (tested against :class:`repro.graphs.stretch.StretchedGraph`).
+
+``source_detection`` is the (S, h, sigma)-detection of Lenzen–Patt-Shamir–
+Peleg [37]: every vertex learns its sigma closest sources within the weight
+budget, in O(budget + sigma) rounds, forwarding only pairs ranked within its
+current top-sigma.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.graphs.graph import Graph, GraphError, INF
+
+
+def _edge_weight(weight_graph: Optional[Graph], net: CongestNetwork,
+                 u: int, v: int) -> int:
+    g = weight_graph if weight_graph is not None else net.graph
+    return g.weight(u, v)
+
+
+def _check_weight_graph(net: CongestNetwork, weight_graph: Optional[Graph]) -> Graph:
+    g = weight_graph if weight_graph is not None else net.graph
+    if weight_graph is not None:
+        if weight_graph.n != net.n or weight_graph.directed != net.graph.directed:
+            raise GraphError("weight graph must share the network's topology")
+    return g
+
+
+def multi_source_wave(
+    net: CongestNetwork,
+    sources: Sequence[int],
+    budget: int,
+    reverse: bool = False,
+    weight_graph: Optional[Graph] = None,
+    record_parents: bool = False,
+    max_steps: Optional[int] = None,
+) -> Tuple[List[Dict[int, int]], Optional[List[Dict[int, int]]]]:
+    """Weight-limited distances from ``sources``: d(s, v) when <= ``budget``.
+
+    ``weight_graph`` supplies alternative edge weights on the *same*
+    topology (the scaled graphs ``G^i`` of §5); weights must be >= 1 so the
+    unit-speed wave model applies. Returns ``(dist, parent)`` shaped like
+    :func:`~repro.congest.primitives.multi_bfs.multi_source_bfs`.
+    """
+    g = _check_weight_graph(net, weight_graph)
+    n = net.n
+    k = len(sources)
+    if k == 0:
+        empty: List[Dict[int, int]] = [dict() for _ in range(n)]
+        return empty, ([dict() for _ in range(n)] if record_parents else None)
+    neigh_items = g.in_items if reverse else g.out_items
+    known: List[Dict[int, int]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, int]] = [dict() for _ in range(n)]
+    pq: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for s in sources:
+        known[s][s] = 0
+        heapq.heappush(pq[s], (0, s))
+    cap = max_steps if max_steps is not None else 2 * (budget + k) + 16
+    steps = 0
+    while steps < cap:
+        outboxes = {}
+        for u in range(n):
+            entry = None
+            while pq[u]:
+                d, s = heapq.heappop(pq[u])
+                if known[u].get(s) != d:
+                    continue
+                entry = (d, s)
+                break
+            if entry is None:
+                continue
+            d, s = entry
+            targets = {}
+            for v, w in neigh_items(u):
+                if w < 1:
+                    raise GraphError("wave primitives require weights >= 1")
+                if d + w <= budget:
+                    targets[v] = [((s, d + w), 1)]
+            if targets:
+                outboxes[u] = targets
+        if not outboxes:
+            break
+        inboxes = net.exchange(outboxes)
+        steps += 1
+        for v, by_sender in inboxes.items():
+            for sender, payloads in by_sender.items():
+                for s, d in payloads:
+                    if known[v].get(s, INF) > d:
+                        known[v][s] = d
+                        parent[v][s] = sender
+                        heapq.heappush(pq[v], (d, s))
+    else:
+        raise RuntimeError(
+            f"multi_source_wave did not quiesce within {cap} steps "
+            f"(k={k}, budget={budget})"
+        )
+    key = "wave_rev" if reverse else "wave"
+    for v in range(n):
+        net.state[v][key] = dict(known[v])
+    return known, (parent if record_parents else None)
+
+
+def source_detection(
+    net: CongestNetwork,
+    sigma: int,
+    budget: int,
+    sources: Optional[Sequence[int]] = None,
+    reverse: bool = False,
+    weight_graph: Optional[Graph] = None,
+    max_steps: Optional[int] = None,
+    record_parents: bool = False,
+) -> List[List[Tuple[int, int]]]:
+    """(S, budget, sigma)-detection [37]: sigma closest sources per vertex.
+
+    Returns ``lists[v]`` = the up-to-sigma lexicographically smallest
+    ``(distance, source)`` pairs with distance <= ``budget``. Runs in
+    O(budget + sigma) rounds: nodes forward, smallest first, only pairs
+    currently ranked within their top sigma.
+
+    With ``record_parents`` each node also stores, per detected source, the
+    neighbor its best pair arrived from, under state key
+    ``"detection_parent"`` (used by the girth algorithm to exclude
+    degenerate backtracking cycle candidates).
+    """
+    g = _check_weight_graph(net, weight_graph)
+    n = net.n
+    srcs = list(range(n)) if sources is None else list(sources)
+    neigh_items = g.in_items if reverse else g.out_items
+    known: List[Dict[int, int]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, int]] = [dict() for _ in range(n)]
+    pq: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for s in srcs:
+        known[s][s] = 0
+        heapq.heappush(pq[s], (0, s))
+
+    def rank_within_sigma(v: int, d: int, s: int) -> bool:
+        if len(known[v]) <= sigma:
+            return True
+        best = heapq.nsmallest(sigma, ((dd, ss) for ss, dd in known[v].items()))
+        return (d, s) <= best[-1]
+
+    cap = max_steps if max_steps is not None else 2 * (budget + sigma) + 16
+    steps = 0
+    while steps < cap:
+        outboxes = {}
+        for u in range(n):
+            entry = None
+            while pq[u]:
+                d, s = heapq.heappop(pq[u])
+                if known[u].get(s) != d:
+                    continue
+                if not rank_within_sigma(u, d, s):
+                    continue  # outside top-sigma: never forwarded
+                entry = (d, s)
+                break
+            if entry is None:
+                continue
+            d, s = entry
+            targets = {}
+            for v, w in neigh_items(u):
+                if w < 1:
+                    raise GraphError("wave primitives require weights >= 1")
+                if d + w <= budget:
+                    targets[v] = [((s, d + w), 1)]
+            if targets:
+                outboxes[u] = targets
+        if not outboxes:
+            break
+        inboxes = net.exchange(outboxes)
+        steps += 1
+        for v, by_sender in inboxes.items():
+            for sender, payloads in by_sender.items():
+                for s, d in payloads:
+                    if known[v].get(s, INF) > d:
+                        known[v][s] = d
+                        parent[v][s] = sender
+                        heapq.heappush(pq[v], (d, s))
+    else:
+        raise RuntimeError(
+            f"source_detection did not quiesce within {cap} steps "
+            f"(sigma={sigma}, budget={budget})"
+        )
+    result: List[List[Tuple[int, int]]] = []
+    for v in range(n):
+        pairs = sorted((d, s) for s, d in known[v].items())
+        result.append(pairs[:sigma])
+    for v in range(n):
+        net.state[v]["detection"] = result[v]
+        if record_parents:
+            keep = {s for _, s in result[v]}
+            net.state[v]["detection_parent"] = {
+                s: p for s, p in parent[v].items() if s in keep
+            }
+    return result

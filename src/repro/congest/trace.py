@@ -1,0 +1,119 @@
+"""Execution tracing: replayable per-step message logs.
+
+Wraps a :class:`~repro.congest.network.CongestNetwork` to record, per
+exchange step, who sent how many words to whom. Useful for debugging
+algorithm schedules, auditing congestion hot spots, and teaching — the
+ASCII timeline shows where an algorithm's rounds actually go.
+
+The recorder is intentionally bounded (``max_events``): algorithms exchange
+millions of messages and the trace is a diagnostic tool, not a log of
+record. When the budget is exhausted, recording stops and the trace is
+marked truncated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.network import CongestNetwork
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One sender -> receiver transmission within a step."""
+
+    step: int
+    rounds_before: int
+    sender: int
+    receiver: int
+    messages: int
+    words: int
+
+
+@dataclass
+class Trace:
+    """Recorded execution trace."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    steps: int = 0
+    truncated: bool = False
+
+    def busiest_links(self, top: int = 5) -> List[Tuple[Tuple[int, int], int]]:
+        """The ``top`` (sender, receiver) pairs by total words."""
+        totals: Dict[Tuple[int, int], int] = {}
+        for ev in self.events:
+            key = (ev.sender, ev.receiver)
+            totals[key] = totals.get(key, 0) + ev.words
+        return sorted(totals.items(), key=lambda kv: -kv[1])[:top]
+
+    def words_per_step(self) -> List[int]:
+        """Total words transmitted in each recorded step."""
+        out = [0] * self.steps
+        for ev in self.events:
+            out[ev.step] += ev.words
+        return out
+
+    def timeline_ascii(self, width: int = 50) -> str:
+        """Render the per-step traffic volume as an ASCII timeline."""
+        volumes = self.words_per_step()
+        if not volumes:
+            return "(empty trace)"
+        peak = max(volumes) or 1
+        lines = []
+        for step, words in enumerate(volumes):
+            bar = "#" * max(1 if words else 0, round(width * words / peak))
+            lines.append(f"step {step:>4} | {bar} {words}")
+        if self.truncated:
+            lines.append("(trace truncated)")
+        return "\n".join(lines)
+
+
+class TraceRecorder:
+    """Attach to a network to record its exchange steps.
+
+    Usage::
+
+        net = CongestNetwork(g, seed=0)
+        with TraceRecorder(net, max_events=10_000) as trace:
+            bfs(net, 0)
+        print(trace.timeline_ascii())
+    """
+
+    def __init__(self, net: CongestNetwork, max_events: int = 100_000):
+        self.net = net
+        self.trace = Trace()
+        self.max_events = max_events
+        self._original_exchange = net.exchange
+
+    def __enter__(self) -> Trace:
+        self.net.exchange = self._recording_exchange  # type: ignore[method-assign]
+        return self.trace
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def _recording_exchange(self, outboxes):
+        step = self.trace.steps
+        rounds_before = self.net.rounds
+        self.trace.steps += 1
+        for u, outbox in outboxes.items():
+            for v, msgs in outbox.items():
+                if not msgs:
+                    continue
+                if len(self.trace.events) >= self.max_events:
+                    self.trace.truncated = True
+                    break
+                self.trace.events.append(TraceEvent(
+                    step=step,
+                    rounds_before=rounds_before,
+                    sender=u,
+                    receiver=v,
+                    messages=len(msgs),
+                    words=sum(w for _, w in msgs),
+                ))
+        return self._original_exchange(outboxes)
+
+    def detach(self) -> None:
+        """Restore the network's original exchange method."""
+        self.net.exchange = self._original_exchange  # type: ignore[method-assign]

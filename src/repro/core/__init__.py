@@ -1,0 +1,18 @@
+"""The paper's algorithms (upper bounds of Table 1 and Theorem 1.6).
+
+===========================  ==========================================
+Module                       Paper section / theorem
+===========================  ==========================================
+``ksource``                  §2, Theorem 1.6 (k-source BFS / approx SSSP)
+``restricted_bfs``           §3.1, Algorithm 3 machinery
+``directed_mwc``             §3, Algorithm 2 (Theorem 1.2.C)
+``girth``                    §4 (Theorem 1.3.B, Corollary 4.1)
+``weighted_mwc``             §5 (Theorems 1.4.C and 1.2.D)
+``exact_mwc``                Õ(n) exact upper bounds via APSP ([8, 28])
+``baselines``                prior-work baselines ([44], repetition)
+===========================  ==========================================
+"""
+
+from repro.core.results import AlgorithmResult, KSourceResult
+
+__all__ = ["AlgorithmResult", "KSourceResult"]

@@ -1,0 +1,108 @@
+"""Distributed APSP as a standalone public API.
+
+Three modes, all executing on the simulator:
+
+* :func:`apsp_unweighted` — exact, O(n + D) rounds (pipelined n-source BFS,
+  as in Holzer–Wattenhofer [28]).
+* :func:`apsp_weighted_exact` — exact, the improvement-driven pipelined
+  Bellman–Ford skeleton of [8] (near-linear measured rounds; see
+  ``core/exact_mwc.py`` for the bound discussion).
+* :func:`apsp_approx` — (1+eps)-approximate weighted APSP with a
+  *guaranteed* Õ(n / eps) round bound via Nanongkai's scaling [41]: n-source
+  unit-speed waves on every scaled graph with hop parameter h = n.
+
+``mwc_via_approx_apsp`` derives a (1+eps)-approximation of MWC from the
+approximate distances in the same rounds — a guaranteed-bound companion to
+the exact Table 1 rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.convergecast import converge_min
+from repro.core.approx_sssp import approx_hop_sssp_with_pred
+from repro.core.exact_mwc import apsp_unweighted_on, apsp_weighted_on
+from repro.core.girth import _exchange_vectors
+from repro.core.results import AlgorithmResult, KSourceResult
+from repro.graphs.graph import Graph, GraphError, INF
+
+
+def apsp_unweighted(g: Graph, seed: Optional[int] = None) -> KSourceResult:
+    """Exact unweighted APSP in O(n + D) rounds."""
+    if g.weighted:
+        raise GraphError("use apsp_weighted_exact or apsp_approx for weights")
+    net = CongestNetwork(g, seed=seed)
+    known, _ = apsp_unweighted_on(net)
+    dist = [{s: float(d) for s, d in known[v].items()} for v in range(g.n)]
+    return KSourceResult(dist, net.rounds, net.stats, {"mode": "unweighted"})
+
+
+def apsp_weighted_exact(g: Graph, seed: Optional[int] = None) -> KSourceResult:
+    """Exact weighted APSP (pipelined improvement-driven Bellman–Ford)."""
+    if not g.weighted:
+        return apsp_unweighted(g, seed=seed)
+    net = CongestNetwork(g, seed=seed)
+    known, _ = apsp_weighted_on(net)
+    dist = [dict(known[v]) for v in range(g.n)]
+    return KSourceResult(dist, net.rounds, net.stats, {"mode": "exact"})
+
+
+def apsp_approx(g: Graph, eps: float = 0.5,
+                seed: Optional[int] = None) -> KSourceResult:
+    """(1+eps)-approximate weighted APSP, guaranteed Õ(n / eps) rounds.
+
+    Estimates never undershoot true distances and are within (1+eps) of
+    them; weights must be >= 1 (the stretched-wave model).
+    """
+    if not g.weighted:
+        return apsp_unweighted(g, seed=seed)
+    if any(w < 1 for _, _, w in g.edges()):
+        raise GraphError("apsp_approx requires weights >= 1")
+    net = CongestNetwork(g, seed=seed)
+    est, _ = approx_hop_sssp_with_pred(net, list(range(g.n)), h=g.n, eps=eps)
+    return KSourceResult(est, net.rounds, net.stats,
+                         {"mode": "approx", "eps": eps})
+
+
+def mwc_via_approx_apsp(g: Graph, eps: float = 0.5,
+                        seed: Optional[int] = None) -> AlgorithmResult:
+    """(1+eps)-approximate MWC from approximate APSP, Õ(n / eps) rounds.
+
+    Directed: candidates w(v, u) + d~(u, v) close real walks, so the value
+    is in [MWC, (1+eps) MWC]. Undirected: girth-style edge candidates with
+    wave-predecessor exclusion of backtracking walks.
+    """
+    net = CongestNetwork(g, seed=seed)
+    n = g.n
+    if g.weighted and any(w < 1 for _, _, w in g.edges()):
+        raise GraphError("mwc_via_approx_apsp requires weights >= 1")
+    est, pred = approx_hop_sssp_with_pred(net, list(range(n)), h=n, eps=eps)
+    mu = [INF] * n
+    if g.directed:
+        for v in range(n):
+            d_to_v = est[v]
+            for u, w_vu in g.out_items(v):
+                if u in d_to_v:
+                    mu[v] = min(mu[v], d_to_v[u] + w_vu)
+    else:
+        vectors = [
+            {s: (d, pred[v].get(s, -1)) for s, d in est[v].items()}
+            for v in range(n)
+        ]
+        nbr = _exchange_vectors(net, vectors)
+        for x in range(n):
+            for y, got in nbr[x].items():
+                w_xy = g.weight(x, y)
+                for s, (d_sx, p_x) in vectors[x].items():
+                    pair = got.get(s)
+                    if pair is None:
+                        continue
+                    d_sy, p_y = pair
+                    if p_x == y or p_y == x:
+                        continue
+                    mu[x] = min(mu[x], d_sx + d_sy + w_xy)
+    value = converge_min(net, mu)
+    return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
+                           details={"eps": eps, "rounds_total": net.rounds})

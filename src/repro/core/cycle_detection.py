@@ -1,0 +1,92 @@
+"""Fixed-length directed cycle detection (paper §1.3's discussion).
+
+The paper observes that its Ω̃(n) MWC lower bound implies an Ω̃(n) bound
+for *detecting a directed cycle of length q for any q >= 4* — "surprising
+given that triangle detection can be performed in Õ(n^{1/3}) rounds". This
+module provides the matching upper-bound utilities:
+
+* :func:`shortest_cycle_within` — the minimum length of a directed cycle of
+  at most q hops (exact), via pipelined n-source q-hop BFS in O(n + q)
+  rounds. Combined with the Theorem 1.2.A family this completes the
+  detection story on the upper-bound side.
+* :func:`detect_two_cycle` — the q = 2 special case in O(1) rounds (each
+  edge endpoint checks for the reverse edge with one message exchange),
+  showing where the hardness starts: q = 2 is local, q = 3 is Θ̃(n^{1/3})
+  [12, 45], q >= 4 is Ω̃(n) (Theorem 1.2.A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.convergecast import converge_min
+from repro.congest.primitives.multi_bfs import multi_source_bfs
+from repro.core.results import AlgorithmResult
+from repro.graphs.graph import Graph, GraphError, INF
+
+
+def shortest_cycle_within_on(net: CongestNetwork, q: int) -> AlgorithmResult:
+    """Minimum hop length of a directed cycle with at most q hops.
+
+    Exact: pipelined q-hop BFS from all n sources (O(n + q) rounds), then
+    the usual local closing step d(u, v) + 1 over edges (v, u). Returns
+    ``inf`` if no cycle of <= q hops exists.
+    """
+    g = net.graph
+    if not g.directed:
+        raise GraphError("directed cycle detection expects a directed graph")
+    if g.weighted:
+        raise GraphError("q-cycle detection is a hop-length problem; "
+                         "use the MWC algorithms for weighted graphs")
+    if q < 2:
+        raise GraphError(f"the shortest possible directed cycle has 2 hops, got q={q}")
+    known, _ = multi_source_bfs(net, list(range(g.n)), h=q - 1)
+    mu = [INF] * g.n
+    for v in range(g.n):
+        d_to_v = known[v]
+        for u in g.out_neighbors(v):
+            if u in d_to_v:
+                mu[v] = min(mu[v], d_to_v[u] + 1)
+    value = converge_min(net, mu)
+    if value > q:
+        value = INF
+    return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
+                           details={"q": q, "rounds_total": net.rounds})
+
+
+def shortest_cycle_within(g: Graph, q: int,
+                          seed: Optional[int] = None) -> AlgorithmResult:
+    """Fresh-network wrapper for :func:`shortest_cycle_within_on`."""
+    net = CongestNetwork(g, seed=seed)
+    return shortest_cycle_within_on(net, q)
+
+
+def has_cycle_of_length_at_most(g: Graph, q: int,
+                                seed: Optional[int] = None) -> bool:
+    """Whether a directed cycle of at most q hops exists."""
+    return shortest_cycle_within(g, q, seed=seed).value != INF
+
+
+def detect_two_cycle_on(net: CongestNetwork) -> Tuple[bool, int]:
+    """Detect a 2-cycle in O(1) rounds: one exchange + one convergecast.
+
+    Each vertex tells every out-neighbor about the edge; a receiver holding
+    the reverse edge reports a hit.
+    """
+    g = net.graph
+    if not g.directed:
+        raise GraphError("two-cycle detection expects a directed graph")
+    outboxes = {}
+    for v in range(g.n):
+        msgs = {u: [(("edge", v), 1)] for u in g.out_neighbors(v)}
+        if msgs:
+            outboxes[v] = msgs
+    inboxes = net.exchange(outboxes)
+    hit = [0] * g.n
+    for v, by_sender in inboxes.items():
+        for u in by_sender:
+            if g.has_edge(v, u):
+                hit[v] = 1
+    found = converge_min(net, [-h for h in hit]) == -1
+    return found, net.rounds

@@ -1,0 +1,335 @@
+"""(2 - 1/g)-approximate girth in Õ(sqrt(n) + D) rounds (§4, Thm 1.3.B).
+
+Method (paper §4): BFS from Θ̃(sqrt(n)) sampled vertices gives, for every
+non-tree edge (x, y) of a sampled tree, a candidate cycle of weight
+d(w, x) + d(w, y) + w(x, y); this is exact (or near-exact) whenever some
+sampled vertex sits on (or near) a minimum weight cycle. Cycles that evade
+all samples are confined to small neighborhoods, and a sqrt(n)-nearest
+source detection [37] computes those exactly. Candidates are validated by
+excluding *degenerate backtracking walks*: a candidate for edge (x, y) is
+admitted only if the BFS parent of x is not y and vice versa — every
+admitted candidate is then the weight of a closed walk traversing (x, y)
+once, which contains a simple cycle, so no candidate can undershoot the
+girth.
+
+``hop_limited_girth_on`` is Corollary 4.1: the same computation limited to a
+weight budget, optionally on re-weighted (scaled) edges — the building block
+of the §5 weighted MWC algorithms. Global aggregation always runs on the
+physical network, so the convergecast term stays O(D).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.convergecast import converge_min
+from repro.congest.primitives.waves import multi_source_wave, source_detection
+from repro.core.results import AlgorithmResult
+from repro.core.sampling import sample_vertices
+from repro.graphs.graph import Graph, GraphError, INF
+
+
+@dataclass
+class GirthParams:
+    """Constants of the §4 algorithm.
+
+    ``sigma_constant * sqrt(n)`` is the neighborhood size; the sampling
+    probability is ``sample_constant / sigma`` (paper: Θ(log n / sqrt(n)),
+    polylog folded into the constant at simulable n — see DESIGN.md §1).
+    """
+
+    sigma_constant: float = 1.5
+    sample_constant: float = 3.0
+
+    def sigma(self, n: int) -> int:
+        """Neighborhood size sigma = c * sqrt(n)."""
+        return max(2, math.ceil(self.sigma_constant * math.sqrt(n)))
+
+    def sample_probability(self, n: int) -> float:
+        """Per-vertex sampling probability c / sigma."""
+        return min(1.0, self.sample_constant / self.sigma(n))
+
+
+def _exchange_vectors(
+    net: CongestNetwork,
+    vectors: Sequence[Dict[int, Tuple[float, int]]],
+) -> List[Dict[int, Dict[int, Tuple[float, int]]]]:
+    """Each vertex sends its (source -> (dist, parent)) vector to neighbors.
+
+    One synchronous step; the simulator charges ceil(len/B) rounds per link,
+    i.e. O(max vector length) — the paper's O(|W|) / O(sigma) exchange.
+    """
+    outboxes = {}
+    for v in range(net.n):
+        vec = vectors[v]
+        words = max(1, 2 * len(vec))
+        msgs = {u: [(vec, words)] for u in net.comm_neighbors(v)}
+        if msgs:
+            outboxes[v] = msgs
+    result: List[Dict[int, Dict[int, Tuple[float, int]]]] = [dict() for _ in range(net.n)]
+    for v, by_sender in net.exchange(outboxes).items():
+        for u, payloads in by_sender.items():
+            result[v][u] = payloads[0]
+    return result
+
+
+def _edge_candidates(
+    g: Graph,
+    weight_graph: Optional[Graph],
+    vectors: Sequence[Dict[int, Tuple[float, int]]],
+    neighbor_vectors: Sequence[Dict[int, Dict[int, Tuple[float, int]]]],
+    budget: Optional[float] = None,
+) -> List[float]:
+    """Per-vertex best cycle candidate over incident edges.
+
+    For edge (x, y) and a source w known to both endpoints, the candidate
+    d(w, x) + d(w, y) + w(x, y) is admitted unless the walk would backtrack
+    (parent of x is y, or parent of y is x).
+    """
+    wg = weight_graph if weight_graph is not None else g
+    best = [INF] * g.n
+    arg: List[Optional[Tuple[int, int, int]]] = [None] * g.n
+    for x in range(g.n):
+        own = vectors[x]
+        if not own:
+            continue
+        for y, got in neighbor_vectors[x].items():
+            w_xy = wg.weight(x, y)
+            if budget is not None and w_xy > budget:
+                # Scaled weight exceeding the hop budget may be *clamped*
+                # (scale_ladder); such an edge cannot belong to any cycle
+                # this scale is responsible for, and its clamped weight
+                # would un-scale below the true weight — skip it.
+                continue
+            for w, (d_wx, p_x) in own.items():
+                pair = got.get(w)
+                if pair is None:
+                    continue
+                d_wy, p_y = pair
+                if p_x == y or p_y == x:
+                    continue  # degenerate backtracking walk, no cycle inside
+                cand = d_wx + d_wy + w_xy
+                if cand < best[x]:
+                    best[x] = cand
+                    arg[x] = (w, x, y)
+    return best, arg
+
+
+def _vertex_candidates(
+    g: Graph,
+    weight_graph: Optional[Graph],
+    neighbor_vectors: Sequence[Dict[int, Dict[int, Tuple[float, int]]]],
+    budget: Optional[float] = None,
+) -> List[float]:
+    """Per-vertex candidates for cycles with exactly one vertex outside the
+    neighborhoods (paper §4: "computing lengths of cycles such that exactly
+    one vertex is outside the neighborhood").
+
+    A vertex z whose neighbors x, y both know source u closes the cycle
+    u ->* x - z - y ->* u of weight d(u,x) + w(x,z) + w(z,y) + d(u,y) even
+    when z itself never learned u. Backtracking is excluded via the
+    neighbors' parents (a parent equal to z would mean the recorded path
+    already runs through z). Pure local computation on the already-exchanged
+    vectors: zero extra rounds.
+    """
+    wg = weight_graph if weight_graph is not None else g
+    best = [INF] * g.n
+    arg: List[Optional[Tuple[int, int, int, int]]] = [None] * g.n
+    for z in range(g.n):
+        got = neighbor_vectors[z]
+        if len(got) < 2:
+            continue
+        items = list(got.items())
+        for i, (x, vec_x) in enumerate(items):
+            w_zx = wg.weight(z, x)
+            if budget is not None and w_zx > budget:
+                continue
+            for y, vec_y in items[i + 1:]:
+                w_zy = wg.weight(z, y)
+                if budget is not None and w_zy > budget:
+                    continue
+                for u, (d_ux, p_x) in vec_x.items():
+                    pair = vec_y.get(u)
+                    if pair is None:
+                        continue
+                    d_uy, p_y = pair
+                    if p_x == z or p_y == z:
+                        continue  # path already runs through z: degenerate
+                    cand = d_ux + d_uy + w_zx + w_zy
+                    if cand < best[z]:
+                        best[z] = cand
+                        arg[z] = (u, x, z, y)
+    return best, arg
+
+
+def _girth_candidates_on(
+    net: CongestNetwork,
+    sample_prob: float,
+    sigma: int,
+    bfs_budget: int,
+    detection_budget: int,
+    weight_graph: Optional[Graph] = None,
+) -> Tuple[List[float], Dict[str, object]]:
+    """Shared core: sampled BFS candidates + sigma-detection candidates."""
+    g = net.graph
+    n = g.n
+    details: Dict[str, object] = {}
+
+    # Sampled sources: full (budget-limited) waves, with parents.
+    W = sample_vertices(net.rng, n, sample_prob)
+    details["sample_size"] = len(W)
+    known, parents = multi_source_wave(
+        net, W, budget=bfs_budget, weight_graph=weight_graph, record_parents=True
+    )
+    vectors: List[Dict[int, Tuple[float, int]]] = [
+        {w: (float(d), parents[v].get(w, -1)) for w, d in known[v].items()}
+        for v in range(n)
+    ]
+    nbr = _exchange_vectors(net, vectors)
+    best_sampled, arg_sampled = _edge_candidates(g, weight_graph, vectors, nbr,
+                                                 budget=bfs_budget)
+    best_sampled_vertex, arg_sampled_vertex = _vertex_candidates(
+        g, weight_graph, nbr, budget=bfs_budget)
+
+    # sigma-nearest detection: exact short cycles inside neighborhoods.
+    lists = source_detection(
+        net, sigma=sigma, budget=detection_budget,
+        weight_graph=weight_graph, record_parents=True,
+    )
+    det_vectors: List[Dict[int, Tuple[float, int]]] = []
+    for v in range(n):
+        pmap = net.state[v].get("detection_parent", {})
+        det_vectors.append(
+            {s: (float(d), pmap.get(s, -1)) for d, s in lists[v]}
+        )
+    det_nbr = _exchange_vectors(net, det_vectors)
+    best_detect, arg_detect = _edge_candidates(g, weight_graph, det_vectors,
+                                               det_nbr,
+                                               budget=detection_budget)
+    best_detect_vertex, arg_detect_vertex = _vertex_candidates(
+        g, weight_graph, det_nbr, budget=detection_budget)
+
+    best: List[float] = []
+    args: List[Optional[Tuple]] = []
+    families = [
+        (best_sampled, arg_sampled, "edge"),
+        (best_detect, arg_detect, "edge"),
+        (best_sampled_vertex, arg_sampled_vertex, "vertex"),
+        (best_detect_vertex, arg_detect_vertex, "vertex"),
+    ]
+    for v in range(n):
+        winner, win_arg = INF, None
+        for values, arg_list, tag in families:
+            if values[v] < winner:
+                winner = values[v]
+                win_arg = (tag,) + arg_list[v] if arg_list[v] else None
+        best.append(winner)
+        args.append(win_arg)
+    return best, args, details
+
+
+def girth_2approx_on(
+    net: CongestNetwork,
+    params: Optional[GirthParams] = None,
+    construct_witness: bool = False,
+) -> AlgorithmResult:
+    """(2 - 1/g)-approximate girth on an existing network (Thm 1.3.B).
+
+    With ``construct_witness``, ``details["witness"]`` carries a vertex list
+    of a real cycle realizing at most the reported value (one extra wave
+    from the winning candidate's source; see repro.core.witness).
+    """
+    g = net.graph
+    if g.directed or g.weighted:
+        raise GraphError("girth_2approx expects an undirected unweighted graph")
+    if params is None:
+        params = GirthParams()
+    n = g.n
+    sigma = params.sigma(n)
+    best, args, details = _girth_candidates_on(
+        net,
+        sample_prob=params.sample_probability(n),
+        sigma=sigma,
+        bfs_budget=n,           # full-depth BFS from samples
+        detection_budget=sigma,  # sigma-ball radius is at most sigma
+    )
+    value = converge_min(net, best)
+    if construct_witness and value != INF:
+        winner = min(range(n), key=lambda v: best[v])
+        details["witness"] = extract_undirected_witness(net, args[winner])
+    details.update({"sigma": sigma, "rounds_total": net.rounds})
+    return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
+                           details=details)
+
+
+def girth_2approx(
+    g: Graph,
+    seed: Optional[int] = None,
+    params: Optional[GirthParams] = None,
+    construct_witness: bool = False,
+) -> AlgorithmResult:
+    """(2 - 1/g)-approximation of girth in Õ(sqrt(n) + D) rounds."""
+    net = CongestNetwork(g, seed=seed)
+    return girth_2approx_on(net, params, construct_witness=construct_witness)
+
+
+def extract_undirected_witness(net: CongestNetwork, arg) -> Optional[List[int]]:
+    """Rebuild the cycle behind a tagged undirected candidate.
+
+    ``arg`` is ``("edge", w, x, y)`` (cycle = path(w,x) + (x,y) + path(y,w))
+    or ``("vertex", u, x, z, y)`` (the one-outside form with apex z). One
+    exact wave from the source recovers true-shortest paths; the assembled
+    closed walk realizes at most the candidate's weight and is simplified
+    to a simple cycle. Returns None when the walk degenerates.
+    """
+    from repro.congest.primitives.waves import multi_source_wave
+    from repro.core.witness import assemble_undirected_witness
+
+    if arg is None:
+        return None
+    g = net.graph
+    budget = max(1, g.n * max(1, g.max_weight()))
+    if arg[0] == "edge":
+        _tag, w, x, y = arg
+        via = None
+    else:
+        _tag, w, x, via, y = arg
+    _known, parents = multi_source_wave(net, [w], budget=budget,
+                                        record_parents=True)
+    return assemble_undirected_witness(g, parents, w, x, y, via=via)
+
+
+def hop_limited_girth_on(
+    net: CongestNetwork,
+    budget: int,
+    weight_graph: Optional[Graph] = None,
+    params: Optional[GirthParams] = None,
+) -> Tuple[float, List[float]]:
+    """Corollary 4.1: (2 - 1/g)-approx of the budget-limited MWC of ``G^s``.
+
+    ``weight_graph`` carries the (scaled) weights; the returned value is in
+    those scaled units and only cycles whose wave distances fit within
+    ``budget`` are found — exactly the h-hop-limited MWC of the stretched
+    graph. Costs Õ(sqrt(n) + budget + D) rounds. Returns (value, per-vertex
+    candidates) so §5 can combine scales before the final convergecast.
+    """
+    g = net.graph
+    if g.directed:
+        raise GraphError("hop_limited_girth_on expects an undirected network")
+    if params is None:
+        params = GirthParams()
+    n = g.n
+    sigma = params.sigma(n)
+    best, args, _ = _girth_candidates_on(
+        net,
+        sample_prob=params.sample_probability(n),
+        sigma=sigma,
+        bfs_budget=budget,
+        detection_budget=budget,
+        weight_graph=weight_graph,
+    )
+    value = converge_min(net, best)
+    return value, best, args

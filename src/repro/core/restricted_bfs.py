@@ -1,0 +1,341 @@
+"""Algorithm 3 (§3.1): restricted BFS with phase-overflow handling.
+
+Components, mapped to the paper's pseudocode:
+
+* ``build_rv`` — lines 2-8: the local, iterative construction of
+  ``R(v) ⊆ S`` (one randomly chosen still-uncovered sampled vertex per
+  partition ``S_i``), using only distances ``d(v, t)`` and ``d(s, t)`` that
+  the vertex received earlier.
+* ``membership_test`` — Definition 3.1: ``y ∈ P(v)`` iff for every
+  ``t ∈ R(v)``: ``d(y, t) + 2 d(v, y) <= d(t, y) + 2 d(v, t)``.
+* ``restricted_bfs`` — lines 9-26: the phase-scheduled BFS from *every*
+  vertex, restricted to ``P(v)``, with random start delays ``δ_v ∈ [ρ]``,
+  per-phase Θ(log n) message caps, phase-overflow flags ``Z(v)``, and the
+  final h-hop BFS from the overflow set ``Z``.
+
+Cycle candidates are recorded where the information lives: a vertex ``y``
+holding a discovered distance ``d(v, y)`` and an out-edge ``(y, v)`` records
+the closed walk ``v -> ... -> y -> v`` of weight ``d(v, y) + 1`` (the paper
+phrases the same update at ``v``; the recorded global minimum is identical
+and needs no extra communication).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.multi_bfs import multi_source_bfs
+from repro.congest.primitives.waves import multi_source_wave
+from repro.graphs.graph import INF
+
+
+@dataclass
+class RestrictedBfsParams:
+    """Tunable constants of Algorithm 3.
+
+    Paper defaults are ``h = n^{3/5}``, ``ρ = n^{4/5}``, per-phase caps of
+    Θ(log n) messages and ``β = log n`` partitions. The Θ-constants are
+    explicit here because at simulable n the polylog factors dominate.
+    """
+
+    h: int
+    rho: int
+    cap: int
+    beta: int
+
+    @classmethod
+    def for_n(cls, n: int, h_exponent: float = 0.6, rho_exponent: float = 0.8,
+              cap_constant: float = 2.0, beta: Optional[int] = None
+              ) -> "RestrictedBfsParams":
+        log_n = max(1.0, math.log2(max(2, n)))
+        return cls(
+            h=max(2, math.ceil(n ** h_exponent)),
+            rho=max(2, math.ceil(n ** rho_exponent)),
+            cap=max(2, math.ceil(cap_constant * log_n)),
+            beta=beta if beta is not None else max(2, round(log_n / 2)),
+        )
+
+
+def partition_sample(S: Sequence[int], beta: int,
+                     rng: np.random.Generator) -> List[List[int]]:
+    """Randomly partition S into beta parts (line 2)."""
+    order = list(S)
+    rng.shuffle(order)
+    parts: List[List[int]] = [[] for _ in range(beta)]
+    for idx, s in enumerate(order):
+        parts[idx % beta].append(s)
+    return [p for p in parts if p]
+
+
+def build_rv(
+    v: int,
+    partitions: Sequence[Sequence[int]],
+    d_v_to: Mapping[int, float],
+    d_to_v: Mapping[int, float],
+    pair_dist: Mapping[Tuple[int, int], float],
+    rng: np.random.Generator,
+) -> List[int]:
+    """Construct R(v) (lines 3-8), local computation at v.
+
+    ``d_v_to[s] = d(v, s)``, ``d_to_v[s] = d(s, v)`` and
+    ``pair_dist[(s, t)] = d(s, t)`` are the inputs Algorithm 2 provides. In
+    iteration i we keep the sampled vertices of partition i not yet covered
+    by R(v) (per Definition 3.1 applied to sampled vertices) and add one of
+    them at random.
+    """
+    R: List[int] = []
+    for part in partitions:
+        T = [
+            s for s in part
+            if all(_covered_test(s, t, d_v_to, pair_dist) for t in R)
+        ]
+        if T:
+            R.append(T[int(rng.integers(0, len(T)))])
+    return R
+
+
+def _covered_test(y: int, t: int, d_v_to: Mapping[int, float],
+                  pair_dist: Mapping[Tuple[int, int], float]) -> bool:
+    """Definition 3.1 condition for sampled y against t in R(v).
+
+    True means y is still *uncovered* (remains a candidate for P(v)).
+    """
+    d_y_t = pair_dist.get((y, t), INF)
+    d_t_y = pair_dist.get((t, y), INF)
+    d_v_y = d_v_to.get(y, INF)
+    d_v_t = d_v_to.get(t, INF)
+    return d_y_t + 2 * d_v_y <= d_t_y + 2 * d_v_t
+
+
+def membership_test(
+    u: int,
+    d_star: float,
+    R_y: Sequence[int],
+    d_y_to_R: Mapping[int, float],
+    d_u_to: Mapping[int, float],
+    d_to_u: Mapping[int, float],
+    trunc: float = INF,
+) -> bool:
+    """Definition 3.1: does u (at BFS distance d*) belong to P(y)?
+
+    Evaluated at the *sender* (line 22) using the neighbor's sampled
+    distances exchanged in line 11 plus R(y), d(y, t) from the message.
+
+    ``trunc`` handles budget-truncated distance inputs (§5.2's scaled
+    waves): a missing ``d(u, t)`` then means "at least ``trunc``", and u is
+    excluded only when the Fact-1 violation is *certain* — i.e. even the
+    lower bound exceeds a fully known right-hand side. Exclusion must be
+    certain because Case 2 of Lemma 3.4 converts each exclusion into a
+    2-approximation witness via Fact 1; an uncertain exclusion would have
+    no witness. Keeping u is always safe (it only grows P(y)/round cost).
+    """
+    for t in R_y:
+        d_t_u = d_to_u.get(t, INF)
+        d_y_t = d_y_to_R.get(t, INF)
+        if d_t_u == INF or d_y_t == INF:
+            continue  # RHS unknown: violation cannot be certified; keep u
+        d_u_t = d_u_to.get(t, INF)
+        lhs_lower = d_u_t if d_u_t != INF else trunc
+        if lhs_lower == INF:
+            return False  # LHS truly infinite, RHS finite: certain violation
+        if not (lhs_lower + 2 * d_star <= d_t_u + 2 * d_y_t):
+            return False
+    return True
+
+
+@dataclass
+class RestrictedBfsOutcome:
+    """What the restricted BFS discovered."""
+
+    #: mu[v]: best (weight-of-closed-walk) cycle candidate recorded at v.
+    mu: List[float]
+    #: mu_anchor[v]: the source y achieving mu[v] (cycle = path y ->* v
+    #: plus edge (v, y)); None when mu[v] is infinite.
+    mu_anchor: List[Optional[int]]
+    #: dist[u]: {source y -> d(y, u)} discovered by the restricted BFS.
+    dist: List[Dict[int, int]]
+    #: Phase-overflow vertex set Z.
+    overflow: Set[int]
+    #: R(v) per vertex (for tests / diagnostics).
+    rv: List[List[int]]
+    #: messages dropped due to caps, phases executed (diagnostics).
+    details: Dict[str, int] = field(default_factory=dict)
+
+
+def restricted_bfs(
+    net: CongestNetwork,
+    S: Sequence[int],
+    d_from_s: Sequence[Mapping[int, float]],
+    d_to_s: Sequence[Mapping[int, float]],
+    pair_dist: Mapping[Tuple[int, int], float],
+    params: RestrictedBfsParams,
+    enforce_caps: bool = True,
+    weight_graph=None,
+    trunc: float = INF,
+) -> RestrictedBfsOutcome:
+    """Algorithm 3: approximate short-MWC subroutine.
+
+    Parameters
+    ----------
+    d_from_s:
+        ``d_from_s[v][s] = d(s, v)`` — each vertex's distances *from* the
+        sampled vertices (Algorithm 2 line 3).
+    d_to_s:
+        ``d_to_s[v][s] = d(v, s)`` — distances *to* the sampled vertices.
+    pair_dist:
+        ``(s, t) -> d(s, t)`` for sampled pairs (broadcast in line 5).
+    enforce_caps:
+        Ablation hook: ``False`` disables overflow detection (lines 19/21),
+        letting congestion grow unchecked — the simulator then charges the
+        true (large) per-phase load.
+    weight_graph:
+        Optional re-weighted copy of the topology (the scaled graphs of
+        §5.2). The restricted BFS then runs as a unit-speed wave: a message
+        crossing a weight-``w`` edge is physically sent ``w - 1`` phases
+        after it is scheduled (simulating the stretched graph's virtual
+        path) and ``params.h`` is interpreted as a *weight* budget. The
+        unweighted case is the special case ``w = 1`` everywhere.
+    """
+    g = net.graph
+    wg = weight_graph if weight_graph is not None else g
+    n = g.n
+    h, rho, cap, beta = params.h, params.rho, params.cap, params.beta
+    rng = net.rng
+    partitions = partition_sample(S, beta, rng)
+
+    # Lines 3-10: local setup at each vertex.
+    rv: List[List[int]] = [
+        build_rv(v, partitions, d_to_s[v], d_from_s[v], pair_dist, net.node_rng(v))
+        for v in range(n)
+    ]
+    delta = [int(net.node_rng(v).integers(1, rho + 1)) for v in range(n)]
+    Z: Set[int] = set()
+
+    # Line 11: exchange sampled-distance vectors with neighbors, O(|S|).
+    outboxes = {}
+    for v in range(n):
+        payload = (dict(d_to_s[v]), dict(d_from_s[v]))
+        words = max(1, len(d_to_s[v]) + len(d_from_s[v]))
+        msgs = {u: [(payload, words)] for u in net.comm_neighbors(v)}
+        if msgs:
+            outboxes[v] = msgs
+    nbr_dist: List[Dict[int, Tuple[Dict[int, float], Dict[int, float]]]] = [
+        dict() for _ in range(n)
+    ]
+    for v, by_sender in net.exchange(outboxes).items():
+        for u, payloads in by_sender.items():
+            nbr_dist[v][u] = payloads[0]
+
+    # Lines 13-22: the phase loop. ``sendq[v][r]`` holds messages vertex v
+    # must emit at phase r — a message crossing a weight-w edge is emitted
+    # w phases after it was scheduled (the stretched-graph crawl), so the
+    # receiver always processes source y's wave at phase delta_y + d(y, .).
+    mu: List[float] = [INF] * n
+    mu_anchor: List[Optional[int]] = [None] * n
+    dist: List[Dict[int, int]] = [dict() for _ in range(n)]
+    sendq: List[Dict[int, List[Tuple[int, Tuple, int]]]] = [dict() for _ in range(n)]
+
+    def schedule(v: int, at_phase: int, u: int, msg: Tuple, words: int) -> None:
+        sendq[v].setdefault(at_phase, []).append((u, msg, words))
+
+    dropped = 0
+    last_phase = h + rho
+    for r in range(1, last_phase + 1):
+        outboxes = {}
+        for v in range(n):
+            if v in Z:
+                continue
+            out: Dict[int, list] = {}
+            if r == delta[v]:
+                # Lines 15-17: start own BFS; initial send is unconditional.
+                R_t = tuple(rv[v])
+                dR = tuple(d_to_s[v].get(t, INF) for t in R_t)
+                words = 2 + 2 * len(R_t)
+                for u, w_vu in wg.out_items(v):
+                    if w_vu <= h:
+                        schedule(v, r + w_vu - 1, u, (v, w_vu, R_t, dR), words)
+            for u, msg, words in sendq[v].pop(r, ()):
+                out.setdefault(u, []).append((msg, words))
+            if out:
+                outboxes[v] = out
+        if not outboxes:
+            if r > rho and all(not q for q in sendq):
+                break  # all BFS started and drained
+            net.charge_rounds(1)  # idle phase (delayed starts / crawling)
+            continue
+        inboxes = net.exchange(outboxes)
+        for v, by_sender in inboxes.items():
+            if v in Z:
+                continue
+            # Line 19: per-edge receive cap.
+            overflowed = False
+            fresh: List[Tuple[int, int, Tuple[int, ...], Tuple[float, ...]]] = []
+            seen_now: Set[int] = set()
+            for u, payloads in by_sender.items():
+                if enforce_caps and len(payloads) > cap:
+                    overflowed = True
+                    break
+                for y, d_v, R_t, dR in payloads:
+                    # Line 20: keep only first-time sources.
+                    if y in dist[v] or y == v or y in seen_now:
+                        continue
+                    seen_now.add(y)
+                    fresh.append((y, d_v, R_t, dR))
+            if overflowed or (enforce_caps and len(fresh) > cap):
+                Z.add(v)
+                sendq[v].clear()
+                dropped += len(fresh)
+                continue
+            for y, d_v, R_t, dR in fresh:
+                dist[v][y] = d_v
+                # Record the closed walk y -> ... -> v -> y if edge (v, y)
+                # exists (line 26, evaluated where the distance lives).
+                # Edges heavier than the budget may carry clamped scaled
+                # weights (scale_ladder) and are never candidate material.
+                if g.has_edge(v, y) and wg.weight(v, y) <= h:
+                    cand = d_v + wg.weight(v, y)
+                    if cand < mu[v]:
+                        mu[v] = cand
+                        mu_anchor[v] = y
+                # Line 22: forward within the budget, membership-tested.
+                d_y_to_R = dict(zip(R_t, dR))
+                words = 2 + 2 * len(R_t)
+                for u, w_vu in wg.out_items(v):
+                    d_u = d_v + w_vu
+                    if d_u > h:
+                        continue
+                    d_u_s, d_s_u = nbr_dist[v].get(u, ({}, {}))
+                    if membership_test(u, d_u, R_t, d_y_to_R, d_u_s, d_s_u,
+                                       trunc=trunc):
+                        schedule(v, r + w_vu, u, (y, d_u, R_t, dR), words)
+
+    # Lines 23-24: h-hop (h-budget) BFS from phase-overflow vertices.
+    Z_list = sorted(Z)
+    if Z_list:
+        z_known, _ = multi_source_wave(net, Z_list, budget=h, weight_graph=wg)
+        for x in range(n):
+            for z, d_zx in z_known[x].items():
+                if g.has_edge(x, z) and wg.weight(x, z) <= h:
+                    cand = d_zx + wg.weight(x, z)
+                    if cand < mu[x]:
+                        mu[x] = cand
+                        mu_anchor[x] = z
+    return RestrictedBfsOutcome(
+        mu=mu,
+        mu_anchor=mu_anchor,
+        dist=dist,
+        overflow=Z,
+        rv=rv,
+        details={
+            "overflow_count": len(Z),
+            "dropped": dropped,
+            "cap": cap,
+            "h": h,
+            "rho": rho,
+        },
+    )

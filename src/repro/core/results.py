@@ -1,0 +1,51 @@
+"""Result records returned by the distributed algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.congest.network import NetworkStats
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of a distributed MWC-style computation.
+
+    Attributes
+    ----------
+    value:
+        The computed answer (e.g. approximate MWC weight); ``inf`` when the
+        graph is acyclic.
+    rounds:
+        CONGEST rounds consumed, as measured by the simulator.
+    stats:
+        Aggregate traffic statistics of the run.
+    details:
+        Algorithm-specific extras (sample sizes, per-phase round breakdown,
+        overflow counts, ...), keyed by short strings. Used by benchmarks
+        and ablations; not part of the stability contract.
+    """
+
+    value: float
+    rounds: int
+    stats: NetworkStats
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class KSourceResult:
+    """Outcome of a k-source BFS / SSSP computation.
+
+    ``dist[v]`` maps each source ``u`` to the (approximate) distance
+    ``d(u, v)``; sources that cannot reach ``v`` are absent.
+    """
+
+    dist: List[Dict[int, float]]
+    rounds: int
+    stats: NetworkStats
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def distance(self, u: int, v: int) -> float:
+        """d(u, v), or ``inf`` if ``v`` was not reached from ``u``."""
+        return self.dist[v].get(u, float("inf"))

@@ -1,0 +1,35 @@
+"""Shared-randomness vertex sampling used by all the paper's algorithms.
+
+The CONGEST model used in the paper allows shared randomness; the sample is
+drawn from the network seed, so every node agrees on membership without
+communication.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+
+def sample_vertices(
+    rng: np.random.Generator,
+    n: int,
+    prob: float,
+    ensure_nonempty: bool = True,
+) -> List[int]:
+    """Sample each vertex independently with probability ``prob``."""
+    p = min(1.0, max(0.0, prob))
+    mask = rng.random(n) < p
+    sample = [int(v) for v in np.flatnonzero(mask)]
+    if ensure_nonempty and not sample and n > 0:
+        sample = [int(rng.integers(0, n))]
+    return sample
+
+
+def hitting_set_probability(h: int, n: int, constant: float = 4.0) -> float:
+    """Sampling probability Theta(log n / h): hits any h-vertex set w.h.p."""
+    if h <= 0:
+        raise ValueError(f"h must be positive, got {h}")
+    return min(1.0, constant * math.log(max(2, n)) / h)

@@ -1,0 +1,299 @@
+"""(2+eps)-approximate weighted MWC (§5): Theorems 1.4.C and 1.2.D.
+
+Both algorithms follow the paper's two-regime framework:
+
+* **Long cycles** (>= h hops): sample ~n/h vertices so one lands on the
+  cycle w.h.p., compute (1+eps)-approximate k-source SSSP from the sample
+  (the §2 skeleton construction specialised to U = S), and close cycles
+  through sampled vertices.
+* **Short cycles** (< h hops): run a hop-limited *unweighted* MWC
+  approximation on every scaled graph ``G^i`` ([41]-style scaling, §5.1) —
+  the undirected case uses the §4 girth algorithm (Corollary 4.1), the
+  directed case the §3 restricted-BFS machinery — and un-scale the per-scale
+  results, keeping the minimum.
+
+Splitting parameter: ``h = n^{2/3}`` (undirected, total Õ(n^{2/3} + D)) or
+``h = n^{3/5}`` (directed, total Õ(n^{4/5} + D), dominated by the
+restricted BFS).
+
+Weights must be >= 1: weight-0 edges break the stretched/unit-speed wave
+model (the paper's stretching maps an edge to ``w`` unit edges); exact
+algorithms handle zero weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives.broadcast import broadcast
+from repro.congest.primitives.convergecast import converge_min
+from repro.congest.primitives.waves import multi_source_wave
+from repro.core.approx_sssp import approx_hop_sssp_with_pred
+from repro.core.girth import _edge_candidates, _exchange_vectors, hop_limited_girth_on
+from repro.core.ksource import default_h, skeleton_apsp
+from repro.core.restricted_bfs import RestrictedBfsParams, restricted_bfs
+from repro.core.results import AlgorithmResult
+from repro.core.sampling import sample_vertices
+from repro.graphs.graph import Graph, GraphError, INF
+from repro.graphs.scaling import hop_budget, scale_ladder, unscale_value
+
+
+@dataclass
+class WeightedMwcParams:
+    """Constants for the §5 algorithms (exponents per the paper)."""
+
+    eps: float = 0.5
+    sample_constant: float = 3.0
+    undirected_h_exponent: float = 2.0 / 3.0
+    directed_h_exponent: float = 0.6
+    rho_exponent: float = 0.8
+    cap_constant: float = 2.0
+
+    def h_undirected(self, n: int) -> int:
+        """Long/short split h = n^{2/3} (Thm 1.4.C)."""
+        return max(2, math.ceil(n ** self.undirected_h_exponent))
+
+    def h_directed(self, n: int) -> int:
+        """Long/short split h = n^{3/5} (Thm 1.2.D)."""
+        return max(2, math.ceil(n ** self.directed_h_exponent))
+
+
+def _validate_weighted(g: Graph, directed: bool) -> None:
+    if g.directed != directed:
+        kind = "directed" if directed else "undirected"
+        raise GraphError(f"expected a {kind} graph")
+    if not g.weighted:
+        raise GraphError("expected a weighted graph; use the unweighted "
+                         "algorithms for unweighted inputs")
+    if any(w < 1 for _, _, w in g.edges()):
+        raise GraphError("weighted MWC approximation requires weights >= 1 "
+                         "(stretching cannot represent zero-weight edges); "
+                         "use exact_mwc_congest for zero weights")
+
+
+def _sampled_sssp_with_skeleton(
+    net: CongestNetwork,
+    S: Sequence[int],
+    eps_in: float,
+) -> Tuple[List[Dict[int, float]], List[Dict[int, int]]]:
+    """(1+eps)-approximate distances from every s in S to every vertex.
+
+    Algorithm 1 specialised to U = S: the seed broadcast coincides with the
+    skeleton broadcast, so one skeleton + one wave family suffice. Returns
+    (est, pred) with ``est[v][s] ~= d(s, v)`` and ``pred[v][s]`` the final
+    edge of the realizing walk (for degenerate-candidate exclusion).
+    """
+    g = net.graph
+    n = g.n
+    h_seg = default_h(n, len(S))
+    fwd, pred = approx_hop_sssp_with_pred(net, S, h=h_seg, eps=eps_in)
+    S_set = set(S)
+    skeleton_msgs = {
+        s: [(t, s, d) for t, d in fwd[s].items() if t in S_set and t != s]
+        for s in S
+    }
+    skeleton_edges = broadcast(net, skeleton_msgs)[0]
+    skel = skeleton_apsp(skeleton_edges, S)
+    est: List[Dict[int, float]] = [dict() for _ in range(n)]
+    for v in range(n):
+        for s, d in fwd[v].items():
+            est[v][s] = d
+        # Compose: s -> ... -> t (skeleton), then t's wave segment to v.
+        for t, d_tv in fwd[v].items():
+            if t not in S_set:
+                continue
+            for s in S:
+                d_st = skel.get(s, {}).get(t)
+                if d_st is None:
+                    continue
+                cand = d_st + d_tv
+                if cand < est[v].get(s, INF):
+                    est[v][s] = cand
+                    p = pred[v].get(t)
+                    if p is not None:
+                        pred[v][s] = p
+    return est, pred
+
+
+def undirected_weighted_mwc_approx(
+    g: Graph,
+    eps: Optional[float] = None,
+    seed: Optional[int] = None,
+    params: Optional[WeightedMwcParams] = None,
+    construct_witness: bool = False,
+) -> AlgorithmResult:
+    """(2+eps)-approximate undirected weighted MWC, Õ(n^{2/3} + D) (Thm 1.4.C).
+
+    With ``construct_witness``, ``details["witness"]`` carries a real cycle
+    realizing at most (roughly) the reported value, rebuilt with one extra
+    wave (may be None if the winning walk degenerates; see
+    repro.core.girth.extract_undirected_witness).
+    """
+    if params is None:
+        params = WeightedMwcParams()
+    if eps is not None:
+        params = WeightedMwcParams(**{**params.__dict__, "eps": eps})
+    _validate_weighted(g, directed=False)
+    net = CongestNetwork(g, seed=seed)
+    n = g.n
+    h = params.h_undirected(n)
+    eps_in = params.eps / 3.0
+    details: Dict[str, object] = {"h": h, "eps": params.eps}
+
+    # ---- Long cycles (>= h hops): sampled approximate SSSP + candidates.
+    rounds0 = net.rounds
+    S = sample_vertices(net.rng, n, min(1.0, params.sample_constant / h))
+    details["sample_size"] = len(S)
+    est, pred = _sampled_sssp_with_skeleton(net, S, eps_in)
+    vectors = [
+        {s: (d, pred[v].get(s, -1)) for s, d in est[v].items()}
+        for v in range(n)
+    ]
+    nbr = _exchange_vectors(net, vectors)
+    long_best, long_arg = _edge_candidates(g, None, vectors, nbr)
+    details["rounds_long"] = net.rounds - rounds0
+
+    # ---- Short cycles (< h hops): scaled hop-limited girth (Cor 4.1).
+    rounds1 = net.rounds
+    short_value = INF
+    short_arg = None
+    budget = hop_budget(h, eps_in)
+    num_scales = 0
+    for i, gi in scale_ladder(g, h, eps_in):
+        num_scales += 1
+        value_i, best_i, args_i = hop_limited_girth_on(
+            net, budget=budget, weight_graph=gi)
+        if value_i != INF:
+            est = unscale_value(value_i, i, h, eps_in)
+            if est < short_value:
+                short_value = est
+                scale_winner = min(range(n), key=lambda v: best_i[v])
+                short_arg = args_i[scale_winner]
+    details["rounds_short"] = net.rounds - rounds1
+    details["num_scales"] = num_scales
+
+    long_value = converge_min(net, long_best)
+    value = min(long_value, short_value)
+    if construct_witness and value != INF:
+        from repro.core.girth import extract_undirected_witness
+
+        if long_value <= short_value:
+            winner = min(range(n), key=lambda v: long_best[v])
+            arg = long_arg[winner]
+            witness_arg = ("edge",) + arg if arg else None
+        else:
+            witness_arg = short_arg
+        details["witness"] = extract_undirected_witness(net, witness_arg)
+    details["rounds_total"] = net.rounds
+    details["long_value"] = long_value
+    details["short_value"] = short_value
+    return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
+                           details=details)
+
+
+def directed_weighted_mwc_approx(
+    g: Graph,
+    eps: Optional[float] = None,
+    seed: Optional[int] = None,
+    params: Optional[WeightedMwcParams] = None,
+    construct_witness: bool = False,
+) -> AlgorithmResult:
+    """(2+eps)-approximate directed weighted MWC, Õ(n^{4/5} + D) (Thm 1.2.D).
+
+    With ``construct_witness``, ``details["witness"]`` carries a vertex list
+    of a real cycle realizing (at most) the reported value — rebuilt with
+    one exact wave from the winning anchor (see repro.core.witness).
+    """
+    if params is None:
+        params = WeightedMwcParams()
+    if eps is not None:
+        params = WeightedMwcParams(**{**params.__dict__, "eps": eps})
+    _validate_weighted(g, directed=True)
+    net = CongestNetwork(g, seed=seed)
+    n = g.n
+    h = params.h_directed(n)
+    eps_in = params.eps / 3.0
+    details: Dict[str, object] = {"h": h, "eps": params.eps}
+
+    # ---- Long cycles: sampled approximate SSSP, close with one edge.
+    rounds0 = net.rounds
+    S = sample_vertices(net.rng, n, min(1.0, params.sample_constant / h))
+    S_set = set(S)
+    details["sample_size"] = len(S)
+    est, _ = _sampled_sssp_with_skeleton(net, S, eps_in)
+    long_best = [INF] * n
+    anchor: List[Optional[int]] = [None] * n
+    for v in range(n):
+        d_from = est[v]
+        for s, w_vs in g.out_items(v):
+            if s in S_set and s in d_from:
+                cand = w_vs + d_from[s]
+                if cand < long_best[v]:
+                    long_best[v] = cand
+                    anchor[v] = s
+    details["rounds_long"] = net.rounds - rounds0
+
+    # ---- Short cycles: per-scale budget-limited Algorithm 2 machinery.
+    rounds1 = net.rounds
+    short_best = [INF] * n  # per-vertex, already un-scaled
+    short_anchor: List[Optional[int]] = [None] * n
+    budget = hop_budget(h, eps_in)
+    wave_budget = 3 * budget  # covers Fact-1 witness cycles (<= 2x) + slack
+    rb_params_base = RestrictedBfsParams.for_n(
+        n, rho_exponent=params.rho_exponent, cap_constant=params.cap_constant
+    )
+    num_scales = 0
+    for i, gi in scale_ladder(g, h, eps_in, clamp=wave_budget + 1):
+        num_scales += 1
+        fwd_i, _ = multi_source_wave(net, S, budget=wave_budget, weight_graph=gi)
+        rev_i, _ = multi_source_wave(net, S, budget=wave_budget, weight_graph=gi,
+                                     reverse=True)
+        # Pair distances among samples (line 5 analogue), per scale.
+        pair_msgs = {t: [(s, t, d) for s, d in fwd_i[t].items() if s in S_set]
+                     for t in S}
+        pair_rows = broadcast(net, pair_msgs)[0]
+        pair_dist = {(s, t): float(d) for (s, t, d) in pair_rows}
+        rb_params = RestrictedBfsParams(
+            h=budget, rho=rb_params_base.rho, cap=rb_params_base.cap,
+            beta=rb_params_base.beta,
+        )
+        outcome = restricted_bfs(
+            net, S,
+            d_from_s=fwd_i, d_to_s=rev_i, pair_dist=pair_dist,
+            params=rb_params, weight_graph=gi, trunc=wave_budget,
+        )
+        for v in range(n):
+            # Sampled-vertex cycle candidate at this scale, local at v.
+            scale_v = outcome.mu[v]
+            scale_anchor = outcome.mu_anchor[v]
+            for s, w_vs in gi.out_items(v):
+                # Clamped (over-budget) scaled edges are never candidates.
+                if s in S_set and s in fwd_i[v] and w_vs <= budget:
+                    cand = w_vs + fwd_i[v][s]
+                    if cand < scale_v:
+                        scale_v = cand
+                        scale_anchor = s
+            if scale_v != INF:
+                est_v = unscale_value(scale_v, i, h, eps_in)
+                if est_v < short_best[v]:
+                    short_best[v] = est_v
+                    short_anchor[v] = scale_anchor
+    details["rounds_short"] = net.rounds - rounds1
+    details["num_scales"] = num_scales
+
+    combined = [min(a, b) for a, b in zip(long_best, short_best)]
+    value = converge_min(net, combined)
+    if construct_witness and value != INF:
+        from repro.core.witness import extract_anchored_cycle
+
+        winner = min(range(n), key=lambda v: combined[v])
+        win_anchor = (anchor[winner]
+                      if long_best[winner] <= short_best[winner]
+                      else short_anchor[winner])
+        details["witness"] = extract_anchored_cycle(net, winner, win_anchor)
+    details["rounds_total"] = net.rounds
+    return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
+                           details=details)

@@ -1,0 +1,157 @@
+"""Witness cycle construction (paper §1.1: "Our algorithms also allow us to
+construct the cycle by storing the next vertex on the cycle at each vertex").
+
+The distributed algorithms leave per-source parent pointers at each node
+(the BFS/wave predecessor); a witness cycle is assembled by following those
+pointers — each vertex on the cycle knows its next hop, which is exactly
+the paper's distributed representation. The helpers here reconstruct the
+explicit vertex list for the caller and validate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graphs.graph import Graph, GraphError, INF
+
+
+def path_from_parents(
+    parent: Sequence[Dict[int, int]],
+    source: int,
+    target: int,
+    n_limit: Optional[int] = None,
+) -> Optional[List[int]]:
+    """Vertex list of the stored source -> target path, or None.
+
+    ``parent[v][source]`` is the predecessor of v on the recorded path from
+    ``source``. Follows pointers backwards from ``target``.
+    """
+    if source == target:
+        return [source]
+    limit = n_limit if n_limit is not None else len(parent) + 1
+    path = [target]
+    v = target
+    for _ in range(limit):
+        p = parent[v].get(source)
+        if p is None:
+            return None
+        path.append(p)
+        if p == source:
+            path.reverse()
+            return path
+        v = p
+    return None
+
+
+def simplify_closed_walk(walk: Sequence[int]) -> List[int]:
+    """Extract a simple cycle from a closed walk (first repeat wins).
+
+    ``walk`` is a vertex sequence whose last edge returns to the first
+    vertex implicitly (the closing edge is not repeated in the list). The
+    returned list contains each vertex once.
+    """
+    if not walk:
+        raise GraphError("cannot simplify an empty walk")
+    seen: Dict[int, int] = {}
+    for idx, v in enumerate(walk):
+        if v in seen:
+            return list(walk[seen[v]:idx])
+        seen[v] = idx
+    return list(walk)
+
+
+def cycle_weight(g: Graph, cycle: Sequence[int]) -> float:
+    """Total weight of the cycle given as a vertex list (closing edge
+    implied); raises if an edge is missing."""
+    if len(cycle) < (2 if g.directed else 3):
+        raise GraphError(f"cycle too short: {cycle}")
+    total = 0
+    for a, b in zip(cycle, list(cycle[1:]) + [cycle[0]]):
+        total += g.weight(a, b)
+    return total
+
+
+def validate_cycle(g: Graph, cycle: Sequence[int]) -> bool:
+    """Whether ``cycle`` is a simple cycle of ``g``."""
+    if len(set(cycle)) != len(cycle):
+        return False
+    try:
+        cycle_weight(g, cycle)
+    except GraphError:
+        return False
+    return True
+
+
+def assemble_directed_witness(
+    g: Graph,
+    parent: Sequence[Dict[int, int]],
+    u: int,
+    v: int,
+) -> Optional[List[int]]:
+    """Cycle from the stored u -> v path plus the edge (v, u)."""
+    path = path_from_parents(parent, u, v)
+    if path is None:
+        return None
+    cycle = simplify_closed_walk(path)
+    return cycle if validate_cycle(g, cycle) else None
+
+
+def extract_anchored_cycle(net, v: int, anchor: Optional[int],
+                           budget: Optional[int] = None) -> Optional[List[int]]:
+    """Rebuild the cycle ``path(anchor ->* v) + edge (v, anchor)``.
+
+    Every candidate recorded by the directed algorithms has this anchored
+    form; one exact wave from the anchor (with parents — the paper's
+    per-node next-hop storage) recovers the path in O(weighted ecc + D)
+    extra rounds. Works for weighted and unweighted graphs alike.
+    """
+    from repro.congest.primitives.waves import multi_source_wave
+
+    if anchor is None or v == anchor:
+        return None
+    g = net.graph
+    if budget is None:
+        budget = max(1, g.n * max(1, g.max_weight()))
+    _known, parents = multi_source_wave(net, [anchor], budget=budget,
+                                        record_parents=True)
+    path = path_from_parents(parents, anchor, v, n_limit=g.n + 1)
+    if path is None:
+        return None
+    cycle = simplify_closed_walk(path)
+    return cycle if validate_cycle(g, cycle) else None
+
+
+def assemble_undirected_witness(
+    g: Graph,
+    parent: Sequence[Dict[int, int]],
+    s: int,
+    x: int,
+    y: int,
+    via: Optional[int] = None,
+) -> Optional[List[int]]:
+    """Cycle from stored s -> x and s -> y paths plus the closing edge(s).
+
+    Without ``via``: closes with the edge (x, y). With ``via`` (the
+    one-vertex-outside apex of §4): closes with the two edges
+    (x, via), (via, y). The concatenated closed walk may share a prefix;
+    the shared part is trimmed so the result is the simple fundamental
+    cycle. Returns None when the walk degenerates.
+    """
+    px = path_from_parents(parent, s, x)
+    py = path_from_parents(parent, s, y)
+    if px is None or py is None:
+        return None
+    # Drop the common prefix (keep the divergence vertex = LCA).
+    lca_idx = 0
+    for a, b in zip(px, py):
+        if a != b:
+            break
+        lca_idx += 1
+    lca_idx -= 1
+    if lca_idx < 0 and via is None:
+        return None
+    lca_idx = max(lca_idx, 0)
+    middle = [via] if via is not None else []
+    walk = px[lca_idx:] + middle + list(reversed(py[lca_idx + 1:]))
+    cycle = simplify_closed_walk(walk)
+    return cycle if validate_cycle(g, cycle) else None

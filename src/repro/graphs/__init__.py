@@ -1,0 +1,45 @@
+"""Graph substrate: graph type, generators, scaling, and stretching.
+
+The :class:`~repro.graphs.graph.Graph` type is the single graph
+representation used across the repository: by the sequential reference
+algorithms, the CONGEST simulator (which derives its communication topology
+from the graph's underlying undirected edges), the lower-bound constructions,
+and the benchmark workload generators.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barbell_graph,
+    caveman_graph,
+    complete_graph,
+    cycle_graph,
+    cycle_with_chords,
+    erdos_renyi,
+    grid_graph,
+    layered_digraph,
+    planted_mwc,
+    random_regular,
+    random_weighted,
+    ring_of_cliques,
+)
+from repro.graphs.scaling import scaled_graph, scale_index_for_weight
+from repro.graphs.stretch import StretchedGraph
+
+__all__ = [
+    "Graph",
+    "barbell_graph",
+    "caveman_graph",
+    "complete_graph",
+    "layered_digraph",
+    "cycle_graph",
+    "cycle_with_chords",
+    "erdos_renyi",
+    "grid_graph",
+    "planted_mwc",
+    "random_regular",
+    "random_weighted",
+    "ring_of_cliques",
+    "scaled_graph",
+    "scale_index_for_weight",
+    "StretchedGraph",
+]

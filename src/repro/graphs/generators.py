@@ -1,0 +1,323 @@
+"""Workload graph generators for tests, examples, and benchmarks.
+
+All generators take an explicit ``rng`` (``numpy.random.Generator``) or
+``seed`` and guarantee the *communication* (underlying undirected) graph is
+connected, which the CONGEST model requires. Directed generators additionally
+make sure a directed cycle exists when the benchmark needs a finite MWC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError
+
+
+def _resolve_rng(rng=None, seed: Optional[int] = None) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+def _connect_backbone(g: Graph, rng: np.random.Generator, weight: int = 1) -> None:
+    """Add a random Hamiltonian path so the communication graph is connected.
+
+    For directed graphs the path alternates direction randomly; communication
+    links are bidirectional regardless of edge direction, so any orientation
+    connects the network.
+    """
+    order = rng.permutation(g.n)
+    for i in range(g.n - 1):
+        u, v = int(order[i]), int(order[i + 1])
+        if g.directed and rng.random() < 0.5:
+            u, v = v, u
+        if not g.has_edge(u, v) and not (g.directed and g.has_edge(v, u)):
+            g.add_edge(u, v, weight)
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    directed: bool = False,
+    weighted: bool = False,
+    max_weight: int = 1,
+    rng=None,
+    seed: Optional[int] = None,
+    ensure_connected: bool = True,
+) -> Graph:
+    """G(n, p) graph; weights uniform in ``[1, max_weight]`` if weighted."""
+    rng = _resolve_rng(rng, seed)
+    if not 0 <= p <= 1:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    g = Graph(n, directed=directed, weighted=weighted)
+    for u in range(n):
+        for v in range(n):
+            if u == v or (not directed and u > v):
+                continue
+            if rng.random() < p:
+                w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+                g.add_edge(u, v, w)
+    if ensure_connected and n > 1:
+        w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+        _connect_backbone(g, rng, weight=w)
+    return g
+
+
+def random_weighted(
+    n: int,
+    p: float,
+    max_weight: int,
+    directed: bool = False,
+    rng=None,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Convenience wrapper: connected weighted G(n, p)."""
+    return erdos_renyi(
+        n, p, directed=directed, weighted=True, max_weight=max_weight, rng=rng, seed=seed
+    )
+
+
+def cycle_graph(n: int, directed: bool = False, weighted: bool = False,
+                weights: Optional[Sequence[int]] = None) -> Graph:
+    """Single n-cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    if n < 2 or (n == 2 and not directed):
+        raise GraphError("cycle needs >= 3 vertices undirected, >= 2 directed")
+    g = Graph(n, directed=directed, weighted=weighted)
+    for i in range(n):
+        w = weights[i] if weights is not None else 1
+        g.add_edge(i, (i + 1) % n, w)
+    return g
+
+
+def cycle_with_chords(
+    n: int,
+    num_chords: int,
+    directed: bool = False,
+    weighted: bool = False,
+    max_weight: int = 1,
+    rng=None,
+    seed: Optional[int] = None,
+) -> Graph:
+    """An n-cycle plus random chords; girth shrinks as chords are added."""
+    rng = _resolve_rng(rng, seed)
+    g = cycle_graph(n, directed=directed, weighted=weighted,
+                    weights=[1] * n if weighted else None)
+    added = 0
+    attempts = 0
+    while added < num_chords and attempts < 50 * max(1, num_chords):
+        attempts += 1
+        u, v = (int(x) for x in rng.integers(0, n, size=2))
+        if u == v or g.has_edge(u, v) or (not directed and g.has_edge(v, u)):
+            continue
+        w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+        g.add_edge(u, v, w)
+        added += 1
+    return g
+
+
+def planted_mwc(
+    n: int,
+    cycle_len: int,
+    p: float = 0.0,
+    directed: bool = True,
+    weighted: bool = False,
+    cycle_weight: int = 1,
+    background_weight: int = 1,
+    rng=None,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Graph with a planted short cycle of known weight on random vertices.
+
+    The planted cycle has ``cycle_len`` edges each of weight ``cycle_weight``
+    and is placed on a uniformly random vertex subset. Background edges are
+    added with probability ``p`` at weight ``background_weight``. With
+    ``background_weight`` large the planted cycle is the unique MWC, giving
+    benchmarks a known ground truth without a sequential solve.
+
+    Returns the graph; the planted cycle weight is
+    ``cycle_len * cycle_weight``.
+    """
+    rng = _resolve_rng(rng, seed)
+    if cycle_len < (2 if directed else 3):
+        raise GraphError(f"cycle_len {cycle_len} too short")
+    if cycle_len > n:
+        raise GraphError(f"cycle_len {cycle_len} exceeds n={n}")
+    g = Graph(n, directed=directed, weighted=weighted)
+    members = [int(x) for x in rng.choice(n, size=cycle_len, replace=False)]
+    for i in range(cycle_len):
+        u, v = members[i], members[(i + 1) % cycle_len]
+        g.add_edge(u, v, cycle_weight if weighted else 1)
+    if p > 0:
+        for u in range(n):
+            for v in range(n):
+                if u == v or (not directed and u > v):
+                    continue
+                if not g.has_edge(u, v) and rng.random() < p:
+                    g.add_edge(u, v, background_weight if weighted else 1)
+    _connect_backbone(g, rng, weight=background_weight if weighted else 1)
+    return g
+
+
+def grid_graph(rows: int, cols: int, weighted: bool = False,
+               max_weight: int = 1, rng=None, seed: Optional[int] = None) -> Graph:
+    """Undirected grid; vertex ``(r, c)`` is index ``r * cols + c``."""
+    rng = _resolve_rng(rng, seed)
+    g = Graph(rows * cols, directed=False, weighted=weighted)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+                g.add_edge(v, v + 1, w)
+            if r + 1 < rows:
+                w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+                g.add_edge(v, v + cols, w)
+    return g
+
+
+def random_regular(n: int, d: int, weighted: bool = False, max_weight: int = 1,
+                   rng=None, seed: Optional[int] = None) -> Graph:
+    """Random d-regular undirected graph (expander-like for d >= 3)."""
+    import networkx as nx
+
+    rng = _resolve_rng(rng, seed)
+    nx_seed = int(rng.integers(0, 2**31 - 1))
+    for attempt in range(20):
+        gnx = nx.random_regular_graph(d, n, seed=nx_seed + attempt)
+        if nx.is_connected(gnx):
+            break
+    else:
+        raise GraphError(f"could not generate connected {d}-regular graph on {n} nodes")
+    g = Graph(n, directed=False, weighted=weighted)
+    for u, v in gnx.edges():
+        w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+        g.add_edge(int(u), int(v), w)
+    return g
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int, weighted: bool = False,
+                    bridge_weight: int = 1) -> Graph:
+    """Cliques arranged in a ring; girth 3 locally, long global cycle.
+
+    Useful for exercising both the "short cycle" and "long cycle" paths of
+    the paper's algorithms in one instance.
+    """
+    if num_cliques < 3 or clique_size < 3:
+        raise GraphError("need >= 3 cliques of size >= 3")
+    n = num_cliques * clique_size
+    g = Graph(n, directed=False, weighted=weighted)
+    for k in range(num_cliques):
+        base = k * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j, 1)
+        nxt = ((k + 1) % num_cliques) * clique_size
+        g.add_edge(base + clique_size - 1, nxt, bridge_weight if weighted else 1)
+    return g
+
+
+def complete_graph(n: int, directed: bool = False, weighted: bool = False,
+                   max_weight: int = 1, rng=None, seed: Optional[int] = None) -> Graph:
+    """Complete graph (both arc directions when directed)."""
+    rng = _resolve_rng(rng, seed)
+    g = Graph(n, directed=directed, weighted=weighted)
+    for u in range(n):
+        for v in range(n):
+            if u == v or (not directed and u > v):
+                continue
+            w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+            g.add_edge(u, v, w)
+    return g
+
+
+def barbell_graph(clique_size: int, bridge_len: int,
+                  weighted: bool = False) -> Graph:
+    """Two cliques joined by a path: tiny girth at both ends, huge diameter.
+
+    A stress shape for the girth algorithms: the minimum cycle is a local
+    triangle while most of the graph is cycle-free path.
+    """
+    if clique_size < 3:
+        raise GraphError("cliques need >= 3 vertices")
+    if bridge_len < 1:
+        raise GraphError("bridge needs >= 1 edge")
+    n = 2 * clique_size + max(0, bridge_len - 1)
+    g = Graph(n, directed=False, weighted=weighted)
+    for base in (0, clique_size):
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j, 1)
+    # Bridge from vertex 0 of clique A to vertex 0 of clique B.
+    prev = 0
+    for step in range(bridge_len - 1):
+        mid = 2 * clique_size + step
+        g.add_edge(prev, mid, 1)
+        prev = mid
+    g.add_edge(prev, clique_size, 1)
+    return g
+
+
+def layered_digraph(
+    layers: int,
+    width: int,
+    back_edges: int,
+    weighted: bool = False,
+    max_weight: int = 1,
+    rng=None,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A layered DAG plus a few back edges: every cycle spans >= 2 layers.
+
+    Directed-MWC stress shape: cycle lengths are controlled by how far back
+    the back edges jump, so the long-cycle/short-cycle split of Algorithm 2
+    is exercised deterministically.
+    """
+    rng = _resolve_rng(rng, seed)
+    if layers < 2 or width < 1:
+        raise GraphError("need >= 2 layers of >= 1 vertices")
+    n = layers * width
+    g = Graph(n, directed=True, weighted=weighted)
+
+    def vid(layer: int, i: int) -> int:
+        return layer * width + i
+
+    for layer in range(layers - 1):
+        for i in range(width):
+            targets = rng.choice(width, size=min(2, width), replace=False)
+            for j in targets:
+                w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+                g.add_edge(vid(layer, i), vid(layer + 1, int(j)), w)
+    for _ in range(back_edges):
+        src_layer = int(rng.integers(1, layers))
+        dst_layer = int(rng.integers(0, src_layer))
+        u = vid(src_layer, int(rng.integers(0, width)))
+        v = vid(dst_layer, int(rng.integers(0, width)))
+        if u != v and not g.has_edge(u, v):
+            w = int(rng.integers(1, max_weight + 1)) if weighted else 1
+            g.add_edge(u, v, w)
+    _connect_backbone(g, rng)
+    return g
+
+
+def caveman_graph(num_caves: int, cave_size: int, rewire: int = 0,
+                  rng=None, seed: Optional[int] = None) -> Graph:
+    """Connected caveman graph: cliques on a ring, optionally rewired.
+
+    Classic community-structure topology; with ``rewire`` extra random
+    inter-cave edges it gains shortcut cycles of varying length.
+    """
+    rng = _resolve_rng(rng, seed)
+    g = ring_of_cliques(num_caves, cave_size)
+    n = g.n
+    added = 0
+    attempts = 0
+    while added < rewire and attempts < 50 * max(1, rewire):
+        attempts += 1
+        u, v = (int(x) for x in rng.integers(0, n, size=2))
+        if u == v or g.has_edge(u, v) or u // cave_size == v // cave_size:
+            continue
+        g.add_edge(u, v)
+        added += 1
+    return g

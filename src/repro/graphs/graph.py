@@ -1,0 +1,327 @@
+"""Core graph type shared by the simulator and the algorithms.
+
+A :class:`Graph` is a fixed-vertex-set multigraph-free graph with optional
+direction and optional non-negative integer edge weights, following the
+paper's model: weights are in ``{0, 1, ..., W}`` with ``W = poly(n)``, and in
+the CONGEST network the *communication links are always bidirectional* even
+when the input graph is directed (paper §1.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+Edge = Tuple[int, int]
+WeightedEdge = Tuple[int, int, int]
+
+#: Weight assigned to edges of unweighted graphs.
+UNIT_WEIGHT = 1
+
+#: Sentinel for "no path" distances; compares greater than any real distance.
+INF = float("inf")
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid graph operations."""
+
+
+class Graph:
+    """A directed or undirected graph with non-negative integer weights.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertices are the integers ``0 .. n-1`` (matching
+        the CONGEST convention of identifiers in ``{0, ..., n-1}``).
+    directed:
+        Whether edges are directed.
+    weighted:
+        Whether the graph carries explicit weights. Unweighted graphs store
+        weight 1 on every edge so that distance code is uniform.
+    """
+
+    __slots__ = ("n", "directed", "weighted", "_adj", "_radj", "_m")
+
+    def __init__(self, n: int, directed: bool = False, weighted: bool = False):
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self.n = n
+        self.directed = directed
+        self.weighted = weighted
+        # _adj[u][v] = weight of edge u->v (or undirected edge {u,v}).
+        self._adj: List[Dict[int, int]] = [dict() for _ in range(n)]
+        # Reverse adjacency, only maintained for directed graphs.
+        self._radj: Optional[List[Dict[int, int]]] = (
+            [dict() for _ in range(n)] if directed else None
+        )
+        self._m = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: int = UNIT_WEIGHT) -> None:
+        """Add edge ``u -> v`` (or undirected ``{u, v}``).
+
+        Re-adding an existing edge keeps the minimum weight, which makes
+        generators idempotent. Self-loops are rejected: a self-loop is a
+        length-1 cycle and the paper's MWC is over simple cycles of the
+        network graph, which by convention here excludes self-loops.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError("self-loops are not allowed")
+        if weight < 0:
+            raise GraphError(f"negative weight {weight} on edge ({u}, {v})")
+        if not self.weighted and weight != UNIT_WEIGHT:
+            raise GraphError("cannot set a non-unit weight on an unweighted graph")
+        if v in self._adj[u]:
+            weight = min(weight, self._adj[u][v])
+        else:
+            self._m += 1
+        self._adj[u][v] = weight
+        if self.directed:
+            assert self._radj is not None
+            self._radj[v][u] = weight
+        else:
+            self._adj[v][u] = weight
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``u -> v`` (or undirected ``{u, v}``)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) not present")
+        del self._adj[u][v]
+        self._m -= 1
+        if self.directed:
+            assert self._radj is not None
+            del self._radj[v][u]
+        else:
+            del self._adj[v][u]
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise GraphError(f"vertex {v} out of range [0, {self.n})")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of edges (directed edges for directed graphs)."""
+        return self._m
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge u -> v (or undirected {u, v}) is present."""
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> int:
+        """Weight of edge ``u -> v``; raises if absent."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) not present") from None
+
+    def out_neighbors(self, v: int) -> Iterator[int]:
+        """Out-neighbors of ``v`` (all neighbors if undirected)."""
+        return iter(self._adj[v])
+
+    def in_neighbors(self, v: int) -> Iterator[int]:
+        """In-neighbors of ``v`` (all neighbors if undirected)."""
+        if self.directed:
+            assert self._radj is not None
+            return iter(self._radj[v])
+        return iter(self._adj[v])
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        """Neighbors in the *underlying undirected* (communication) graph."""
+        if not self.directed:
+            return iter(self._adj[v])
+        assert self._radj is not None
+        merged = set(self._adj[v])
+        merged.update(self._radj[v])
+        return iter(merged)
+
+    def out_items(self, v: int) -> Iterable[Tuple[int, int]]:
+        """``(neighbor, weight)`` pairs for edges leaving ``v``."""
+        return self._adj[v].items()
+
+    def in_items(self, v: int) -> Iterable[Tuple[int, int]]:
+        """``(neighbor, weight)`` pairs for edges entering ``v``."""
+        if self.directed:
+            assert self._radj is not None
+            return self._radj[v].items()
+        return self._adj[v].items()
+
+    def out_degree(self, v: int) -> int:
+        """Number of out-edges of v (degree if undirected)."""
+        return len(self._adj[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of in-edges of v (degree if undirected)."""
+        if self.directed:
+            assert self._radj is not None
+            return len(self._radj[v])
+        return len(self._adj[v])
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """All edges as ``(u, v, w)``; each undirected edge yielded once."""
+        for u in range(self.n):
+            for v, w in self._adj[u].items():
+                if self.directed or u < v:
+                    yield (u, v, w)
+
+    def max_weight(self) -> int:
+        """Maximum edge weight (0 for edgeless graphs)."""
+        return max((w for _, _, w in self.edges()), default=0)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "Graph":
+        """Graph with every directed edge reversed (copy if undirected)."""
+        g = Graph(self.n, directed=self.directed, weighted=self.weighted)
+        for u, v, w in self.edges():
+            if self.directed:
+                g.add_edge(v, u, w)
+            else:
+                g.add_edge(u, v, w)
+        return g
+
+    def underlying_undirected(self) -> "Graph":
+        """Undirected unweighted communication topology of this network."""
+        g = Graph(self.n, directed=False, weighted=False)
+        for u, v, _ in self.edges():
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "Graph":
+        """Independent deep copy of the graph."""
+        g = Graph(self.n, directed=self.directed, weighted=self.weighted)
+        for u, v, w in self.edges():
+            g.add_edge(u, v, w)
+        return g
+
+    def with_weights(self, weight_of) -> "Graph":
+        """Copy with each edge's weight replaced by ``weight_of(u, v, w)``."""
+        g = Graph(self.n, directed=self.directed, weighted=True)
+        for u, v, w in self.edges():
+            g.add_edge(u, v, weight_of(u, v, w))
+        return g
+
+    def subgraph(self, vertices: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Induced subgraph; returns (subgraph, old->new vertex map)."""
+        vs = sorted(set(vertices))
+        remap = {old: new for new, old in enumerate(vs)}
+        g = Graph(len(vs), directed=self.directed, weighted=self.weighted)
+        vset = set(vs)
+        for u in vs:
+            for v, w in self._adj[u].items():
+                if v in vset and (self.directed or u < v):
+                    g.add_edge(remap[u], remap[v], w)
+        return g, remap
+
+    # ------------------------------------------------------------------
+    # Communication-topology properties
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Connectivity of the underlying undirected graph.
+
+        The CONGEST model requires the communication network to be
+        connected; all simulator entry points assert this.
+        """
+        if self.n == 0:
+            return True
+        seen = [False] * self.n
+        seen[0] = True
+        queue = deque([0])
+        count = 1
+        while queue:
+            u = queue.popleft()
+            for v in self.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    queue.append(v)
+        return count == self.n
+
+    def undirected_diameter(self) -> int:
+        """Exact diameter ``D`` of the underlying undirected graph."""
+        if self.n == 0:
+            return 0
+        best = 0
+        for s in range(self.n):
+            dist = self._undirected_bfs(s)
+            ecc = max(dist)
+            if ecc == INF:
+                raise GraphError("diameter undefined: communication graph disconnected")
+            best = max(best, int(ecc))
+        return best
+
+    def undirected_eccentricity(self, s: int) -> int:
+        """Eccentricity of ``s`` in the underlying undirected graph."""
+        dist = self._undirected_bfs(s)
+        ecc = max(dist)
+        if ecc == INF:
+            raise GraphError("eccentricity undefined: communication graph disconnected")
+        return int(ecc)
+
+    def _undirected_bfs(self, s: int) -> List[float]:
+        dist: List[float] = [INF] * self.n
+        dist[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for v in self.neighbors(u):
+                if dist[v] == INF:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    # ------------------------------------------------------------------
+    # Interop & dunder
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a networkx (Di)Graph with ``weight`` edge attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph() if self.directed else nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for u, v, w in self.edges():
+            g.add_edge(u, v, weight=w)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, weighted: Optional[bool] = None) -> "Graph":
+        """Build from a networkx graph with integer nodes ``0..n-1``."""
+        import networkx as nx
+
+        directed = g.is_directed()
+        if weighted is None:
+            weighted = any("weight" in d and d["weight"] != 1 for _, _, d in g.edges(data=True))
+        out = cls(g.number_of_nodes(), directed=directed, weighted=weighted)
+        for u, v, data in g.edges(data=True):
+            w = int(data.get("weight", UNIT_WEIGHT)) if weighted else UNIT_WEIGHT
+            out.add_edge(int(u), int(v), w)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.directed == other.directed
+            and self.weighted == other.weighted
+            and self._adj == other._adj
+        )
+
+    def __hash__(self):
+        raise TypeError("Graph is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        wk = "weighted" if self.weighted else "unweighted"
+        return f"Graph(n={self.n}, m={self.m}, {kind}, {wk})"

@@ -1,0 +1,77 @@
+"""Edge-list persistence for graphs (used by the CLI and examples).
+
+Format: a header line followed by one edge per line::
+
+    %repro n=5 directed=1 weighted=1
+    0 1 3
+    1 2 4
+
+Unweighted graphs omit the weight column (a present column must be 1).
+Lines starting with ``#`` or ``%`` (other than the header) are comments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO, Union
+
+from repro.graphs.graph import Graph, GraphError
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def save_edgelist(g: Graph, target: PathOrFile) -> None:
+    """Write ``g`` in the repro edge-list format."""
+    if hasattr(target, "write"):
+        _write(g, target)  # type: ignore[arg-type]
+    else:
+        with open(target, "w") as f:
+            _write(g, f)
+
+
+def _write(g: Graph, f: TextIO) -> None:
+    f.write(f"%repro n={g.n} directed={int(g.directed)} "
+            f"weighted={int(g.weighted)}\n")
+    for u, v, w in g.edges():
+        if g.weighted:
+            f.write(f"{u} {v} {w}\n")
+        else:
+            f.write(f"{u} {v}\n")
+
+
+def load_edgelist(source: PathOrFile) -> Graph:
+    """Read a graph written by :func:`save_edgelist`."""
+    if hasattr(source, "read"):
+        return _read(source)  # type: ignore[arg-type]
+    with open(source) as f:
+        return _read(f)
+
+
+def _read(f: TextIO) -> Graph:
+    header = f.readline().strip()
+    if not header.startswith("%repro"):
+        raise GraphError("missing '%repro' header line")
+    fields = {}
+    for token in header.split()[1:]:
+        if "=" not in token:
+            raise GraphError(f"malformed header token {token!r}")
+        key, value = token.split("=", 1)
+        fields[key] = int(value)
+    try:
+        g = Graph(fields["n"], directed=bool(fields["directed"]),
+                  weighted=bool(fields["weighted"]))
+    except KeyError as missing:
+        raise GraphError(f"header missing field {missing}") from None
+    for lineno, line in enumerate(f, start=2):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphError(f"line {lineno}: expected 'u v [w]', got {line!r}")
+        u, v = int(parts[0]), int(parts[1])
+        w = int(parts[2]) if len(parts) == 3 else 1
+        if not g.weighted and w != 1:
+            raise GraphError(f"line {lineno}: weight on unweighted graph")
+        g.add_edge(u, v, w)
+    return g

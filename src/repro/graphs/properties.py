@@ -1,0 +1,138 @@
+"""Structural graph properties used by workloads, examples, and diagnostics."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Graph, GraphError, INF
+
+
+def degree_statistics(g: Graph) -> Dict[str, float]:
+    """Min/max/mean (out-)degree and edge density."""
+    if g.n == 0:
+        return {"min": 0, "max": 0, "mean": 0.0, "density": 0.0}
+    degrees = [g.out_degree(v) for v in range(g.n)]
+    possible = g.n * (g.n - 1)
+    if not g.directed:
+        possible //= 2
+    return {
+        "min": min(degrees),
+        "max": max(degrees),
+        "mean": sum(degrees) / g.n,
+        "density": g.m / possible if possible else 0.0,
+    }
+
+
+def is_dag(g: Graph) -> bool:
+    """Whether a directed graph is acyclic (Kahn's algorithm)."""
+    if not g.directed:
+        raise GraphError("is_dag is defined for directed graphs")
+    indeg = [g.in_degree(v) for v in range(g.n)]
+    queue = deque(v for v in range(g.n) if indeg[v] == 0)
+    seen = 0
+    while queue:
+        u = queue.popleft()
+        seen += 1
+        for v in g.out_neighbors(u):
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    return seen == g.n
+
+
+def strongly_connected_components(g: Graph) -> List[List[int]]:
+    """SCCs of a directed graph (iterative Tarjan)."""
+    if not g.directed:
+        raise GraphError("SCCs are defined for directed graphs")
+    index = [0] * g.n
+    low = [0] * g.n
+    on_stack = [False] * g.n
+    visited = [False] * g.n
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = [1]
+
+    for root in range(g.n):
+        if visited[root]:
+            continue
+        work: List[Tuple[int, object]] = [(root, None)]
+        while work:
+            v, it = work[-1]
+            if it is None:
+                visited[v] = True
+                index[v] = low[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                on_stack[v] = True
+                it = iter(list(g.out_neighbors(v)))
+                work[-1] = (v, it)
+            advanced = False
+            for w in it:  # type: ignore[union-attr]
+                if not visited[w]:
+                    work.append((w, None))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(sorted(comp))
+    return sccs
+
+
+def has_directed_cycle(g: Graph) -> bool:
+    """Whether a directed graph contains any cycle (no MWC computation)."""
+    return not is_dag(g)
+
+
+def bridges(g: Graph) -> List[Tuple[int, int]]:
+    """Bridge edges of an undirected graph (edges on no cycle)."""
+    if g.directed:
+        raise GraphError("bridges are defined for undirected graphs")
+    disc = [0] * g.n
+    low = [0] * g.n
+    visited = [False] * g.n
+    out: List[Tuple[int, int]] = []
+    counter = [1]
+    for root in range(g.n):
+        if visited[root]:
+            continue
+        stack: List[Tuple[int, int, object]] = [(root, -1, None)]
+        while stack:
+            v, parent, it = stack[-1]
+            if it is None:
+                visited[v] = True
+                disc[v] = low[v] = counter[0]
+                counter[0] += 1
+                it = iter(list(g.neighbors(v)))
+                stack[-1] = (v, parent, it)
+            advanced = False
+            for w in it:  # type: ignore[union-attr]
+                if not visited[w]:
+                    stack.append((w, v, None))
+                    advanced = True
+                    break
+                if w != parent:
+                    low[v] = min(low[v], disc[w])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                p = stack[-1][0]
+                low[p] = min(low[p], low[v])
+                if low[v] > disc[p]:
+                    out.append((min(p, v), max(p, v)))
+    return sorted(out)

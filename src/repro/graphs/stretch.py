@@ -1,0 +1,71 @@
+"""Stretched graphs ``G^s`` (paper §4) and their CONGEST simulation map.
+
+A weighted edge ``(u, v, w)`` becomes a path of ``w`` unit edges. Per the
+paper, "all but the last edge of the path" is simulated at one endpoint: the
+``w - 1`` internal virtual vertices are *hosted* on the physical node ``u``,
+so messages along the virtual path consume link bandwidth only on the final
+(physical) hop.
+
+The production algorithms do not materialize stretched graphs — they use the
+unit-speed wave primitives in :mod:`repro.congest.primitives.waves`, which
+are round-for-round equivalent (a wave takes ``w`` rounds to cross a weight-
+``w`` edge and one physical message). :class:`StretchedGraph` exists so that
+tests can check that equivalence on small instances, and so the simulator's
+virtual-hosting feature is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Graph, GraphError
+
+
+class StretchedGraph:
+    """Materialized stretched graph with host map.
+
+    Attributes
+    ----------
+    graph:
+        The unweighted stretched graph ``G^s`` (directed iff input directed).
+    host:
+        ``host[x]`` is the physical node (an original-vertex id) simulating
+        stretched vertex ``x``.
+    original_to_stretched:
+        Maps each original vertex to its stretched id (originals keep ids
+        ``0 .. n-1``).
+    """
+
+    def __init__(self, g: Graph):
+        if not g.weighted:
+            raise GraphError("stretching an unweighted graph is the identity; "
+                             "pass a weighted graph")
+        n = g.n
+        edges: List[Tuple[int, int]] = []
+        host: List[int] = list(range(n))
+        next_id = n
+        self.virtual_owner: Dict[int, Tuple[int, int]] = {}
+        for u, v, w in g.edges():
+            if w < 1:
+                raise GraphError(
+                    f"stretching requires weights >= 1, edge ({u},{v}) has {w}")
+            prev = u
+            for step in range(w - 1):
+                x = next_id
+                next_id += 1
+                host.append(u)
+                self.virtual_owner[x] = (u, v)
+                edges.append((prev, x))
+                prev = x
+            edges.append((prev, v))
+        gs = Graph(next_id, directed=g.directed, weighted=False)
+        for a, b in edges:
+            gs.add_edge(a, b)
+        self.graph = gs
+        self.host = host
+        self.original_to_stretched = {v: v for v in range(n)}
+        self.n_original = n
+
+    def is_original(self, x: int) -> bool:
+        """Whether stretched vertex x is an original (non-virtual) vertex."""
+        return x < self.n_original

@@ -1,0 +1,163 @@
+"""Experiment harness shared by the benchmark suite.
+
+Each benchmark regenerates one Table 1 row (or Theorem 1.6 curve): it sweeps
+a workload over a geometric n range, collects measured CONGEST rounds and
+approximation ratios, fits the growth exponent, and emits a row-formatted
+report. Results are also persisted as JSON under ``benchmarks/results/`` so
+EXPERIMENTS.md numbers can be regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.complexity import FitResult, fit_exponent
+from repro.analysis.tables import TABLE1_CLAIMS
+
+
+@dataclass
+class SweepRow:
+    """One measured point of an experiment sweep."""
+
+    n: int
+    #: Measured rounds, or (for lower-bound rows) the implied round bound —
+    #: kept as a float so small implied values still fit cleanly.
+    rounds: float
+    value: Optional[float] = None
+    true_value: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.value is None or self.true_value in (None, 0):
+            return None
+        if self.true_value == float("inf"):
+            return 1.0 if self.value == float("inf") else None
+        return self.value / self.true_value
+
+
+@dataclass
+class ExperimentReport:
+    """Everything a Table 1 row needs: points, fit, and ratio checks."""
+
+    exp_id: str
+    rows: List[SweepRow]
+    fit: Optional[FitResult] = None
+    corrected_fit: Optional[FitResult] = None
+    polylog_correction: float = 0.0
+    wall_seconds: float = 0.0
+    notes: str = ""
+
+    @property
+    def claimed_exponent(self) -> Optional[float]:
+        claim = TABLE1_CLAIMS.get(self.exp_id)
+        return claim.claimed_exponent if claim else None
+
+    def max_ratio(self) -> Optional[float]:
+        """Worst measured approximation ratio across the sweep."""
+        ratios = [r.ratio for r in self.rows if r.ratio is not None]
+        return max(ratios) if ratios else None
+
+    def summary(self) -> str:
+        """Human-readable paper-vs-measured report block."""
+        claim = TABLE1_CLAIMS.get(self.exp_id)
+        lines = [f"== {self.exp_id}: {claim.problem if claim else '?'} "
+                 f"({claim.paper_bound if claim else '?'}) =="]
+        for row in self.rows:
+            ratio = f" ratio={row.ratio:.3f}" if row.ratio is not None else ""
+            shown_rounds = (f"{row.rounds:<8}" if isinstance(row.rounds, int)
+                            else f"{row.rounds:<8.2f}")
+            lines.append(f"  n={row.n:<6} rounds={shown_rounds}{ratio} "
+                         + " ".join(f"{k}={v}" for k, v in row.extra.items()))
+        if self.fit is not None:
+            claim_txt = (f" (paper: {self.claimed_exponent:.2f})"
+                         if self.claimed_exponent is not None else "")
+            lines.append(f"  fitted exponent: {self.fit.exponent:.3f}"
+                         f"{claim_txt}, R^2={self.fit.r_squared:.3f}")
+        if self.corrected_fit is not None:
+            lines.append(
+                f"  polylog-corrected exponent (p={self.polylog_correction:g}): "
+                f"{self.corrected_fit.exponent:.3f}, "
+                f"R^2={self.corrected_fit.r_squared:.3f}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    exp_id: str,
+    sizes: Sequence[int],
+    runner: Callable[[int], SweepRow],
+    fit: bool = True,
+    notes: str = "",
+    polylog_correction: float = 0.0,
+) -> ExperimentReport:
+    """Run ``runner(n)`` over ``sizes`` and assemble a report.
+
+    ``polylog_correction`` is the number of hidden log factors in the
+    paper's Õ bound for this row; both the raw and the corrected exponent
+    are reported (see :func:`repro.analysis.complexity.fit_exponent`).
+    """
+    start = time.perf_counter()
+    rows = [runner(n) for n in sizes]
+    report = ExperimentReport(
+        exp_id=exp_id,
+        rows=rows,
+        wall_seconds=time.perf_counter() - start,
+        notes=notes,
+    )
+    if fit and len(rows) >= 2:
+        ns = [r.n for r in rows]
+        rounds = [r.rounds for r in rows]
+        report.fit = fit_exponent(ns, rounds)
+        if polylog_correction:
+            report.corrected_fit = fit_exponent(
+                ns, rounds, polylog_correction=polylog_correction)
+            report.polylog_correction = polylog_correction
+    return report
+
+
+def results_dir() -> str:
+    """The benchmarks/results directory (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def persist(report: ExperimentReport) -> str:
+    """Write the report JSON next to the benchmarks; returns the path."""
+    payload: Dict[str, Any] = {
+        "exp_id": report.exp_id,
+        "rows": [asdict(r) for r in report.rows],
+        "wall_seconds": report.wall_seconds,
+        "notes": report.notes,
+    }
+    if report.fit is not None:
+        payload["fit"] = {
+            "exponent": report.fit.exponent,
+            "constant": report.fit.constant,
+            "r_squared": report.fit.r_squared,
+        }
+    if report.corrected_fit is not None:
+        payload["corrected_fit"] = {
+            "exponent": report.corrected_fit.exponent,
+            "constant": report.corrected_fit.constant,
+            "r_squared": report.corrected_fit.r_squared,
+            "polylog_correction": report.polylog_correction,
+        }
+    path = os.path.join(results_dir(), f"{report.exp_id}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+    return path
+
+
+def emit(report: ExperimentReport) -> None:
+    """Print and persist a report (benchmarks' standard epilogue)."""
+    print()
+    print(report.summary())
+    persist(report)

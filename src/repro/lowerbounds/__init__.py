@@ -1,0 +1,59 @@
+"""Lower-bound constructions and verification (paper §1.4, Theorems
+1.2.A/B, 1.3.A, 1.4.A/B).
+
+A CONGEST lower bound cannot be "run"; what can be reproduced and
+machine-checked is:
+
+1. the **reduction graph family** — how a set-disjointness instance is
+   encoded into a network whose MWC value differs by the target gap between
+   the intersecting and disjoint cases (:mod:`repro.lowerbounds.constructions`);
+2. the **gap property** itself, checked against the sequential exact MWC
+   (:mod:`repro.lowerbounds.verification`);
+3. the **implied round bound** — Ω(k / (cut · log n)) for the cut-based
+   reductions, and the dilation term for the Das-Sarma-style [49] families
+   (:func:`repro.lowerbounds.verification.implied_round_bound`);
+4. the **two-party view** — running our real algorithms on the instances
+   and measuring the bits that actually cross the Alice/Bob cut
+   (:mod:`repro.lowerbounds.protocol`).
+"""
+
+from repro.lowerbounds.set_disjointness import (
+    DisjointnessInstance,
+    random_disjoint,
+    random_intersecting,
+    fooling_set,
+)
+from repro.lowerbounds.constructions import (
+    LowerBoundInstance,
+    alpha_approx_directed_family,
+    alpha_approx_undirected_family,
+    directed_mwc_family,
+    girth_alpha_family,
+    undirected_weighted_family,
+)
+from repro.lowerbounds.verification import (
+    cut_edges,
+    implied_round_bound,
+    verify_gap,
+    verify_instance,
+)
+from repro.lowerbounds.protocol import CutMeter, measure_cut_traffic
+
+__all__ = [
+    "DisjointnessInstance",
+    "random_disjoint",
+    "random_intersecting",
+    "fooling_set",
+    "LowerBoundInstance",
+    "directed_mwc_family",
+    "undirected_weighted_family",
+    "alpha_approx_directed_family",
+    "alpha_approx_undirected_family",
+    "girth_alpha_family",
+    "cut_edges",
+    "implied_round_bound",
+    "verify_gap",
+    "verify_instance",
+    "CutMeter",
+    "measure_cut_traffic",
+]

@@ -1,0 +1,441 @@
+"""Reduction graph families for the paper's lower bounds.
+
+Every family takes a :class:`~repro.lowerbounds.set_disjointness.DisjointnessInstance`
+and produces a network split between Alice and Bob such that the MWC value
+reveals whether the sets intersect:
+
+========================================  ==========  =====================
+Family                                    Theorem     Gap (yes vs no)
+========================================  ==========  =====================
+``directed_mwc_family``                   1.2.A       4 vs 8  (ratio 2)
+``undirected_weighted_family``            1.4.A       2W+2 vs 4W (ratio→2)
+``alpha_approx_directed_family``          1.2.B       ~l vs > alpha*l
+``alpha_approx_undirected_family``        1.4.B       ~l vs > alpha*l
+``girth_alpha_family``                    1.3.A       ~l vs > alpha*l
+========================================  ==========  =====================
+
+The (2-eps) families use the layered 4-cycle encoding (m^2 bits over an
+O(m)-edge cut — the direct cut-simulation argument gives Ω(k/(cut log n)) =
+Ω(n / log n) rounds). The ratio saturates at 2 *structurally*: when the sets
+are disjoint, composite 8-cycles formed from two Alice bits and two Bob
+bits still exist, capping the "no" value at twice the "yes" value — which is
+exactly why 2-approximation algorithms (the paper's upper bounds) escape the
+linear bound.
+
+The alpha families use the loops-plus-tree shape of Das Sarma et al. [49]:
+k loops whose closing edges are one per player, a low-diameter acyclic tree
+overlay for fast global communication, and a heavy/long baseline cycle that
+pins the "no" value above alpha times the "yes" value. Their round bound
+comes from the zone-simulation theorem of [49] (Ω̃(min(path length, k))),
+which we cite rather than re-prove; the gap property and the structural
+parameters are machine-verified.
+
+The girth family (1.3.A) cannot use weights or a shortcut overlay (an
+unweighted overlay that touches a loop twice would itself create short
+cycles), so it attaches the connectivity tree at a single vertex per loop;
+its diameter is Θ(path length) rather than the Θ(log n) the full version's
+construction achieves — a documented deviation (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph, GraphError
+from repro.lowerbounds.set_disjointness import DisjointnessInstance
+
+
+@dataclass
+class LowerBoundInstance:
+    """A reduction instance: network + player partition + claimed gap."""
+
+    graph: Graph
+    alice: FrozenSet[int]
+    bob: FrozenSet[int]
+    k_bits: int
+    #: MWC value when the sets intersect (exact).
+    yes_value: float
+    #: MWC value when the sets are disjoint (exact).
+    no_value: float
+    disjointness: DisjointnessInstance
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def gap_ratio(self) -> float:
+        return self.no_value / self.yes_value
+
+
+class _Builder:
+    """Incremental graph builder tracking vertex ownership."""
+
+    def __init__(self, directed: bool, weighted: bool):
+        self.directed = directed
+        self.weighted = weighted
+        self.edges: List[Tuple[int, int, int]] = []
+        self.owner: List[str] = []
+
+    def vertex(self, owner: str) -> int:
+        self.owner.append(owner)
+        return len(self.owner) - 1
+
+    def vertices(self, owner: str, count: int) -> List[int]:
+        return [self.vertex(owner) for _ in range(count)]
+
+    def edge(self, u: int, v: int, w: int = 1) -> None:
+        self.edges.append((u, v, w))
+
+    def path(self, vs: Sequence[int], w: int = 1) -> None:
+        for a, b in zip(vs, vs[1:]):
+            self.edge(a, b, w)
+
+    def cycle(self, vs: Sequence[int], w: int = 1) -> None:
+        self.path(vs, w)
+        self.edge(vs[-1], vs[0], w)
+
+    def build(self) -> Tuple[Graph, FrozenSet[int], FrozenSet[int]]:
+        g = Graph(len(self.owner), directed=self.directed, weighted=self.weighted)
+        for u, v, w in self.edges:
+            g.add_edge(u, v, w if self.weighted else 1)
+        alice = frozenset(i for i, o in enumerate(self.owner) if o == "A")
+        bob = frozenset(i for i, o in enumerate(self.owner) if o == "B")
+        return g, alice, bob
+
+
+def _overlay_tree(b: _Builder, leaves: Sequence[int], owner: str,
+                  weight: int = 1) -> Optional[int]:
+    """Balanced binary (out-)tree over ``leaves``; returns the root.
+
+    Internal vertices are fresh and owned by ``owner``. Directed mode adds
+    parent->child arcs only (acyclic); undirected mode adds plain edges —
+    safe from new cycles only if each connected gadget component contributes
+    at most one leaf, or if ``weight`` is heavy enough to price tree cycles
+    out of the gap (callers choose).
+    """
+    level = list(leaves)
+    if not level:
+        return None
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            parent = b.vertex(owner)
+            for child in level[i:i + 2]:
+                b.edge(parent, child, weight)
+            nxt.append(parent)
+        level = nxt
+    return level[0]
+
+
+def directed_mwc_family(m: int, inst: DisjointnessInstance) -> LowerBoundInstance:
+    """Theorem 1.2.A: (2-eps)-approx of directed MWC needs Ω(n / log n).
+
+    Layered digraph A1 -> A2 -> B1 -> B2 -> A1 encoding m^2 bits per player;
+    an intersecting position closes a 4-cycle, otherwise the lightest cycles
+    are the composite / baseline 8-cycles. Constant diameter via per-side
+    out-hubs (out-edges cannot create cycles).
+    """
+    if inst.k != m * m:
+        raise GraphError(f"need k = m^2 = {m * m} bits, got {inst.k}")
+    b = _Builder(directed=True, weighted=False)
+    a1 = b.vertices("A", m)
+    a2 = b.vertices("A", m)
+    b1 = b.vertices("B", m)
+    b2 = b.vertices("B", m)
+    for i in range(m):
+        for j in range(m):
+            if inst.sa[i * m + j]:
+                b.edge(a1[i], a2[j])
+            if inst.sb[i * m + j]:
+                b.edge(b1[j], b2[i])
+    for j in range(m):
+        b.edge(a2[j], b1[j])      # fixed cut edges
+    for i in range(m):
+        b.edge(b2[i], a1[i])      # fixed cut edges
+    base = b.vertices("A", 8)
+    b.cycle(base)                  # baseline 8-cycle
+    hub_a = b.vertex("A")
+    hub_b = b.vertex("B")
+    for v in a1 + a2 + base:
+        b.edge(hub_a, v)
+    for v in b1 + b2:
+        b.edge(hub_b, v)
+    b.edge(hub_a, hub_b)
+    g, alice, bob = b.build()
+    return LowerBoundInstance(
+        graph=g, alice=alice, bob=bob, k_bits=m * m,
+        yes_value=4, no_value=8, disjointness=inst,
+        meta={
+            "family": "directed_mwc",
+            "theorem": "1.2.A",
+            "bound_type": "cut",
+            "claimed_exponent": 1.0,
+            "diameter_claim": "O(1)",
+            "target_ratio": 2.0,
+        },
+    )
+
+
+def undirected_weighted_family(
+    m: int, inst: DisjointnessInstance, W: int = 64
+) -> LowerBoundInstance:
+    """Theorem 1.4.A: (2-eps)-approx of undirected weighted MWC, Ω(n/log n).
+
+    Undirected analogue of the layered family: bit edges weigh W, fixed cut
+    edges weigh 1. Intersection closes a cycle of weight 2W + 2; otherwise
+    the lightest cycles (bipartite bit 4-cycles / the fixed baseline) weigh
+    4W — ratio 4W / (2W + 2) -> 2 as W grows. Hub edges weigh 3W so no
+    hub-mediated cycle (>= 6W) enters the gap.
+    """
+    if inst.k != m * m:
+        raise GraphError(f"need k = m^2 = {m * m} bits, got {inst.k}")
+    if W < 2:
+        raise GraphError("W must be >= 2 for a meaningful gap")
+    b = _Builder(directed=False, weighted=True)
+    a1 = b.vertices("A", m)
+    a2 = b.vertices("A", m)
+    b1 = b.vertices("B", m)
+    b2 = b.vertices("B", m)
+    for i in range(m):
+        for j in range(m):
+            if inst.sa[i * m + j]:
+                b.edge(a1[i], a2[j], W)
+            if inst.sb[i * m + j]:
+                b.edge(b1[j], b2[i], W)
+    for j in range(m):
+        b.edge(a2[j], b1[j], 1)
+    for i in range(m):
+        b.edge(b2[i], a1[i], 1)
+    base = b.vertices("A", 4)
+    b.cycle(base, W)               # baseline cycle of weight 4W
+    hub_a = b.vertex("A")
+    hub_b = b.vertex("B")
+    for v in a1 + a2 + base:
+        b.edge(hub_a, v, 3 * W)
+    for v in b1 + b2:
+        b.edge(hub_b, v, 3 * W)
+    b.edge(hub_a, hub_b, 3 * W)
+    g, alice, bob = b.build()
+    return LowerBoundInstance(
+        graph=g, alice=alice, bob=bob, k_bits=m * m,
+        yes_value=2 * W + 2, no_value=4 * W, disjointness=inst,
+        meta={
+            "family": "undirected_weighted",
+            "theorem": "1.4.A",
+            "bound_type": "cut",
+            "claimed_exponent": 1.0,
+            "diameter_claim": "O(1)",
+            "target_ratio": 4 * W / (2 * W + 2),
+            "W": W,
+        },
+    )
+
+
+def _loop_gadget(b: _Builder, ell: int, sa_bit: bool, sb_bit: bool,
+                 weight: int = 1) -> Tuple[int, int, int, int]:
+    """One loop: fixed forward path (split mid-way), bit-gated return path.
+
+    Returns ``(x, y, r, rp)``: the loop head (Alice), tail (Bob), and the
+    two relay vertices (Bob / Alice). The loop closes into a cycle of
+    ``ell + 4`` edges iff both players' bits are set. Callers must keep the
+    relays connected (they dangle when a bit is absent) — the alpha
+    families attach them to the overlay tree, the girth family uses
+    :func:`_detour_loop_gadget` instead.
+    """
+    half = max(1, ell // 2)
+    x = b.vertex("A")
+    alice_path = b.vertices("A", half)
+    bob_path = b.vertices("B", ell - half)
+    y = b.vertex("B")
+    b.path([x] + alice_path + bob_path + [y], weight)
+    r = b.vertex("B")
+    rp = b.vertex("A")
+    b.edge(rp, r, weight)          # fixed cut relay
+    if sb_bit:
+        b.edge(y, r, weight)
+    if sa_bit:
+        b.edge(rp, x, weight)
+    return x, y, r, rp
+
+
+def _detour_loop_gadget(b: _Builder, ell: int, detour: int,
+                        sa_bit: bool, sb_bit: bool) -> int:
+    """Loop gadget where a 0-bit becomes a long detour instead of a gap.
+
+    Unweighted construction for the girth family: bit = 1 contributes one
+    edge, bit = 0 a path of ``detour + 1`` edges, so the loop *always*
+    closes (keeping the graph connected with a single tree attachment) with
+    total length ``ell + 4`` iff both bits are set, and at least
+    ``ell + 4 + detour`` otherwise. Returns the attachment vertex x.
+    """
+    half = max(1, ell // 2)
+    x = b.vertex("A")
+    alice_path = b.vertices("A", half)
+    bob_path = b.vertices("B", ell - half)
+    y = b.vertex("B")
+    b.path([x] + alice_path + bob_path + [y])
+    r = b.vertex("B")
+    rp = b.vertex("A")
+    b.edge(rp, r)                  # fixed cut relay
+    if sb_bit:
+        b.edge(y, r)
+    else:
+        b.path([y] + b.vertices("B", detour) + [r])
+    if sa_bit:
+        b.edge(rp, x)
+    else:
+        b.path([rp] + b.vertices("A", detour) + [x])
+    return x
+
+
+def alpha_approx_directed_family(
+    num_loops: int, ell: int, alpha: float, inst: DisjointnessInstance
+) -> LowerBoundInstance:
+    """Theorem 1.2.B: alpha-approx of directed MWC needs Ω̃(sqrt(n)).
+
+    k = num_loops disjointness bits; loop i becomes a directed cycle of
+    ell + 4 edges iff position i is in both sets. A directed out-tree
+    overlay (acyclic by construction) keeps the diameter Θ(log n); the
+    baseline cycle of length floor(alpha (ell+4)) + 1 pins the disjoint
+    value. With ell = k = Θ(sqrt(n)), the zone simulation of [49] gives
+    Ω̃(min(ell, k)) = Ω̃(sqrt(n)) rounds.
+    """
+    if inst.k != num_loops:
+        raise GraphError(f"need k = {num_loops} bits, got {inst.k}")
+    b = _Builder(directed=True, weighted=False)
+    attach_a: List[int] = []
+    attach_b: List[int] = []
+    for i in range(num_loops):
+        half = max(1, ell // 2)
+        x = b.vertex("A")
+        alice_path = b.vertices("A", half)
+        bob_path = b.vertices("B", ell - half)
+        y = b.vertex("B")
+        b.path([x] + alice_path + bob_path + [y])
+        r = b.vertex("B")
+        rp = b.vertex("A")
+        b.edge(r, rp)             # fixed cut relay (B -> A)
+        if inst.sb[i]:
+            b.edge(y, r)
+        if inst.sa[i]:
+            b.edge(rp, x)
+        # The out-tree overlay attaches to *every* gadget vertex (directed
+        # arcs cannot create cycles), giving true O(log n) diameter.
+        attach_a.extend([x, rp] + alice_path)
+        attach_b.extend([y, r] + bob_path)
+    yes = ell + 4
+    base_len = math.floor(alpha * yes) + 1
+    base = b.vertices("A", base_len)
+    b.cycle(base)
+    attach_a.extend(base)
+    root_a = _overlay_tree(b, attach_a, "A")
+    root_b = _overlay_tree(b, attach_b, "B")
+    if root_a is not None and root_b is not None:
+        b.edge(root_a, root_b)
+    g, alice, bob = b.build()
+    return LowerBoundInstance(
+        graph=g, alice=alice, bob=bob, k_bits=num_loops,
+        yes_value=yes, no_value=base_len, disjointness=inst,
+        meta={
+            "family": "alpha_directed",
+            "theorem": "1.2.B",
+            "bound_type": "zone",
+            "claimed_exponent": 0.5,
+            "dilation": ell,
+            "overlay_cut": 1,
+            "diameter_claim": "O(log n)",
+            "alpha": alpha,
+        },
+    )
+
+
+def alpha_approx_undirected_family(
+    num_loops: int, ell: int, alpha: float, inst: DisjointnessInstance
+) -> LowerBoundInstance:
+    """Theorem 1.4.B: alpha-approx of undirected weighted MWC, Ω̃(sqrt(n)).
+
+    Undirected loops with unit weights; the tree overlay edges are heavy
+    (any cycle using two of them outweighs alpha times the loop value), so
+    the overlay can attach everywhere and the diameter stays Θ(log n).
+    """
+    if inst.k != num_loops:
+        raise GraphError(f"need k = {num_loops} bits, got {inst.k}")
+    b = _Builder(directed=False, weighted=True)
+    yes = ell + 4
+    base_edge = math.floor(alpha * yes / 4) + 1
+    heavy = 4 * base_edge + 1      # two heavy edges outweigh the baseline
+    attach_a: List[int] = []
+    attach_b: List[int] = []
+    for i in range(num_loops):
+        first = len(b.owner)
+        x, y, r, rp = _loop_gadget(b, ell, inst.sa[i], inst.sb[i])
+        # Attach every gadget vertex: heavy tree edges price any
+        # tree-mediated cycle (>= 2 * heavy) out of the gap.
+        for v in range(first, len(b.owner)):
+            (attach_a if b.owner[v] == "A" else attach_b).append(v)
+    base = b.vertices("A", 4)
+    b.cycle(base, base_edge)
+    attach_a.extend(base)
+    root_a = _overlay_tree(b, attach_a, "A", weight=heavy)
+    root_b = _overlay_tree(b, attach_b, "B", weight=heavy)
+    if root_a is not None and root_b is not None:
+        b.edge(root_a, root_b, heavy)
+    g, alice, bob = b.build()
+    return LowerBoundInstance(
+        graph=g, alice=alice, bob=bob, k_bits=num_loops,
+        yes_value=yes, no_value=4 * base_edge, disjointness=inst,
+        meta={
+            "family": "alpha_undirected",
+            "theorem": "1.4.B",
+            "bound_type": "zone",
+            "claimed_exponent": 0.5,
+            "dilation": ell,
+            "overlay_cut": 1,
+            "diameter_claim": "O(log n)",
+            "alpha": alpha,
+        },
+    )
+
+
+def girth_alpha_family(
+    num_loops: int, ell: int, alpha: float, inst: DisjointnessInstance
+) -> LowerBoundInstance:
+    """Theorem 1.3.A: alpha-approx of girth needs Ω̃(n^{1/4}).
+
+    Unweighted undirected loops (cycle length ell + 4 iff the position is
+    in both sets) and a baseline cycle of length floor(alpha (ell+4)) + 1.
+    No shortcut overlay is possible without creating short cycles, so the
+    connectivity tree attaches at a single vertex per component and the
+    instance diameter is Θ(ell) = Θ(n^{1/4}) with the default sizing (the
+    full version's Θ(log n)-diameter construction is not reproduced —
+    DESIGN.md §6).
+    """
+    if inst.k != num_loops:
+        raise GraphError(f"need k = {num_loops} bits, got {inst.k}")
+    b = _Builder(directed=False, weighted=False)
+    yes = ell + 4
+    base_len = math.floor(alpha * yes) + 1
+    attach: List[int] = []
+    for i in range(num_loops):
+        x = _detour_loop_gadget(b, ell, detour=base_len, sa_bit=inst.sa[i],
+                                sb_bit=inst.sb[i])
+        attach.append(x)
+    base = b.vertices("A", base_len)
+    b.cycle(base)
+    attach.append(base[0])
+    _overlay_tree(b, attach, "A")
+    g, alice, bob = b.build()
+    return LowerBoundInstance(
+        graph=g, alice=alice, bob=bob, k_bits=num_loops,
+        yes_value=yes, no_value=base_len, disjointness=inst,
+        meta={
+            "family": "girth_alpha",
+            "theorem": "1.3.A",
+            "bound_type": "zone",
+            "claimed_exponent": 0.25,
+            "dilation": ell,
+            "overlay_cut": 0,
+            "diameter_claim": "Theta(ell) (deviation; see DESIGN.md)",
+            "alpha": alpha,
+        },
+    )

@@ -1,0 +1,95 @@
+"""Two-party set disjointness: instances and the classical hardness facts.
+
+Set disjointness: Alice holds ``S_a``, Bob holds ``S_b`` (k-bit strings);
+they must decide whether some position carries a 1 in both. The classical
+communication lower bound is Ω(k) bits even with shared randomness
+[7, 35, 46] — every reduction in :mod:`repro.lowerbounds.constructions`
+inherits its round bound from this fact.
+
+We do not re-prove Ω(k) (it is information-theoretic); what we machine-check
+is the *fooling set* underpinning the deterministic bound: the 2^k pairs
+``(S, complement(S))`` are all disjoint, yet crossing any two distinct pairs
+produces an intersecting pair — so a deterministic protocol needs 2^k
+distinct transcripts, i.e. k bits (``tests/test_lowerbounds.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """A set-disjointness input pair over ``k`` bit positions."""
+
+    sa: Tuple[bool, ...]
+    sb: Tuple[bool, ...]
+
+    def __post_init__(self):
+        if len(self.sa) != len(self.sb):
+            raise ValueError("Alice and Bob strings must have equal length")
+
+    @property
+    def k(self) -> int:
+        return len(self.sa)
+
+    @property
+    def disjoint(self) -> bool:
+        return not any(a and b for a, b in zip(self.sa, self.sb))
+
+    def intersection(self) -> List[int]:
+        """Positions set in both strings (empty iff disjoint)."""
+        return [i for i, (a, b) in enumerate(zip(self.sa, self.sb)) if a and b]
+
+
+def random_disjoint(k: int, density: float = 0.4,
+                    rng: Optional[np.random.Generator] = None,
+                    seed: Optional[int] = None) -> DisjointnessInstance:
+    """A random disjoint pair: positions are split between the players."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    owner = rng.random(k)
+    sa = tuple(bool(x < density) for x in owner)
+    sb = tuple(bool(x > 1 - density) and not a for a, x in zip(sa, owner))
+    inst = DisjointnessInstance(sa, sb)
+    assert inst.disjoint
+    return inst
+
+
+def random_intersecting(k: int, density: float = 0.4,
+                        rng: Optional[np.random.Generator] = None,
+                        seed: Optional[int] = None) -> DisjointnessInstance:
+    """A random pair with at least one common position."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    base = random_disjoint(k, density, rng=rng)
+    hit = int(rng.integers(0, k))
+    sa = list(base.sa)
+    sb = list(base.sb)
+    sa[hit] = True
+    sb[hit] = True
+    return DisjointnessInstance(tuple(sa), tuple(sb))
+
+
+def fooling_set(k: int) -> Iterator[DisjointnessInstance]:
+    """The canonical 2^k fooling set: ``(S, complement(S))`` for all S.
+
+    Property (machine-checked in tests): each pair is disjoint, but for any
+    two distinct pairs ``(S, S̄)`` and ``(T, T̄)``, at least one of the
+    crossed pairs ``(S, T̄)``, ``(T, S̄)`` intersects — which forces a
+    deterministic protocol to use a distinct transcript per pair, hence
+    >= k bits of communication.
+    """
+    for bits in product([False, True], repeat=k):
+        sa = tuple(bits)
+        sb = tuple(not b for b in bits)
+        yield DisjointnessInstance(sa, sb)
+
+
+def crossing_intersects(p: DisjointnessInstance, q: DisjointnessInstance) -> bool:
+    """Whether either crossed pair (p.sa, q.sb) or (q.sa, p.sb) intersects."""
+    first = any(a and b for a, b in zip(p.sa, q.sb))
+    second = any(a and b for a, b in zip(q.sa, p.sb))
+    return first or second

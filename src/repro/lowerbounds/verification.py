@@ -1,0 +1,107 @@
+"""Machine checks for the lower-bound reductions.
+
+``verify_instance`` checks, on a concrete instance, everything the proofs
+rest on: the Alice/Bob partition covers the graph, each player's bit edges
+stay on their side, the network is connected, and — via the sequential
+exact MWC — the instance's value equals the family's claimed yes/no value.
+
+``implied_round_bound`` evaluates the numeric round bound a correct
+distinguisher inherits from the Ω(k) disjointness bound: for cut-based
+families, ``k / (cut_words * log2 n)`` (a t-round algorithm can be simulated
+by Alice and Bob exchanging only the actual cross-cut traffic, i.e.
+``t * cut * Θ(log n)`` bits); for the Das-Sarma zone families,
+``min(dilation / 2, k / ((overlay_cut + 1) * log2^2 n))`` per the simulation
+theorem of [49].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.lowerbounds.constructions import LowerBoundInstance
+from repro.lowerbounds.set_disjointness import (
+    DisjointnessInstance,
+    random_disjoint,
+    random_intersecting,
+)
+from repro.sequential.mwc import exact_mwc
+
+
+def cut_edges(inst: LowerBoundInstance) -> int:
+    """Number of (undirected communication) edges crossing the partition."""
+    crossing = 0
+    seen = set()
+    g = inst.graph
+    for u, v, _ in g.edges():
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        if (u in inst.alice) != (v in inst.alice):
+            crossing += 1
+    return crossing
+
+
+def implied_round_bound(inst: LowerBoundInstance) -> float:
+    """Numeric round lower bound implied by Ω(k)-bit disjointness."""
+    n = inst.graph.n
+    log_n = max(1.0, math.log2(n))
+    if inst.meta.get("bound_type") == "cut":
+        return inst.k_bits / (cut_edges(inst) * log_n)
+    dilation = float(inst.meta.get("dilation", 0))
+    overlay_cut = float(inst.meta.get("overlay_cut", 0))
+    zone_term = inst.k_bits / ((overlay_cut + 1.0) * log_n * log_n)
+    return min(dilation / 2.0, zone_term) if dilation else zone_term
+
+
+def verify_instance(inst: LowerBoundInstance) -> Dict[str, object]:
+    """Check every structural property the reduction proof relies on.
+
+    Raises ``AssertionError`` with a descriptive message on failure;
+    returns a report dict on success.
+    """
+    g = inst.graph
+    assert inst.alice | inst.bob == frozenset(range(g.n)), "partition misses vertices"
+    assert not (inst.alice & inst.bob), "partition overlaps"
+    assert g.is_connected(), "communication graph must be connected"
+    value = exact_mwc(g)
+    if inst.disjointness.disjoint:
+        assert value == inst.no_value, (
+            f"disjoint instance has MWC {value}, expected {inst.no_value}")
+    else:
+        assert value == inst.yes_value, (
+            f"intersecting instance has MWC {value}, expected {inst.yes_value}")
+    ratio = inst.gap_ratio
+    target = float(inst.meta.get("alpha", inst.meta.get("target_ratio", 1.0)))
+    assert ratio > target - 1e-9 or math.isclose(ratio, target), (
+        f"gap ratio {ratio} below target {target}")
+    return {
+        "n": g.n,
+        "m": g.m,
+        "k_bits": inst.k_bits,
+        "cut": cut_edges(inst),
+        "mwc": value,
+        "gap_ratio": ratio,
+        "implied_rounds": implied_round_bound(inst),
+        "diameter": g.undirected_diameter() if g.n <= 4000 else None,
+    }
+
+
+def verify_gap(
+    family: Callable[[DisjointnessInstance], LowerBoundInstance],
+    k: int,
+    trials: int = 5,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Verify the yes/no gap across random disjoint/intersecting inputs."""
+    rng = np.random.default_rng(seed)
+    reports = []
+    for t in range(trials):
+        for maker in (random_disjoint, random_intersecting):
+            inst = family(maker(k, rng=rng))
+            reports.append(verify_instance(inst))
+    return {"trials": len(reports), "reports": reports}

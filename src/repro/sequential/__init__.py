@@ -1,0 +1,34 @@
+"""Sequential reference algorithms used as ground truth in tests and benches.
+
+These are classical centralized algorithms (BFS, Dijkstra, APSP, exact MWC by
+edge-deletion / APSP reductions). Every distributed algorithm in
+:mod:`repro.core` is validated against this module.
+"""
+
+from repro.sequential.shortest_paths import (
+    all_pairs_shortest_paths,
+    bfs_distances,
+    dijkstra,
+    distances,
+    hop_limited_distances,
+    k_source_distances,
+)
+from repro.sequential.mwc import (
+    exact_girth,
+    exact_mwc,
+    mwc_through_vertex,
+    shortest_cycle_through_edge,
+)
+
+__all__ = [
+    "bfs_distances",
+    "dijkstra",
+    "distances",
+    "all_pairs_shortest_paths",
+    "hop_limited_distances",
+    "k_source_distances",
+    "exact_mwc",
+    "exact_girth",
+    "mwc_through_vertex",
+    "shortest_cycle_through_edge",
+]

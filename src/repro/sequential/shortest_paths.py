@@ -1,0 +1,110 @@
+"""Centralized shortest-path references: BFS, Dijkstra, APSP, hop limits."""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.graphs.graph import Graph, INF
+
+
+def bfs_distances(g: Graph, source: int, h: Optional[int] = None,
+                  reverse: bool = False) -> List[float]:
+    """Hop distances from ``source`` along (out-)edges; ``INF`` if unreachable.
+
+    ``h`` truncates the search to at most ``h`` hops. ``reverse`` follows
+    in-edges instead, i.e. computes ``d(v, source)`` hop counts.
+    """
+    dist: List[float] = [INF] * g.n
+    dist[source] = 0
+    queue = deque([source])
+    neigh = g.in_neighbors if reverse else g.out_neighbors
+    while queue:
+        u = queue.popleft()
+        if h is not None and dist[u] >= h:
+            continue
+        for v in neigh(u):
+            if dist[v] == INF:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def dijkstra(g: Graph, source: int, reverse: bool = False) -> List[float]:
+    """Weighted distances from ``source``; ``INF`` if unreachable."""
+    dist: List[float] = [INF] * g.n
+    dist[source] = 0
+    items = g.in_items if reverse else g.out_items
+    heap = [(0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in items(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def distances(g: Graph, source: int, reverse: bool = False) -> List[float]:
+    """Weighted or hop distances depending on ``g.weighted``."""
+    if g.weighted:
+        return dijkstra(g, source, reverse=reverse)
+    return bfs_distances(g, source, reverse=reverse)
+
+
+def all_pairs_shortest_paths(g: Graph) -> List[List[float]]:
+    """APSP matrix ``d[u][v]``; rows computed per-source."""
+    return [distances(g, s) for s in range(g.n)]
+
+
+def k_source_distances(g: Graph, sources: Iterable[int],
+                       reverse: bool = False) -> Dict[int, List[float]]:
+    """Distances from each source in ``sources`` (``d[s][v]``)."""
+    return {s: distances(g, s, reverse=reverse) for s in sources}
+
+
+def hop_limited_distances(g: Graph, source: int, h: int,
+                          reverse: bool = False) -> List[float]:
+    """Minimum weight over paths of at most ``h`` hops (Bellman–Ford).
+
+    For unweighted graphs this coincides with ``bfs_distances(..., h=h)``.
+    """
+    if not g.weighted:
+        return bfs_distances(g, source, h=h, reverse=reverse)
+    dist: List[float] = [INF] * g.n
+    dist[source] = 0
+    items = g.out_items if not reverse else g.in_items
+    cur = dist[:]
+    for _ in range(h):
+        nxt = cur[:]
+        for u in range(g.n):
+            du = cur[u]
+            if du == INF:
+                continue
+            for v, w in items(u):
+                if du + w < nxt[v]:
+                    nxt[v] = du + w
+        if nxt == cur:
+            break
+        cur = nxt
+    return cur
+
+
+def weight_limited_distances(g: Graph, source: int, limit: float,
+                             reverse: bool = False) -> List[float]:
+    """Dijkstra truncated to distances ``<= limit`` (others ``INF``).
+
+    This is the centralized analogue of a unit-speed wave on the stretched
+    graph run for ``limit`` rounds (paper §4's hop-limited MWC on ``G^s``).
+    """
+    dist = dijkstra(g, source, reverse=reverse)
+    return [d if d <= limit else INF for d in dist]
+
+
+def eccentricity(g: Graph, source: int) -> float:
+    """Directed eccentricity of ``source`` (INF if some vertex unreachable)."""
+    return max(distances(g, source))

@@ -1,0 +1,20 @@
+"""Shared hypothesis strategies for randomized graph/algorithm testing."""
+
+from hypothesis import strategies as st
+
+from repro.graphs import erdos_renyi
+
+
+@st.composite
+def connected_graphs(draw, min_n=6, max_n=24, directed=False, weighted=False,
+                     max_weight=8):
+    """A connected random graph with drawn size, density and seed."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    p = draw(st.floats(min_value=0.05, max_value=0.35))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return erdos_renyi(n, p, directed=directed, weighted=weighted,
+                       max_weight=max_weight, seed=seed)
+
+
+def algorithm_seeds():
+    return st.integers(min_value=0, max_value=10_000)

@@ -1,0 +1,60 @@
+"""Tests for leader election and top-k aggregation primitives."""
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.congest.primitives.aggregation import aggregate_top_k, elect_leader
+from repro.graphs import cycle_graph, erdos_renyi, grid_graph
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_elects_min_id(self, seed):
+        g = erdos_renyi(20, 0.15, seed=seed)
+        net = CongestNetwork(g, seed=seed)
+        assert elect_leader(net) == 0
+
+    def test_rounds_linear_in_diameter(self):
+        g = cycle_graph(30)
+        net = CongestNetwork(g, seed=0)
+        elect_leader(net)
+        assert net.rounds <= 8 * g.undirected_diameter() + 16
+
+
+class TestTopK:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_correct_top_k(self, seed, k):
+        g = erdos_renyi(24, 0.12, seed=seed)
+        net = CongestNetwork(g, seed=seed)
+        values = [((v * 37) % 101) for v in range(g.n)]
+        got = aggregate_top_k(net, values, k)
+        expected = sorted((float(values[v]), v) for v in range(g.n))[:k]
+        assert got == expected
+
+    def test_ties_broken_by_id(self):
+        g = grid_graph(4, 4)
+        net = CongestNetwork(g, seed=0)
+        got = aggregate_top_k(net, [5.0] * g.n, 3)
+        assert got == [(5.0, 0), (5.0, 1), (5.0, 2)]
+
+    def test_k_larger_than_n(self):
+        g = cycle_graph(5)
+        net = CongestNetwork(g, seed=0)
+        got = aggregate_top_k(net, [4, 2, 5, 1, 3], 10)
+        assert [v for _, v in got] == [3, 1, 4, 0, 2]
+
+    def test_rounds_scale_with_k_plus_d(self):
+        g = cycle_graph(40)
+        net = CongestNetwork(g, seed=0)
+        k = 6
+        aggregate_top_k(net, list(range(40, 0, -1)), k)
+        D = g.undirected_diameter()
+        assert net.rounds <= 8 * (k + D) + 40
+
+    def test_input_validation(self):
+        net = CongestNetwork(cycle_graph(5), seed=0)
+        with pytest.raises(ValueError):
+            aggregate_top_k(net, [1, 2], 2)
+        with pytest.raises(ValueError):
+            aggregate_top_k(net, [1] * 5, 0)

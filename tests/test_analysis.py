@@ -1,0 +1,106 @@
+"""Tests for the analysis utilities (fitting, crossovers, Table 1 view)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    TABLE1_CLAIMS,
+    crossover_point,
+    fit_exponent,
+    geometric_sizes,
+    render_table,
+)
+
+
+class TestFitExponent:
+    def test_recovers_known_power_law(self):
+        ns = [10, 20, 40, 80, 160]
+        rounds = [3 * n ** 0.8 for n in ns]
+        fit = fit_exponent(ns, rounds)
+        assert abs(fit.exponent - 0.8) < 1e-9
+        assert abs(fit.constant - 3) < 1e-6
+        assert fit.r_squared > 0.999999
+
+    def test_polylog_correction_removes_log_factor(self):
+        ns = [64, 128, 256, 512, 1024]
+        rounds = [n ** 0.5 * math.log2(n) ** 2 for n in ns]
+        raw = fit_exponent(ns, rounds)
+        corrected = fit_exponent(ns, rounds, polylog_correction=2.0)
+        assert raw.exponent > 0.8           # logs inflate the raw slope
+        assert abs(corrected.exponent - 0.5) < 1e-9
+
+    def test_predict(self):
+        fit = fit_exponent([10, 100], [20, 200])
+        assert abs(fit.predict(1000) - 2000) < 1e-6
+
+    def test_matches_tolerance(self):
+        fit = fit_exponent([10, 100], [10 ** 0.8, 100 ** 0.8])
+        assert fit.matches(0.8)
+        assert fit.matches(1.0, tol=0.25)
+        assert not fit.matches(1.2, tol=0.25)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponent([10], [5])
+        with pytest.raises(ValueError):
+            fit_exponent([10, 0], [5, 5])
+        with pytest.raises(ValueError):
+            fit_exponent([10, 20], [5, -1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        exponent=st.floats(min_value=0.1, max_value=2.0),
+        constant=st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_property_exact_recovery(self, exponent, constant):
+        ns = [16, 32, 64, 128]
+        rounds = [constant * n ** exponent for n in ns]
+        fit = fit_exponent(ns, rounds)
+        assert abs(fit.exponent - exponent) < 1e-6
+
+
+class TestCrossover:
+    def test_finds_first_win(self):
+        xs = [1, 2, 3, 4]
+        assert crossover_point(xs, [10, 8, 4, 2], [5, 6, 7, 8]) == 3
+
+    def test_none_when_never_wins(self):
+        assert crossover_point([1, 2], [9, 9], [1, 1]) is None
+
+    def test_immediate_win(self):
+        assert crossover_point([1, 2], [1, 1], [9, 9]) == 1
+
+
+class TestGeometricSizes:
+    def test_endpoints_and_monotone(self):
+        sizes = geometric_sizes(32, 512, 5)
+        assert sizes[0] == 32 and sizes[-1] == 512
+        assert sizes == sorted(set(sizes))
+
+    def test_single(self):
+        assert geometric_sizes(10, 100, 1) == [10]
+
+
+class TestTable1:
+    def test_claims_cover_every_bench(self):
+        assert len(TABLE1_CLAIMS) == 13
+        for row in TABLE1_CLAIMS.values():
+            assert row.bench.endswith(".py")
+            assert 0 < row.claimed_exponent <= 1.0
+
+    def test_render_without_measurements(self):
+        out = render_table()
+        assert "Directed MWC" in out and "Thm 1.2.A" in out
+
+    def test_render_with_measurements(self):
+        out = render_table({"T1-R6-UB": {"exponent": 0.496, "ratio_ok": True},
+                            "T6-A": {"note": "exact"},
+                            "T1-R1-LB": {"ratio_ok": False}})
+        assert "n^0.50" in out
+        assert "ratio ok" in out
+        assert "RATIO FAIL" in out
+        assert "exact" in out

@@ -1,0 +1,100 @@
+"""Tests for the standalone distributed APSP API."""
+
+import pytest
+
+from repro.core.apsp import (
+    apsp_approx,
+    apsp_unweighted,
+    apsp_weighted_exact,
+    mwc_via_approx_apsp,
+)
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import all_pairs_shortest_paths, exact_mwc
+
+
+class TestUnweightedApsp:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_exact(self, seed, directed):
+        g = erdos_renyi(24, 0.12, directed=directed, seed=seed)
+        res = apsp_unweighted(g, seed=seed)
+        ref = all_pairs_shortest_paths(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert res.distance(u, v) == ref[u][v]
+
+    def test_rounds_linear(self):
+        g = cycle_graph(50, directed=True)
+        res = apsp_unweighted(g, seed=0)
+        assert res.rounds <= 3 * g.n
+
+    def test_rejects_weighted(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 2)
+        with pytest.raises(GraphError):
+            apsp_unweighted(g)
+
+
+class TestWeightedApsp:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_matches_sequential(self, seed):
+        g = erdos_renyi(18, 0.2, directed=True, weighted=True, max_weight=9,
+                        seed=seed)
+        res = apsp_weighted_exact(g, seed=seed)
+        ref = all_pairs_shortest_paths(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert res.distance(u, v) == ref[u][v]
+
+    def test_unweighted_falls_back(self):
+        g = cycle_graph(8, directed=True)
+        res = apsp_weighted_exact(g, seed=0)
+        assert res.distance(0, 4) == 4
+
+
+class TestApproxApsp:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_guarantee(self, seed, directed):
+        eps = 0.5
+        g = erdos_renyi(20, 0.15, directed=directed, weighted=True,
+                        max_weight=7, seed=seed)
+        res = apsp_approx(g, eps=eps, seed=seed)
+        ref = all_pairs_shortest_paths(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                true = ref[u][v]
+                got = res.distance(u, v)
+                if true == INF:
+                    assert got == INF
+                else:
+                    assert true - 1e-9 <= got <= (1 + eps) * true + 1e-9
+
+    def test_zero_weight_rejected(self):
+        g = Graph(3, weighted=True)
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 1)
+        with pytest.raises(GraphError):
+            apsp_approx(g)
+
+
+class TestMwcViaApproxApsp:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_guarantee(self, seed, directed):
+        eps = 0.5
+        g = erdos_renyi(20, 0.15, directed=directed, weighted=True,
+                        max_weight=6, seed=seed + 7)
+        true = exact_mwc(g)
+        res = mwc_via_approx_apsp(g, eps=eps, seed=seed)
+        if true == INF:
+            assert res.value == INF
+        else:
+            assert true - 1e-9 <= res.value <= (1 + eps) * true + 1e-9
+
+    def test_unweighted_is_exact(self):
+        g = erdos_renyi(22, 0.12, directed=True, seed=3)
+        true = exact_mwc(g)
+        res = mwc_via_approx_apsp(g, seed=0)
+        assert res.value == true

@@ -1,0 +1,78 @@
+"""Tests for fixed-length directed cycle detection."""
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.core.cycle_detection import (
+    detect_two_cycle_on,
+    has_cycle_of_length_at_most,
+    shortest_cycle_within,
+)
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import exact_mwc
+
+
+class TestShortestCycleWithin:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exact_when_q_large(self, seed):
+        g = erdos_renyi(24, 0.1, directed=True, seed=seed)
+        true = exact_mwc(g)
+        res = shortest_cycle_within(g, q=g.n, seed=seed)
+        assert res.value == true
+
+    def test_q_truncates(self):
+        g = cycle_graph(10, directed=True)
+        assert shortest_cycle_within(g, q=9, seed=0).value == INF
+        assert shortest_cycle_within(g, q=10, seed=0).value == 10
+
+    def test_finds_exactly_q(self):
+        g = cycle_graph(6, directed=True)
+        g.add_edge(0, 3)  # creates a 4-cycle 0->3->4->5->0
+        assert shortest_cycle_within(g, q=4, seed=0).value == 4
+        assert shortest_cycle_within(g, q=3, seed=0).value == INF
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(GraphError):
+            shortest_cycle_within(cycle_graph(5), q=3)
+        g = Graph(3, directed=True, weighted=True)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 0, 2)
+        with pytest.raises(GraphError):
+            shortest_cycle_within(g, q=3)
+        with pytest.raises(GraphError):
+            shortest_cycle_within(cycle_graph(5, directed=True), q=1)
+
+    def test_rounds_linear_in_n_plus_q(self):
+        g = cycle_graph(40, directed=True)
+        res = shortest_cycle_within(g, q=6, seed=0)
+        assert res.rounds <= 2 * (g.n + 6)
+
+    def test_boolean_wrapper(self):
+        g = cycle_graph(8, directed=True)
+        assert has_cycle_of_length_at_most(g, 8)
+        assert not has_cycle_of_length_at_most(g, 7)
+
+
+class TestTwoCycleDetection:
+    def test_detects(self):
+        g = Graph(4, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        net = CongestNetwork(g, seed=0)
+        found, rounds = detect_two_cycle_on(net)
+        assert found
+        assert rounds <= 4 * g.undirected_diameter() + 10
+
+    def test_negative(self):
+        g = cycle_graph(6, directed=True)
+        net = CongestNetwork(g, seed=0)
+        found, _ = detect_two_cycle_on(net)
+        assert not found
+
+    def test_rejects_undirected(self):
+        net = CongestNetwork(cycle_graph(5), seed=0)
+        with pytest.raises(GraphError):
+            detect_two_cycle_on(net)

@@ -1,0 +1,168 @@
+"""Tests for Algorithm 2/3: 2-approx directed unweighted MWC (Thm 1.2.C)."""
+
+import math
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
+from repro.core.ksource import k_source_bfs_on
+from repro.core.restricted_bfs import (
+    RestrictedBfsParams,
+    build_rv,
+    membership_test,
+    partition_sample,
+)
+from repro.graphs import Graph, cycle_graph, erdos_renyi, planted_mwc
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import exact_mwc, k_source_distances
+
+
+class TestReverseKSource:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_reverse_mode_gives_distance_to_sources(self, seed):
+        g = erdos_renyi(30, 0.1, directed=True, seed=seed)
+        net = CongestNetwork(g, seed=seed)
+        sources = [0, 7, 13]
+        res = k_source_bfs_on(net, sources, reverse=True)
+        ref = k_source_distances(g, sources, reverse=True)
+        for v in range(g.n):
+            for s in sources:
+                assert res.distance(s, v) == ref[s][v]
+
+
+class TestRvConstruction:
+    def test_partition_covers_sample(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        S = list(range(10))
+        parts = partition_sample(S, 3, rng)
+        flat = sorted(x for p in parts for x in p)
+        assert flat == S
+        assert len(parts) == 3
+
+    def test_rv_bounded_by_beta(self):
+        import numpy as np
+        rng = np.random.default_rng(1)
+        g = erdos_renyi(30, 0.15, directed=True, seed=2)
+        ref = k_source_distances(g, range(g.n))
+        S = [0, 3, 6, 9, 12, 15]
+        parts = partition_sample(S, 3, rng)
+        pair = {(s, t): ref[s][t] for s in S for t in S}
+        d_v_to = {s: ref[0 + 1][s] for s in S}  # placeholder vertex 1
+        d_to_v = {s: ref[s][1] for s in S}
+        rv = build_rv(1, parts, d_v_to, d_to_v, pair, rng)
+        assert len(rv) <= len(parts)
+        assert all(t in S for t in rv)
+
+    def test_membership_symmetric_vertex_always_in_own_p(self):
+        # v itself satisfies the test against any t: d(v,t)+2*0 <= d(t,v)+2d(v,t)
+        # rearranges to 0 <= d(t,v) + d(v,t), always true.
+        d_u_to = {5: 7.0}
+        d_to_u = {5: 3.0}
+        assert membership_test(0, 0, [5], {5: 7.0}, d_u_to, d_to_u)
+
+
+class TestDirectedMwcApproximation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ratio_on_random_digraphs(self, seed):
+        g = erdos_renyi(40, 0.06, directed=True, seed=seed)
+        true = exact_mwc(g)
+        res = directed_mwc_2approx(g, seed=seed)
+        if true == INF:
+            assert res.value == INF
+        else:
+            assert true <= res.value <= 2 * true, (true, res.value)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ratio_on_denser_digraphs(self, seed):
+        g = erdos_renyi(36, 0.15, directed=True, seed=seed + 50)
+        true = exact_mwc(g)
+        res = directed_mwc_2approx(g, seed=seed)
+        assert true <= res.value <= 2 * true
+
+    def test_single_long_cycle_exact(self):
+        # The whole graph is one long cycle: it passes through sampled
+        # vertices, so the algorithm computes it exactly (case 1).
+        g = cycle_graph(60, directed=True)
+        res = directed_mwc_2approx(g, seed=1)
+        assert res.value == 60
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted_short_cycle(self, seed):
+        g = planted_mwc(50, cycle_len=3, p=0.02, directed=True, seed=seed)
+        true = exact_mwc(g)
+        res = directed_mwc_2approx(g, seed=seed)
+        assert true <= res.value <= 2 * true
+
+    def test_two_cycle(self):
+        g = Graph(4, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        res = directed_mwc_2approx(g, seed=0)
+        assert 2 <= res.value <= 4
+
+    def test_acyclic_reports_inf(self):
+        g = Graph(5, directed=True)
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        res = directed_mwc_2approx(g, seed=0)
+        assert res.value == INF
+
+    def test_rejects_undirected(self):
+        with pytest.raises(GraphError):
+            directed_mwc_2approx(cycle_graph(5), seed=0)
+
+    def test_rejects_weighted(self):
+        g = Graph(3, directed=True, weighted=True)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 2)
+        g.add_edge(2, 0, 2)
+        with pytest.raises(GraphError):
+            directed_mwc_2approx(g, seed=0)
+
+    def test_details_populated(self):
+        g = erdos_renyi(30, 0.1, directed=True, seed=3)
+        res = directed_mwc_2approx(g, seed=0)
+        for key in ("h", "sample_size", "rounds_ksource", "rounds_short_cycles",
+                    "overflow_count", "rounds_total"):
+            assert key in res.details
+        assert res.rounds == res.details["rounds_total"]
+
+
+class TestParamsAndAblation:
+    def test_param_scaling(self):
+        p = DirectedMwcParams()
+        assert p.h(1024) == math.ceil(1024 ** 0.6)
+        assert 0 < p.sample_probability(1024) <= 1
+
+    def test_caps_disabled_still_correct(self):
+        g = erdos_renyi(30, 0.12, directed=True, seed=4)
+        true = exact_mwc(g)
+        params = DirectedMwcParams(enforce_caps=False)
+        res = directed_mwc_2approx(g, seed=2, params=params)
+        assert true <= res.value <= 2 * true
+        assert res.details["overflow_count"] == 0
+
+    def test_restricted_params_for_n(self):
+        p = RestrictedBfsParams.for_n(1000)
+        assert p.h == math.ceil(1000 ** 0.6)
+        assert p.rho == math.ceil(1000 ** 0.8)
+        assert p.cap >= 2 and p.beta >= 2
+
+
+class TestSeedStability:
+    def test_deterministic_given_seed(self):
+        g = erdos_renyi(30, 0.1, directed=True, seed=9)
+        a = directed_mwc_2approx(g, seed=5)
+        b = directed_mwc_2approx(g, seed=5)
+        assert a.value == b.value and a.rounds == b.rounds
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_many_seeds_never_violate_guarantee(self, seed):
+        g = erdos_renyi(28, 0.1, directed=True, seed=123)
+        true = exact_mwc(g)
+        res = directed_mwc_2approx(g, seed=seed)
+        assert true <= res.value <= 2 * true

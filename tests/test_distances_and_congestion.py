@@ -1,0 +1,99 @@
+"""Tests for distance summaries and congestion analysis."""
+
+import pytest
+
+from repro.analysis.congestion import load_histogram_ascii, summarize
+from repro.congest import CongestNetwork
+from repro.congest.primitives import multi_source_bfs
+from repro.core.distances import distance_summary
+from repro.graphs import Graph, cycle_graph, erdos_renyi, grid_graph
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import distances
+
+
+def sequential_summary(g):
+    ecc = []
+    for v in range(g.n):
+        d = distances(g, v)
+        ecc.append(max(d))
+    finite = [e for e in ecc]
+    return ecc, min(finite), max(finite)
+
+
+class TestDistanceSummary:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_unweighted_exact(self, seed):
+        g = erdos_renyi(20, 0.15, seed=seed)
+        res = distance_summary(g, seed=seed)
+        ecc, radius, diameter = sequential_summary(g)
+        assert res.eccentricity == ecc
+        assert res.radius == radius and res.diameter == diameter
+
+    def test_directed_unreachable_gives_infinite(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        res = distance_summary(g, seed=0)
+        assert res.eccentricity[0] == 2
+        assert res.eccentricity[2] == INF
+        assert res.diameter == INF
+        assert res.radius == 2
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_weighted_exact(self, seed):
+        g = erdos_renyi(16, 0.2, weighted=True, max_weight=7, seed=seed)
+        res = distance_summary(g, seed=seed)
+        ecc, radius, diameter = sequential_summary(g)
+        assert res.eccentricity == [float(e) for e in ecc]
+        assert res.details["mode"] == "exact-weighted"
+
+    def test_weighted_approx_bounds(self):
+        g = erdos_renyi(16, 0.2, weighted=True, max_weight=7, seed=5)
+        eps = 0.5
+        res = distance_summary(g, seed=0, approx_eps=eps)
+        ecc, radius, diameter = sequential_summary(g)
+        assert radius <= res.radius <= (1 + eps) * radius + 1e-9
+        assert diameter <= res.diameter <= (1 + eps) * diameter + 1e-9
+
+    def test_cycle_known_values(self):
+        g = cycle_graph(10)
+        res = distance_summary(g, seed=0)
+        assert res.radius == 5 and res.diameter == 5
+
+    def test_approx_validation(self):
+        g = erdos_renyi(10, 0.3, weighted=True, max_weight=3, seed=1)
+        with pytest.raises(GraphError):
+            distance_summary(g, approx_eps=0)
+
+
+class TestCongestionAnalysis:
+    def test_summarize_empty(self):
+        net = CongestNetwork(cycle_graph(4))
+        s = summarize(net.stats)
+        assert s.steps == 0 and s.max_load == 0
+
+    def test_summarize_counts_overloads(self):
+        net = CongestNetwork(cycle_graph(4), bandwidth=1)
+        net.exchange({0: {1: [("a", 1)]}})
+        net.exchange({0: {1: [(i, 1) for i in range(5)]}})
+        s = summarize(net.stats, bandwidth=1)
+        assert s.steps == 2
+        assert s.max_load == 5
+        assert s.overloaded_steps == 1
+        assert s.overload_fraction == 0.5
+
+    def test_histogram_renders(self):
+        g = grid_graph(4, 4)
+        net = CongestNetwork(g)
+        multi_source_bfs(net, [0, 5, 10, 15])
+        text = load_histogram_ascii(net.stats)
+        assert "load" in text and "#" in text
+
+    def test_histogram_empty(self):
+        net = CongestNetwork(cycle_graph(4))
+        assert "no steps" in load_histogram_ascii(net.stats)
+
+    def test_str_summary(self):
+        net = CongestNetwork(cycle_graph(4))
+        net.exchange({0: {1: [("a", 1)]}})
+        assert "steps=1" in str(summarize(net.stats))

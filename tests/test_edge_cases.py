@@ -1,0 +1,199 @@
+"""Edge-case coverage across the stack: tiny graphs, extreme parameters,
+degenerate inputs, and explicit failure paths."""
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.congest.primitives import (
+    bfs,
+    broadcast,
+    build_bfs_tree,
+    converge_min,
+    multi_source_bfs,
+    multi_source_wave,
+    propagate_down_trees,
+    source_detection,
+)
+from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
+from repro.core.girth import GirthParams, girth_2approx
+from repro.core.ksource import k_source_bfs, k_source_sssp
+from repro.core.weighted_mwc import (
+    WeightedMwcParams,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import exact_mwc, k_source_distances
+
+
+class TestTinyNetworks:
+    def test_single_vertex_network(self):
+        net = CongestNetwork(Graph(1))
+        tree = build_bfs_tree(net)
+        assert tree.parent == [-1]
+        assert converge_min(net, [42]) == 42
+        assert broadcast(net, {0: ["x"]}) == [["x"]]
+
+    def test_two_vertex_directed_two_cycle(self):
+        g = Graph(2, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert exact_mwc(g) == 2
+        res = directed_mwc_2approx(g, seed=0)
+        assert 2 <= res.value <= 4
+
+    def test_triangle_girth(self):
+        res = girth_2approx(cycle_graph(3), seed=0)
+        assert res.value == 3  # (2 - 1/3) * 3 = 5, but 3 must be found
+
+    def test_smallest_weighted_cycle(self):
+        g = Graph(3, weighted=True)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, 1)
+        g.add_edge(2, 0, 1)
+        res = undirected_weighted_mwc_approx(g, eps=0.5, seed=0)
+        assert 3 <= res.value <= 7.5
+
+
+class TestExtremeParameters:
+    def test_ksource_h_exceeding_n(self):
+        g = cycle_graph(12, directed=True)
+        res = k_source_bfs(g, [0, 4], seed=0, h=100, method="skeleton")
+        ref = k_source_distances(g, [0, 4])
+        for v in range(12):
+            assert res.distance(0, v) == ref[0][v]
+
+    def test_ksource_all_vertices_as_sources(self):
+        g = erdos_renyi(14, 0.25, directed=True, seed=1)
+        res = k_source_bfs(g, list(range(14)), seed=0, method="skeleton",
+                           sample_constant=4.0)
+        ref = k_source_distances(g, range(14))
+        for u in range(14):
+            for v in range(14):
+                assert res.distance(u, v) == ref[u][v]
+
+    def test_ksource_sssp_tiny_eps(self):
+        g = erdos_renyi(14, 0.3, directed=True, weighted=True, max_weight=4,
+                        seed=2)
+        res = k_source_sssp(g, [0, 5], eps=0.05, seed=0)
+        ref = k_source_distances(g, [0, 5])
+        for u in (0, 5):
+            for v in range(14):
+                if ref[u][v] != INF:
+                    assert ref[u][v] <= res.distance(u, v) <= 1.05 * ref[u][v] + 1e-9
+
+    def test_girth_sigma_constant_huge(self):
+        g = cycle_graph(16)
+        params = GirthParams(sigma_constant=10.0, sample_constant=10.0)
+        assert girth_2approx(g, seed=0, params=params).value == 16
+
+    def test_directed_mwc_h_exponent_extremes(self):
+        g = erdos_renyi(24, 0.12, directed=True, seed=3)
+        true = exact_mwc(g)
+        for h_exp in (0.2, 0.95):
+            params = DirectedMwcParams(h_exponent=h_exp)
+            res = directed_mwc_2approx(g, seed=0, params=params)
+            assert true <= res.value <= 2 * true, h_exp
+
+    def test_weighted_mwc_large_eps(self):
+        g = erdos_renyi(18, 0.2, weighted=True, max_weight=6, seed=4)
+        true = exact_mwc(g)
+        res = undirected_weighted_mwc_approx(g, eps=4.0, seed=0)
+        assert true - 1e-9 <= res.value <= 6 * true + 1e-9
+
+
+class TestPrimitiveBudgets:
+    def test_multi_bfs_max_steps_raises(self):
+        g = cycle_graph(20, directed=True)
+        net = CongestNetwork(g)
+        with pytest.raises(RuntimeError):
+            multi_source_bfs(net, [0], max_steps=3)
+
+    def test_wave_max_steps_raises(self):
+        g = cycle_graph(20, directed=True)
+        net = CongestNetwork(g)
+        with pytest.raises(RuntimeError):
+            multi_source_wave(net, [0], budget=30, max_steps=3)
+
+    def test_detection_max_steps_raises(self):
+        g = cycle_graph(20)
+        net = CongestNetwork(g)
+        with pytest.raises(RuntimeError):
+            source_detection(net, sigma=5, budget=10, max_steps=2)
+
+    def test_broadcast_max_steps_raises(self):
+        g = cycle_graph(20)
+        net = CongestNetwork(g)
+        with pytest.raises(RuntimeError):
+            broadcast(net, {0: list(range(10))}, max_steps=2)
+
+    def test_propagate_max_steps_raises(self):
+        g = cycle_graph(20)
+        net = CongestNetwork(g)
+        _, parents = multi_source_bfs(net, [0], record_parents=True)
+        with pytest.raises(RuntimeError):
+            propagate_down_trees(net, parents, {0: list(range(30))},
+                                 max_steps=1)
+
+
+class TestDegenerateBroadcasts:
+    def test_broadcast_single_huge_batch(self):
+        g = cycle_graph(8)
+        net = CongestNetwork(g)
+        received = broadcast(net, {3: list(range(40))})
+        assert all(len(r) == 40 for r in received)
+
+    def test_broadcast_every_vertex_contributes(self):
+        g = cycle_graph(10)
+        net = CongestNetwork(g)
+        received = broadcast(net, {v: [v] for v in range(10)})
+        assert all(sorted(r) == list(range(10)) for r in received)
+
+    def test_broadcast_multiword_messages(self):
+        g = cycle_graph(8)
+        net = CongestNetwork(g)
+        broadcast(net, {0: ["big"] * 4}, words_per_message=3)
+        assert net.rounds >= 12  # 4 messages x 3 words each way at least
+
+
+class TestBfsCorners:
+    def test_bfs_from_isolated_ish_source(self):
+        # Source with no out-edges in a directed graph: only itself reached.
+        g = Graph(4, directed=True)
+        g.add_edge(1, 0)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        net = CongestNetwork(g)
+        dist, _ = bfs(net, 0)
+        assert dist[0] == 0 and all(dist[v] == INF for v in (1, 2, 3))
+
+    def test_bfs_h_zero(self):
+        g = cycle_graph(6)
+        net = CongestNetwork(g)
+        dist, _ = bfs(net, 0, h=0)
+        assert dist[0] == 0 and all(dist[v] == INF for v in range(1, 6))
+
+    def test_wave_budget_zero(self):
+        g = cycle_graph(6)
+        net = CongestNetwork(g)
+        known, _ = multi_source_wave(net, [0], budget=0)
+        assert known[0] == {0: 0}
+        assert all(known[v] == {} for v in range(1, 6))
+
+
+class TestValidationMessages:
+    def test_graph_errors_carry_context(self):
+        g = Graph(3)
+        with pytest.raises(GraphError, match="out of range"):
+            g.add_edge(0, 7)
+        with pytest.raises(GraphError, match="not present"):
+            g.weight(0, 1)
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(1, 1)
+
+    def test_network_rejects_with_reason(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(GraphError, match="connected"):
+            CongestNetwork(g)

@@ -1,0 +1,105 @@
+"""Tests for the exact CONGEST MWC algorithms and prior-work baselines."""
+
+import pytest
+
+from repro.core.baselines import PrtParams, exact_girth_congest, girth_prt
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.core.girth import girth_2approx
+from repro.graphs import Graph, cycle_graph, cycle_with_chords, erdos_renyi
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import exact_girth, exact_mwc
+
+
+class TestExactMwcCongest:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_unweighted_matches_sequential(self, seed, directed):
+        g = erdos_renyi(28, 0.1, directed=directed, seed=seed)
+        res = exact_mwc_congest(g, seed=seed)
+        assert res.value == exact_mwc(g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_weighted_matches_sequential(self, seed, directed):
+        g = erdos_renyi(22, 0.12, directed=directed, weighted=True,
+                        max_weight=9, seed=seed + 30)
+        res = exact_mwc_congest(g, seed=seed)
+        assert res.value == exact_mwc(g)
+
+    def test_zero_weight_edges_supported(self):
+        g = Graph(4, directed=True, weighted=True)
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 0)
+        g.add_edge(2, 0, 1)
+        g.add_edge(2, 3, 5)
+        res = exact_mwc_congest(g, seed=0)
+        assert res.value == 1
+
+    def test_acyclic(self):
+        g = Graph(5, directed=True)
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        assert exact_mwc_congest(g, seed=0).value == INF
+
+    def test_rounds_linear_unweighted(self):
+        g = cycle_graph(60, directed=True)
+        res = exact_mwc_congest(g, seed=0)
+        # n-source pipelined BFS: O(n + ecc) with a small constant.
+        assert res.rounds <= 4 * g.n
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_undirected_weighted_ties(self, seed):
+        # Uniform weights create many shortest-path ties; exactness must
+        # survive tie-breaking in the SPT-edge exclusion.
+        g = erdos_renyi(20, 0.2, weighted=True, max_weight=2, seed=seed + 60)
+        res = exact_mwc_congest(g, seed=seed)
+        assert res.value == exact_mwc(g)
+
+
+class TestExactGirthBaseline:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_sequential(self, seed):
+        g = erdos_renyi(30, 0.09, seed=seed)
+        res = exact_girth_congest(g, seed=seed)
+        assert res.value == exact_girth(g)
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphError):
+            exact_girth_congest(cycle_graph(4, directed=True))
+
+
+class TestPrtBaseline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_guarantee(self, seed):
+        g = erdos_renyi(36, 0.08, seed=seed)
+        true = exact_girth(g)
+        res = girth_prt(g, seed=seed)
+        if true == INF:
+            assert res.value == INF
+        else:
+            assert true <= res.value <= (2 - 1 / true) * true + 1e-9
+
+    def test_large_girth_cycle(self):
+        g = cycle_graph(48)
+        res = girth_prt(g, seed=1)
+        assert res.value == 48
+
+    def test_doubling_recorded(self):
+        g = cycle_graph(32)
+        res = girth_prt(g, seed=0)
+        assert len(res.details["guesses"]) >= 2
+
+    def test_ours_beats_prt_on_large_girth(self):
+        """The paper's improvement: sqrt(n) + D vs sqrt(n g) + D."""
+        g = cycle_graph(128)  # girth = n: worst case for PRT
+        ours = girth_2approx(g, seed=0)
+        prt = girth_prt(g, seed=0)
+        assert ours.value == 128 and prt.value == 128
+        assert ours.rounds < prt.rounds
+
+    def test_small_girth_prt_terminates_quickly(self):
+        g = cycle_with_chords(40, 20, seed=2)
+        res = girth_prt(g, seed=0)
+        true = exact_girth(g)
+        assert true <= res.value <= 2 * true
+        assert len(res.details["guesses"]) <= 4

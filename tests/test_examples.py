@@ -1,0 +1,32 @@
+"""Smoke tests keeping every example runnable end to end."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+def run_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py",
+    "deadlock_detection.py",
+    "network_cycle_monitor.py",
+    "landmark_routing.py",
+    "paper_table.py",
+    "lower_bound_tour.py",
+])
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"

@@ -1,0 +1,157 @@
+"""Tests for the §4 girth algorithm (Theorem 1.3.B, Corollary 4.1)."""
+
+import math
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.core.girth import (
+    GirthParams,
+    girth_2approx,
+    girth_2approx_on,
+    hop_limited_girth_on,
+)
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    cycle_with_chords,
+    erdos_renyi,
+    grid_graph,
+    random_regular,
+    ring_of_cliques,
+)
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import exact_girth, exact_mwc
+
+
+def assert_guarantee(g, res, seed_info=""):
+    true = exact_girth(g)
+    if true == INF:
+        assert res.value == INF, seed_info
+    else:
+        bound = (2 - 1 / true) * true
+        assert true <= res.value <= bound + 1e-9, (true, res.value, seed_info)
+
+
+class TestGirthApproximation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(40, 0.07, seed=seed)
+        res = girth_2approx(g, seed=seed)
+        assert_guarantee(g, res, f"seed={seed}")
+
+    @pytest.mark.parametrize("n", [9, 16, 30, 51])
+    def test_single_cycle_exact(self, n):
+        g = cycle_graph(n)
+        res = girth_2approx(g, seed=1)
+        assert res.value == n
+
+    def test_triangle_in_big_graph(self):
+        g = cycle_graph(40)
+        g.add_edge(0, 2)  # creates a triangle
+        res = girth_2approx(g, seed=2)
+        assert 3 <= res.value <= 5  # (2 - 1/3) * 3 = 5
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chordal_cycles(self, seed):
+        g = cycle_with_chords(36, num_chords=6, seed=seed)
+        res = girth_2approx(g, seed=seed)
+        assert_guarantee(g, res)
+
+    def test_grid(self):
+        g = grid_graph(6, 6)
+        res = girth_2approx(g, seed=3)
+        assert 4 <= res.value <= 7  # girth 4, bound (2-1/4)*4 = 7
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(5, 4)
+        res = girth_2approx(g, seed=4)
+        assert 3 <= res.value <= 5
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_regular_expanders(self, seed):
+        g = random_regular(40, 3, seed=seed)
+        res = girth_2approx(g, seed=seed)
+        assert_guarantee(g, res)
+
+    def test_tree_reports_inf(self):
+        g = Graph(7)
+        for i in range(1, 7):
+            g.add_edge(i, (i - 1) // 2)
+        res = girth_2approx(g, seed=0)
+        assert res.value == INF
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphError):
+            girth_2approx(cycle_graph(5, directed=True), seed=0)
+
+    def test_rejects_weighted(self):
+        g = Graph(3, weighted=True)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 2)
+        g.add_edge(0, 2, 2)
+        with pytest.raises(GraphError):
+            girth_2approx(g, seed=0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_guarantee_across_seeds(self, seed):
+        g = erdos_renyi(34, 0.08, seed=99)
+        res = girth_2approx(g, seed=seed)
+        assert_guarantee(g, res, f"alg seed={seed}")
+
+
+class TestGirthRounds:
+    def test_rounds_scale_like_sqrt_n_on_bounded_diameter(self):
+        """Measured rounds grow ~sqrt(n) on constant-diameter graphs."""
+        rounds = []
+        for n in (64, 256):
+            g = random_regular(n, max(3, int(math.log2(n))), seed=1)
+            res = girth_2approx(g, seed=1)
+            rounds.append(res.rounds)
+        # Quadrupling n should roughly double rounds (plus lower-order terms);
+        # assert well below linear growth.
+        assert rounds[1] < 3.2 * rounds[0]
+
+    def test_round_breakdown_recorded(self):
+        g = erdos_renyi(30, 0.1, seed=5)
+        res = girth_2approx(g, seed=5)
+        assert res.details["sigma"] == GirthParams().sigma(30)
+        assert res.rounds == res.details["rounds_total"]
+
+
+class TestHopLimitedGirth:
+    def test_budget_excludes_long_cycles(self):
+        # Two cycles: a 4-cycle and a 20-cycle sharing vertex 0.
+        g = Graph(23)
+        for i in range(19):
+            g.add_edge(i, i + 1)
+        g.add_edge(19, 0)
+        g.add_edge(0, 20)
+        g.add_edge(20, 21)
+        g.add_edge(21, 22)
+        g.add_edge(22, 0)
+        net = CongestNetwork(g, seed=0)
+        value, _, _ = hop_limited_girth_on(net, budget=6)
+        assert 4 <= value <= 7
+
+    def test_budget_too_small_finds_nothing(self):
+        g = cycle_graph(20)
+        net = CongestNetwork(g, seed=0)
+        value, _, _ = hop_limited_girth_on(net, budget=3)
+        assert value == INF
+
+    def test_weight_graph_override(self):
+        g = cycle_graph(6)
+        heavy = Graph(6, weighted=True)
+        for u, v, _ in g.edges():
+            heavy.add_edge(u, v, 3)
+        net = CongestNetwork(g, seed=0)
+        value, _, _ = hop_limited_girth_on(net, budget=20, weight_graph=heavy)
+        assert value == 18
+
+    def test_per_vertex_candidates_sound(self):
+        g = cycle_with_chords(24, 5, seed=7)
+        true = exact_girth(g)
+        net = CongestNetwork(g, seed=0)
+        _, best, _ = hop_limited_girth_on(net, budget=g.n)
+        assert all(b >= true for b in best)

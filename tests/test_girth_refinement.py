@@ -1,0 +1,89 @@
+"""Tests for the §4 one-vertex-outside candidate refinement."""
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.core.girth import (
+    _edge_candidates,
+    _exchange_vectors,
+    _vertex_candidates,
+    girth_2approx,
+)
+from repro.congest.primitives.waves import multi_source_wave
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import INF
+from repro.sequential import exact_girth, exact_mwc
+
+
+def vectors_from_wave(net, sources, budget):
+    known, parents = multi_source_wave(net, sources, budget=budget,
+                                       record_parents=True)
+    return [
+        {w: (float(d), parents[v].get(w, -1)) for w, d in known[v].items()}
+        for v in range(net.n)
+    ]
+
+
+class TestVertexCandidates:
+    def test_finds_cycle_whose_apex_missed_the_wave(self):
+        """A cycle vertex outside the wave's budget is closed by its two
+        in-budget neighbors."""
+        g = cycle_graph(10)  # girth 10; the apex (vertex 5) is 5 hops out
+        net = CongestNetwork(g, seed=0)
+        budget = 4  # vertices at distance > 4 never hear from source 0
+        vectors = vectors_from_wave(net, [0], budget)
+        nbr = _exchange_vectors(net, vectors)
+        edge_best, _ = _edge_candidates(g, None, vectors, nbr)
+        vertex_best, vertex_arg = _vertex_candidates(g, None, nbr)
+        # With budget 4 on a 10-cycle the two wave fronts stop one vertex
+        # apart (vertex 5 is unreached): edge candidates cannot close it...
+        assert min(edge_best) == INF
+        # ...but the one-outside vertex candidate at the apex does, exactly.
+        assert min(vertex_best) == 10
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_undershoots_girth(self, seed):
+        g = erdos_renyi(22, 0.15, seed=seed)
+        true = exact_girth(g)
+        net = CongestNetwork(g, seed=seed)
+        vectors = vectors_from_wave(net, list(range(0, g.n, 3)), budget=g.n)
+        nbr = _exchange_vectors(net, vectors)
+        vertex_best, _ = _vertex_candidates(g, None, nbr)
+        for cand in vertex_best:
+            assert cand >= true
+
+    def test_budget_excludes_heavy_edges(self):
+        g = cycle_graph(6)
+        heavy = g.with_weights(lambda u, v, w: 10)
+        net = CongestNetwork(g, seed=0)
+        vectors = vectors_from_wave(net, [0], budget=100)
+        nbr = _exchange_vectors(net, vectors)
+        capped, _ = _vertex_candidates(g, heavy, nbr, budget=5)
+        assert min(capped) == INF  # every edge weighs 10 > budget 5
+
+    def test_degree_one_vertices_skipped(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        net = CongestNetwork(g, seed=0)
+        vectors = vectors_from_wave(net, [0], budget=10)
+        nbr = _exchange_vectors(net, vectors)
+        assert min(_vertex_candidates(g, None, nbr)[0]) == INF
+
+
+class TestEndToEndTightness:
+    @pytest.mark.parametrize("n", [9, 15, 21])
+    def test_odd_cycles_stay_exact(self, n):
+        res = girth_2approx(cycle_graph(n), seed=3)
+        assert res.value == n
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_guarantee_preserved_with_refinement(self, seed):
+        g = erdos_renyi(36, 0.09, seed=seed + 200)
+        true = exact_mwc(g)
+        res = girth_2approx(g, seed=seed)
+        if true == INF:
+            assert res.value == INF
+        else:
+            assert true <= res.value <= (2 - 1 / true) * true + 1e-9

@@ -1,0 +1,206 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.graphs.graph import Graph, GraphError, INF
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0
+        assert g.is_connected()
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_add_edge_undirected_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.m == 1
+
+    def test_add_edge_directed_one_way(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 2)
+
+    def test_negative_weight_rejected(self):
+        g = Graph(2, weighted=True)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1)
+
+    def test_nonunit_weight_on_unweighted_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 5)
+
+    def test_readd_edge_keeps_min_weight(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 7)
+        g.add_edge(0, 1, 3)
+        g.add_edge(0, 1, 9)
+        assert g.weight(0, 1) == 3
+        assert g.m == 1
+
+    def test_remove_edge(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.remove_edge(1, 0)
+        assert g.m == 0 and not g.has_edge(0, 1)
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+
+class TestQueries:
+    def make_directed(self):
+        g = Graph(4, directed=True, weighted=True)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        g.add_edge(2, 0, 4)
+        g.add_edge(2, 3, 1)
+        return g
+
+    def test_neighbors_directions(self):
+        g = self.make_directed()
+        assert set(g.out_neighbors(2)) == {0, 3}
+        assert set(g.in_neighbors(2)) == {1}
+        assert set(g.neighbors(2)) == {0, 1, 3}
+
+    def test_degrees(self):
+        g = self.make_directed()
+        assert g.out_degree(2) == 2
+        assert g.in_degree(2) == 1
+
+    def test_weight_lookup_missing_edge(self):
+        g = self.make_directed()
+        with pytest.raises(GraphError):
+            g.weight(3, 2)
+
+    def test_edges_iterates_each_once(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert sorted(g.edges()) == [(0, 1, 1), (1, 2, 1)]
+
+    def test_max_weight(self):
+        g = self.make_directed()
+        assert g.max_weight() == 4
+        assert Graph(3).max_weight() == 0
+
+
+class TestDerivedGraphs:
+    def test_reverse_directed(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        r = g.reverse()
+        assert r.has_edge(1, 0) and not r.has_edge(0, 1)
+
+    def test_reverse_undirected_is_copy(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert g.reverse() == g
+
+    def test_underlying_undirected(self):
+        g = Graph(3, directed=True, weighted=True)
+        g.add_edge(0, 1, 5)
+        g.add_edge(1, 0, 2)
+        u = g.underlying_undirected()
+        assert not u.directed and not u.weighted
+        assert u.m == 1 and u.has_edge(0, 1)
+
+    def test_copy_independent(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        c = g.copy()
+        c.add_edge(1, 2)
+        assert g.m == 1 and c.m == 2
+
+    def test_with_weights(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 3)
+        doubled = g.with_weights(lambda u, v, w: 2 * w)
+        assert doubled.weight(0, 1) == 6
+
+    def test_subgraph(self):
+        g = Graph(5, directed=True)
+        g.add_edge(0, 2)
+        g.add_edge(2, 4)
+        g.add_edge(1, 3)
+        sub, remap = g.subgraph([0, 2, 4])
+        assert sub.n == 3
+        assert sub.has_edge(remap[0], remap[2])
+        assert sub.has_edge(remap[2], remap[4])
+        assert sub.m == 2
+
+
+class TestConnectivityAndDiameter:
+    def test_is_connected_path(self):
+        g = Graph(4)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        assert g.is_connected()
+
+    def test_is_connected_detects_split(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert not g.is_connected()
+
+    def test_directed_uses_communication_links(self):
+        # 0 -> 1, 2 -> 1: weakly connected => CONGEST-connected.
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(2, 1)
+        assert g.is_connected()
+
+    def test_diameter_path(self):
+        g = Graph(5)
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        assert g.undirected_diameter() == 4
+
+    def test_diameter_disconnected_raises(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            g.undirected_diameter()
+
+    def test_eccentricity(self):
+        g = Graph(4)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        assert g.undirected_eccentricity(0) == 3
+        assert g.undirected_eccentricity(1) == 2
+
+
+class TestInterop:
+    def test_networkx_roundtrip_directed_weighted(self):
+        g = Graph(3, directed=True, weighted=True)
+        g.add_edge(0, 1, 4)
+        g.add_edge(1, 2, 5)
+        back = Graph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_equality_and_repr(self):
+        g = Graph(2)
+        h = Graph(2)
+        g.add_edge(0, 1)
+        h.add_edge(0, 1)
+        assert g == h
+        assert "n=2" in repr(g)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph(1))

@@ -1,0 +1,88 @@
+"""Tests for structural graph property helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph, cycle_graph, erdos_renyi, grid_graph
+from repro.graphs.graph import GraphError
+from repro.graphs.properties import (
+    bridges,
+    degree_statistics,
+    has_directed_cycle,
+    is_dag,
+    strongly_connected_components,
+)
+
+
+class TestDegreeStatistics:
+    def test_cycle(self):
+        stats = degree_statistics(cycle_graph(6))
+        assert stats["min"] == stats["max"] == 2
+        assert stats["density"] == pytest.approx(6 / 15)
+
+    def test_empty(self):
+        assert degree_statistics(Graph(0))["mean"] == 0.0
+
+
+class TestDag:
+    def test_chain_is_dag(self):
+        g = Graph(4, directed=True)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        assert is_dag(g)
+        assert not has_directed_cycle(g)
+
+    def test_cycle_is_not_dag(self):
+        assert not is_dag(cycle_graph(5, directed=True))
+        assert has_directed_cycle(cycle_graph(5, directed=True))
+
+    def test_rejects_undirected(self):
+        with pytest.raises(GraphError):
+            is_dag(cycle_graph(4))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(20, 0.08, directed=True, seed=seed,
+                        ensure_connected=False)
+        assert is_dag(g) == nx.is_directed_acyclic_graph(g.to_networkx())
+
+
+class TestScc:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(18, 0.12, directed=True, seed=seed)
+        ours = sorted(tuple(c) for c in strongly_connected_components(g))
+        theirs = sorted(tuple(sorted(c)) for c in
+                        nx.strongly_connected_components(g.to_networkx()))
+        assert ours == theirs
+
+    def test_single_cycle_one_component(self):
+        sccs = strongly_connected_components(cycle_graph(7, directed=True))
+        assert len(sccs) == 1 and len(sccs[0]) == 7
+
+    def test_rejects_undirected(self):
+        with pytest.raises(GraphError):
+            strongly_connected_components(cycle_graph(4))
+
+
+class TestBridges:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(18, 0.1, seed=seed)
+        ours = set(bridges(g))
+        theirs = {(min(u, v), max(u, v))
+                  for u, v in nx.bridges(g.to_networkx())}
+        assert ours == theirs
+
+    def test_cycle_has_none(self):
+        assert bridges(cycle_graph(8)) == []
+
+    def test_tree_is_all_bridges(self):
+        g = Graph(5)
+        for i in range(1, 5):
+            g.add_edge(i, (i - 1) // 2)
+        assert len(bridges(g)) == 4
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphError):
+            bridges(cycle_graph(4, directed=True))

@@ -1,0 +1,71 @@
+"""Tests for the benchmark harness (sweeps, reports, persistence)."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.harness import ExperimentReport, SweepRow, persist, run_sweep
+
+
+def quadratic_runner(n):
+    return SweepRow(n=n, rounds=n * n, value=2.0, true_value=1.5)
+
+
+class TestSweepRow:
+    def test_ratio(self):
+        assert SweepRow(n=1, rounds=1, value=3.0, true_value=2.0).ratio == 1.5
+
+    def test_ratio_none_without_truth(self):
+        assert SweepRow(n=1, rounds=1, value=3.0).ratio is None
+        assert SweepRow(n=1, rounds=1).ratio is None
+
+    def test_ratio_infinite_truth(self):
+        inf = float("inf")
+        assert SweepRow(n=1, rounds=1, value=inf, true_value=inf).ratio == 1.0
+        assert SweepRow(n=1, rounds=1, value=5.0, true_value=inf).ratio is None
+
+
+class TestRunSweep:
+    def test_fit_and_rows(self):
+        report = run_sweep("TEST", [4, 8, 16, 32], quadratic_runner)
+        assert len(report.rows) == 4
+        assert abs(report.fit.exponent - 2.0) < 1e-9
+        assert report.max_ratio() == pytest.approx(2.0 / 1.5)
+
+    def test_polylog_correction_recorded(self):
+        report = run_sweep("TEST", [16, 32, 64], quadratic_runner,
+                           polylog_correction=1.0)
+        assert report.corrected_fit is not None
+        assert report.corrected_fit.exponent < report.fit.exponent
+
+    def test_no_fit_for_single_point(self):
+        report = run_sweep("TEST", [4], quadratic_runner)
+        assert report.fit is None
+
+    def test_summary_mentions_claim(self):
+        report = run_sweep("T1-R6-UB", [4, 8], quadratic_runner)
+        text = report.summary()
+        assert "T1-R6-UB" in text and "paper: 0.50" in text
+
+    def test_summary_unknown_exp_id(self):
+        report = run_sweep("UNKNOWN-ID", [4, 8], quadratic_runner)
+        assert "UNKNOWN-ID" in report.summary()
+        assert report.claimed_exponent is None
+
+
+class TestPersistence:
+    def test_persist_writes_json(self):
+        report = run_sweep("TEST-PERSIST", [4, 8], quadratic_runner,
+                           polylog_correction=2.0, notes="hello")
+        path = persist(report)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+            assert payload["exp_id"] == "TEST-PERSIST"
+            assert payload["notes"] == "hello"
+            assert "fit" in payload and "corrected_fit" in payload
+            assert len(payload["rows"]) == 2
+        finally:
+            os.unlink(path)

@@ -1,0 +1,97 @@
+"""Hypothesis-driven integration properties of the full algorithm stack.
+
+Each property runs a complete distributed algorithm on a randomly drawn
+graph with a randomly drawn seed and checks the paper's guarantee against
+the sequential ground truth — hundreds of distinct (graph, seed) pairs
+across runs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.strategies import algorithm_seeds, connected_graphs
+from repro.core.directed_mwc import directed_mwc_2approx
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.core.girth import girth_2approx
+from repro.core.ksource import k_source_bfs
+from repro.core.weighted_mwc import (
+    directed_weighted_mwc_approx,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs.graph import INF
+from repro.sequential import exact_mwc, k_source_distances
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**SETTINGS)
+@given(g=connected_graphs(directed=True), seed=algorithm_seeds())
+def test_directed_2approx_guarantee(g, seed):
+    true = exact_mwc(g)
+    res = directed_mwc_2approx(g, seed=seed)
+    if true == INF:
+        assert res.value == INF
+    else:
+        assert true <= res.value <= 2 * true
+
+
+@settings(**SETTINGS)
+@given(g=connected_graphs(), seed=algorithm_seeds())
+def test_girth_guarantee(g, seed):
+    true = exact_mwc(g)
+    res = girth_2approx(g, seed=seed)
+    if true == INF:
+        assert res.value == INF
+    else:
+        assert true <= res.value <= (2 - 1 / true) * true + 1e-9
+
+
+@settings(**SETTINGS)
+@given(g=connected_graphs(weighted=True), seed=algorithm_seeds())
+def test_undirected_weighted_guarantee(g, seed):
+    true = exact_mwc(g)
+    res = undirected_weighted_mwc_approx(g, eps=0.5, seed=seed)
+    if true == INF:
+        assert res.value == INF
+    else:
+        assert true - 1e-9 <= res.value <= 2.5 * true + 1e-9
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(g=connected_graphs(directed=True, weighted=True, max_n=18),
+       seed=algorithm_seeds())
+def test_directed_weighted_guarantee(g, seed):
+    true = exact_mwc(g)
+    res = directed_weighted_mwc_approx(g, eps=0.5, seed=seed)
+    if true == INF:
+        assert res.value == INF
+    else:
+        assert true - 1e-9 <= res.value <= 2.5 * true + 1e-9
+
+
+@settings(**SETTINGS)
+@given(g=connected_graphs(directed=True), seed=algorithm_seeds())
+def test_exact_congest_always_exact(g, seed):
+    assert exact_mwc_congest(g, seed=seed).value == exact_mwc(g)
+
+
+@settings(**SETTINGS)
+@given(g=connected_graphs(directed=True, min_n=10), seed=algorithm_seeds(),
+       data=st.data())
+def test_ksource_bfs_exact(g, seed, data):
+    k = data.draw(st.integers(min_value=2, max_value=min(8, g.n // 2)))
+    sources = data.draw(st.lists(
+        st.integers(min_value=0, max_value=g.n - 1),
+        min_size=k, max_size=k, unique=True))
+    res = k_source_bfs(g, sources, seed=seed, method="skeleton",
+                       sample_constant=4.0)
+    ref = k_source_distances(g, sources)
+    for v in range(g.n):
+        for u in sources:
+            assert res.distance(u, v) == ref[u][v]

@@ -1,0 +1,195 @@
+"""Tests for edge-list I/O and the CLI."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import GraphError
+from repro.graphs.io import load_edgelist, save_edgelist
+
+
+class TestEdgeListIO:
+    @pytest.mark.parametrize("directed", [False, True])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_roundtrip(self, tmp_path, directed, weighted):
+        g = erdos_renyi(16, 0.2, directed=directed, weighted=weighted,
+                        max_weight=9, seed=1)
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        assert load_edgelist(path) == g
+
+    def test_roundtrip_via_file_objects(self):
+        g = cycle_graph(5)
+        buf = io.StringIO()
+        save_edgelist(g, buf)
+        buf.seek(0)
+        assert load_edgelist(buf) == g
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphError):
+            load_edgelist(io.StringIO("0 1\n"))
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(GraphError):
+            load_edgelist(io.StringIO("%repro n=2 directed\n"))
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(GraphError):
+            load_edgelist(io.StringIO("%repro n=2 directed=0\n"))
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "%repro n=3 directed=0 weighted=0\n# c\n\n0 1\n% c\n1 2\n"
+        g = load_edgelist(io.StringIO(text))
+        assert g.m == 2
+
+    def test_bad_edge_line_rejected(self):
+        text = "%repro n=3 directed=0 weighted=0\n0 1 2 3\n"
+        with pytest.raises(GraphError):
+            load_edgelist(io.StringIO(text))
+
+    def test_weight_on_unweighted_rejected(self):
+        text = "%repro n=3 directed=0 weighted=0\n0 1 5\n"
+        with pytest.raises(GraphError):
+            load_edgelist(io.StringIO(text))
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = erdos_renyi(24, 0.12, directed=True, seed=2)
+    path = tmp_path / "g.txt"
+    save_edgelist(g, path)
+    return str(path)
+
+
+class TestCli:
+    def test_mwc_exact_with_witness(self, graph_file, capsys):
+        assert main(["mwc", graph_file, "--algorithm", "exact",
+                     "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert "mwc value" in out and "congest rounds" in out
+
+    def test_mwc_auto_directed(self, graph_file, capsys):
+        assert main(["mwc", graph_file]) == 0
+        assert "algorithm: 2approx" in capsys.readouterr().out
+
+    def test_mwc_auto_girth(self, tmp_path, capsys):
+        path = tmp_path / "u.txt"
+        save_edgelist(cycle_graph(12), path)
+        assert main(["mwc", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: girth-approx" in out
+        assert "mwc value: 12" in out
+
+    def test_mwc_weighted_auto(self, tmp_path, capsys):
+        g = erdos_renyi(16, 0.2, weighted=True, max_weight=5, seed=4)
+        path = tmp_path / "w.txt"
+        save_edgelist(g, path)
+        assert main(["mwc", str(path), "--eps", "0.5"]) == 0
+        assert "weighted-approx" in capsys.readouterr().out
+
+    def test_apsp(self, graph_file, capsys):
+        assert main(["apsp", graph_file]) == 0
+        assert "reachable pairs" in capsys.readouterr().out
+
+    def test_generate_then_consume(self, tmp_path, capsys):
+        out = tmp_path / "gen.txt"
+        assert main(["generate", str(out), "--type", "cycle", "-n", "10",
+                     "--directed"]) == 0
+        g = load_edgelist(out)
+        assert g.n == 10 and g.directed
+
+    def test_generate_planted(self, tmp_path):
+        out = tmp_path / "p.txt"
+        assert main(["generate", str(out), "--type", "planted", "-n", "30",
+                     "--directed", "--cycle-len", "5"]) == 0
+        assert load_edgelist(out).n == 30
+
+    def test_table_renders(self, capsys, tmp_path):
+        # Point at an empty results dir: all rows shown unmeasured.
+        assert main(["table", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "T1-R2-UB" in out and "O~(n^{4/5} + D)" in out
+
+    def test_table_with_results(self, capsys, tmp_path):
+        payload = {"exp_id": "T1-R6-UB", "rows": [{"value": 3}],
+                   "fit": {"exponent": 0.51, "constant": 1, "r_squared": 0.99}}
+        with open(tmp_path / "T1-R6-UB.json", "w") as f:
+            json.dump(payload, f)
+        assert main(["table", "--results", str(tmp_path)]) == 0
+        assert "n^0.51" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("family", ["directed", "undirected-weighted",
+                                        "alpha-directed", "alpha-undirected",
+                                        "girth"])
+    def test_verify_lb_families(self, family, capsys):
+        assert main(["verify-lb", "--family", family, "-m", "4"]) == 0
+        assert "gap property verified" in capsys.readouterr().out
+
+    def test_verify_lb_intersecting(self, capsys):
+        assert main(["verify-lb", "--family", "directed", "-m", "4",
+                     "--intersecting"]) == 0
+        out = capsys.readouterr().out
+        assert "mwc: 4" in out
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       directed=st.booleans(), weighted=st.booleans())
+def test_property_io_roundtrip(seed, directed, weighted):
+    g = erdos_renyi(12, 0.25, directed=directed, weighted=weighted,
+                    max_weight=20, seed=seed)
+    buf = io.StringIO()
+    save_edgelist(g, buf)
+    buf.seek(0)
+    assert load_edgelist(buf) == g
+
+
+class TestReportGeneration:
+    def _payload(self):
+        return {
+            "exp_id": "T1-R6-UB",
+            "rows": [
+                {"n": 64, "rounds": 89, "value": 4.0, "true_value": 4.0,
+                 "extra": {"sigma": 12}},
+                {"n": 128, "rounds": 122, "value": 5.0, "true_value": 5.0,
+                 "extra": {}},
+            ],
+            "fit": {"exponent": 0.496, "constant": 1.0, "r_squared": 0.987},
+            "corrected_fit": {"exponent": 0.301, "constant": 1.0,
+                              "r_squared": 0.954, "polylog_correction": 1.0},
+            "notes": "demo",
+        }
+
+    def test_render_report(self, tmp_path):
+        from repro.analysis.report import render_report
+        with open(tmp_path / "T1-R6-UB.json", "w") as f:
+            json.dump(self._payload(), f)
+        text = render_report(str(tmp_path))
+        assert "T1-R6-UB" in text
+        assert "0.496" in text and "0.301" in text
+        assert "| 64 | 89 | 1.000 | sigma=12 |" in text
+        assert "note: demo" in text
+
+    def test_empty_directory(self, tmp_path):
+        from repro.analysis.report import render_report
+        assert "No persisted results" in render_report(str(tmp_path))
+
+    def test_cli_report_to_file(self, tmp_path):
+        with open(tmp_path / "T1-R6-UB.json", "w") as f:
+            json.dump(self._payload(), f)
+        out = tmp_path / "report.md"
+        assert main(["report", "--results", str(tmp_path),
+                     "--out", str(out)]) == 0
+        assert "fitted exponent" in out.read_text()
+
+    def test_cli_report_stdout(self, tmp_path, capsys):
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        assert "auto-generated" in capsys.readouterr().out

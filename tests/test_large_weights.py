@@ -1,0 +1,90 @@
+"""Tests with W = poly(n) weights (the paper's weight-range convention).
+
+The paper assumes integer weights in {0, ..., W} with W = poly(n) and a
+Θ(log n)-bit bandwidth (an O(log(nW)) factor for general W); these tests
+exercise the weighted machinery at W ~ n^2, where the scale ladder is at
+its longest.
+"""
+
+import pytest
+
+from repro.core.apsp import apsp_approx
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.core.ksource import k_source_sssp
+from repro.core.weighted_mwc import (
+    directed_weighted_mwc_approx,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs import erdos_renyi
+from repro.graphs.graph import INF
+from repro.graphs.scaling import num_scales
+from repro.sequential import all_pairs_shortest_paths, exact_mwc
+
+
+def big_weight_graph(n, seed, directed=False):
+    return erdos_renyi(n, 0.15, directed=directed, weighted=True,
+                       max_weight=n * n, seed=seed)
+
+
+class TestScaleLadderLength:
+    def test_num_scales_grows_logarithmically(self):
+        assert num_scales(10, 100) < num_scales(10, 10_000)
+        # log2(h * W) + 1 scales.
+        assert num_scales(16, 1 << 20) == 25
+
+
+class TestExactWithLargeWeights:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_exact_mwc(self, seed, directed):
+        g = big_weight_graph(16, seed, directed=directed)
+        assert exact_mwc_congest(g, seed=seed).value == exact_mwc(g)
+
+
+class TestApproxWithLargeWeights:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_undirected_weighted_mwc(self, seed):
+        g = big_weight_graph(18, seed)
+        true = exact_mwc(g)
+        res = undirected_weighted_mwc_approx(g, eps=0.5, seed=seed)
+        if true == INF:
+            assert res.value == INF
+        else:
+            assert true - 1e-6 <= res.value <= 2.5 * true + 1e-6
+        # The ladder really is longer at large W.
+        assert res.details["num_scales"] >= 10
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_directed_weighted_mwc(self, seed):
+        g = big_weight_graph(14, seed, directed=True)
+        true = exact_mwc(g)
+        res = directed_weighted_mwc_approx(g, eps=0.5, seed=seed)
+        if true == INF:
+            assert res.value == INF
+        else:
+            assert true - 1e-6 <= res.value <= 2.5 * true + 1e-6
+
+    def test_apsp_approx_large_w(self):
+        g = big_weight_graph(14, 5)
+        res = apsp_approx(g, eps=0.5, seed=0)
+        ref = all_pairs_shortest_paths(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                true = ref[u][v]
+                got = res.distance(u, v)
+                if true == INF:
+                    assert got == INF
+                else:
+                    assert true - 1e-6 <= got <= 1.5 * true + 1e-6
+
+    def test_ksource_sssp_large_w(self):
+        g = big_weight_graph(16, 7, directed=True)
+        sources = [0, 5, 10]
+        res = k_source_sssp(g, sources, eps=0.5, seed=0)
+        ref = all_pairs_shortest_paths(g)
+        for u in sources:
+            for v in range(g.n):
+                true = ref[u][v]
+                got = res.distance(u, v)
+                if true != INF:
+                    assert true - 1e-6 <= got <= 1.5 * true + 1e-6

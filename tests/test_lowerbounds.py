@@ -1,0 +1,228 @@
+"""Tests for the lower-bound constructions, verification, and protocol view."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact_mwc import exact_mwc_congest_on
+from repro.lowerbounds import (
+    CutMeter,
+    DisjointnessInstance,
+    alpha_approx_directed_family,
+    alpha_approx_undirected_family,
+    cut_edges,
+    directed_mwc_family,
+    fooling_set,
+    girth_alpha_family,
+    implied_round_bound,
+    measure_cut_traffic,
+    random_disjoint,
+    random_intersecting,
+    undirected_weighted_family,
+    verify_gap,
+    verify_instance,
+)
+from repro.lowerbounds.set_disjointness import crossing_intersects
+from repro.sequential import exact_mwc
+
+
+class TestDisjointness:
+    def test_random_disjoint_is_disjoint(self):
+        for seed in range(10):
+            assert random_disjoint(20, seed=seed).disjoint
+
+    def test_random_intersecting_intersects(self):
+        for seed in range(10):
+            inst = random_intersecting(20, seed=seed)
+            assert not inst.disjoint
+            assert inst.intersection()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointnessInstance((True,), (True, False))
+
+    def test_fooling_set_property(self):
+        """Every pair disjoint; crossing any two distinct pairs intersects."""
+        pairs = list(fooling_set(4))
+        assert len(pairs) == 16
+        for p in pairs:
+            assert p.disjoint
+        for i, p in enumerate(pairs):
+            for q in pairs[i + 1:]:
+                assert crossing_intersects(p, q)
+
+
+class TestDirectedFamily:
+    def test_intersecting_has_4_cycle(self):
+        inst = directed_mwc_family(4, random_intersecting(16, seed=0))
+        assert exact_mwc(inst.graph) == 4
+
+    def test_disjoint_has_8_cycle(self):
+        inst = directed_mwc_family(4, random_disjoint(16, seed=1))
+        assert exact_mwc(inst.graph) == 8
+
+    def test_verified_gap_many_seeds(self):
+        report = verify_gap(lambda d: directed_mwc_family(5, d), k=25,
+                            trials=4, seed=2)
+        assert report["trials"] == 8
+
+    def test_constant_diameter(self):
+        inst = directed_mwc_family(6, random_disjoint(36, seed=3))
+        assert inst.graph.undirected_diameter() <= 4
+
+    def test_cut_linear_in_m(self):
+        m = 6
+        inst = directed_mwc_family(m, random_disjoint(36, seed=4))
+        assert cut_edges(inst) == 2 * m + 1
+
+    def test_implied_bound_scales_linearly(self):
+        bounds = []
+        for m in (4, 8):
+            inst = directed_mwc_family(m, random_disjoint(m * m, seed=5))
+            bounds.append((inst.graph.n, implied_round_bound(inst)))
+        (n1, b1), (n2, b2) = bounds
+        # k/(cut log n) = m^2/(2m+1)log ~ m: doubling m ~doubles the bound.
+        assert b2 > 1.5 * b1
+
+    def test_wrong_bit_count_rejected(self):
+        from repro.graphs.graph import GraphError
+        with pytest.raises(GraphError):
+            directed_mwc_family(3, random_disjoint(8, seed=0))
+
+
+class TestUndirectedWeightedFamily:
+    def test_gap_values(self):
+        W = 64
+        yes = undirected_weighted_family(4, random_intersecting(16, seed=0), W=W)
+        no = undirected_weighted_family(4, random_disjoint(16, seed=1), W=W)
+        assert exact_mwc(yes.graph) == 2 * W + 2
+        assert exact_mwc(no.graph) == 4 * W
+
+    def test_verify_gap(self):
+        verify_gap(lambda d: undirected_weighted_family(4, d), k=16,
+                   trials=3, seed=6)
+
+    def test_ratio_approaches_two(self):
+        inst = undirected_weighted_family(3, random_disjoint(9, seed=0), W=512)
+        assert inst.gap_ratio > 1.99
+
+    def test_small_W_rejected(self):
+        from repro.graphs.graph import GraphError
+        with pytest.raises(GraphError):
+            undirected_weighted_family(3, random_disjoint(9, seed=0), W=1)
+
+
+class TestAlphaFamilies:
+    @pytest.mark.parametrize("alpha", [2.0, 4.0])
+    def test_directed_alpha_gap(self, alpha):
+        k, ell = 6, 8
+        yes = alpha_approx_directed_family(k, ell, alpha,
+                                           random_intersecting(k, seed=0))
+        no = alpha_approx_directed_family(k, ell, alpha,
+                                          random_disjoint(k, seed=1))
+        assert exact_mwc(yes.graph) == ell + 4
+        assert exact_mwc(no.graph) > alpha * (ell + 4)
+
+    @pytest.mark.parametrize("alpha", [2.0, 3.0])
+    def test_undirected_alpha_gap(self, alpha):
+        k, ell = 5, 8
+        yes = alpha_approx_undirected_family(k, ell, alpha,
+                                             random_intersecting(k, seed=2))
+        no = alpha_approx_undirected_family(k, ell, alpha,
+                                            random_disjoint(k, seed=3))
+        assert exact_mwc(yes.graph) == ell + 4
+        assert exact_mwc(no.graph) > alpha * (ell + 4)
+
+    def test_directed_low_diameter(self):
+        k, ell = 8, 8
+        inst = alpha_approx_directed_family(k, ell, 2.0,
+                                            random_disjoint(k, seed=4))
+        assert inst.graph.undirected_diameter() <= 4 * math.ceil(
+            math.log2(inst.graph.n)) + 4
+
+    def test_girth_family_gap(self):
+        k, ell, alpha = 4, 6, 2.0
+        yes = girth_alpha_family(k, ell, alpha, random_intersecting(k, seed=5))
+        no = girth_alpha_family(k, ell, alpha, random_disjoint(k, seed=6))
+        assert exact_mwc(yes.graph) == ell + 4
+        assert exact_mwc(no.graph) > alpha * (ell + 4)
+
+    def test_girth_family_connected_all_bit_patterns(self):
+        k, ell = 3, 5
+        for seed in range(6):
+            inst = girth_alpha_family(k, ell, 2.0, random_disjoint(k, seed=seed))
+            assert inst.graph.is_connected()
+
+    def test_verify_instance_reports(self):
+        inst = alpha_approx_directed_family(6, 8, 2.0,
+                                            random_intersecting(6, seed=7))
+        report = verify_instance(inst)
+        assert report["k_bits"] == 6
+        assert report["implied_rounds"] > 0
+
+
+class TestProtocolView:
+    def test_cut_meter_counts_crossing_traffic(self):
+        inst = directed_mwc_family(4, random_intersecting(16, seed=0))
+        outcome = measure_cut_traffic(inst, exact_mwc_congest_on, seed=0)
+        assert outcome["result"].value == 4
+        assert outcome["bits_crossed"] > 0
+
+    def test_exact_algorithm_crosses_many_bits(self):
+        """Consistency with the LB: a correct distinguisher on the family
+        moves Ω(k)-scale information across the cut."""
+        inst = directed_mwc_family(6, random_disjoint(36, seed=1))
+        outcome = measure_cut_traffic(inst, exact_mwc_congest_on, seed=0)
+        assert outcome["result"].value == 8
+        assert outcome["bits_crossed"] >= inst.k_bits / 4
+
+    def test_meter_detach_restores(self):
+        from repro.congest import CongestNetwork
+        inst = directed_mwc_family(3, random_disjoint(9, seed=2))
+        net = CongestNetwork(inst.graph, seed=0)
+        meter = CutMeter(net, inst.alice)
+        meter.detach()
+        assert net.exchange == meter._original_exchange
+
+
+class TestBitFlipSensitivity:
+    """Flipping a single disjointness bit flips the instance's MWC value —
+    the encoding is tight at every position (not just in aggregate)."""
+
+    def test_directed_family_single_bit(self):
+        import numpy as np
+        k = 16
+        base = random_disjoint(k, seed=3)
+        inst = directed_mwc_family(4, base)
+        assert exact_mwc(inst.graph) == 8
+        for pos in range(0, k, 5):
+            sa = list(base.sa)
+            sb = list(base.sb)
+            sa[pos] = True
+            sb[pos] = True
+            flipped = directed_mwc_family(
+                4, DisjointnessInstance(tuple(sa), tuple(sb)))
+            assert exact_mwc(flipped.graph) == 4, pos
+
+    def test_removing_the_intersection_restores_no_value(self):
+        inter = random_intersecting(16, seed=4)
+        positions = inter.intersection()
+        sa = list(inter.sa)
+        for pos in positions:
+            sa[pos] = False
+        cleaned = directed_mwc_family(
+            4, DisjointnessInstance(tuple(sa), inter.sb))
+        assert exact_mwc(cleaned.graph) == 8
+
+    def test_alpha_family_single_bit(self):
+        k, ell, alpha = 5, 6, 3.0
+        base = random_disjoint(k, seed=5)
+        for pos in range(k):
+            sa = list(base.sa)
+            sb = list(base.sb)
+            sa[pos] = True
+            sb[pos] = True
+            inst = alpha_approx_directed_family(
+                k, ell, alpha, DisjointnessInstance(tuple(sa), tuple(sb)))
+            assert exact_mwc(inst.graph) == ell + 4, pos

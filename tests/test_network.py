@@ -1,0 +1,158 @@
+"""Tests for the CONGEST network simulator: accounting, locality, hosting."""
+
+import pytest
+
+from repro.congest import BandwidthExceeded, CongestNetwork, LocalityViolation
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import GraphError
+
+
+def line_graph(n):
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestConstruction:
+    def test_rejects_disconnected(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(GraphError):
+            CongestNetwork(g)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            CongestNetwork(Graph(0))
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(GraphError):
+            CongestNetwork(line_graph(2), bandwidth=0)
+
+    def test_rejects_short_host_map(self):
+        with pytest.raises(GraphError):
+            CongestNetwork(line_graph(3), host=[0, 1])
+
+    def test_directed_graph_has_bidirectional_links(self):
+        g = Graph(2, directed=True)
+        g.add_edge(0, 1)
+        net = CongestNetwork(g)
+        assert 0 in net.comm_neighbors(1)
+        assert 1 in net.comm_neighbors(0)
+
+
+class TestExchange:
+    def test_basic_delivery(self):
+        net = CongestNetwork(line_graph(3))
+        inboxes = net.exchange({0: {1: [("hello", 1)]}})
+        assert inboxes[1][0] == ["hello"]
+        assert net.rounds == 1
+
+    def test_locality_enforced(self):
+        net = CongestNetwork(line_graph(3))
+        with pytest.raises(LocalityViolation):
+            net.exchange({0: {2: [("x", 1)]}})
+
+    def test_round_charging_for_heavy_step(self):
+        net = CongestNetwork(line_graph(2), bandwidth=1)
+        net.exchange({0: {1: [(i, 1) for i in range(5)]}})
+        assert net.rounds == 5  # 5 words over a 1-word link
+
+    def test_round_charging_respects_bandwidth(self):
+        net = CongestNetwork(line_graph(2), bandwidth=4)
+        net.exchange({0: {1: [(i, 1) for i in range(5)]}})
+        assert net.rounds == 2  # ceil(5/4)
+
+    def test_strict_mode_raises_on_overload(self):
+        net = CongestNetwork(line_graph(2), strict=True)
+        with pytest.raises(BandwidthExceeded):
+            net.exchange({0: {1: [(1, 1), (2, 1)]}})
+
+    def test_strict_mode_allows_within_bandwidth(self):
+        net = CongestNetwork(line_graph(2), bandwidth=2, strict=True)
+        net.exchange({0: {1: [(1, 1), (2, 1)]}})
+        assert net.rounds == 1
+
+    def test_empty_step_costs_one_round(self):
+        net = CongestNetwork(line_graph(2))
+        net.exchange({})
+        assert net.rounds == 1
+
+    def test_per_direction_load_independent(self):
+        net = CongestNetwork(line_graph(2), bandwidth=1, strict=True)
+        # One word each way on the same link is fine.
+        net.exchange({0: {1: [("a", 1)]}, 1: {0: [("b", 1)]}})
+        assert net.rounds == 1
+
+    def test_negative_word_size_rejected(self):
+        net = CongestNetwork(line_graph(2))
+        with pytest.raises(ValueError):
+            net.exchange({0: {1: [("x", -1)]}})
+
+    def test_message_order_preserved(self):
+        net = CongestNetwork(line_graph(2), bandwidth=8)
+        inboxes = net.exchange({0: {1: [(i, 1) for i in range(5)]}})
+        assert inboxes[1][0] == list(range(5))
+
+
+class TestHosting:
+    def test_cohosted_messages_free(self):
+        # Virtual vertices 1, 2 hosted on physical node of vertex 0.
+        g = line_graph(3)
+        net = CongestNetwork(g, host=[0, 0, 0], strict=True)
+        net.exchange({0: {1: [(i, 1) for i in range(10)]}})
+        assert net.rounds == 1
+        assert net.stats.local_messages == 10
+
+    def test_cross_host_messages_charged(self):
+        g = line_graph(3)
+        net = CongestNetwork(g, host=[0, 0, 1])
+        net.exchange({1: {2: [(i, 1) for i in range(4)]}})
+        assert net.rounds == 4
+
+
+class TestStatsAndHelpers:
+    def test_stats_accumulate(self):
+        net = CongestNetwork(line_graph(3))
+        net.exchange({0: {1: [("a", 1)]}})
+        net.exchange({1: {2: [("b", 1), ("c", 1)]}})
+        assert net.stats.messages == 3
+        assert net.stats.words == 3
+        assert net.stats.steps == 2
+        assert net.stats.max_link_load == 2
+
+    def test_charge_rounds(self):
+        net = CongestNetwork(line_graph(2))
+        net.charge_rounds(7)
+        assert net.rounds == 7
+        with pytest.raises(ValueError):
+            net.charge_rounds(-1)
+
+    def test_reset_accounting(self):
+        net = CongestNetwork(line_graph(2))
+        net.exchange({0: {1: [("a", 1)]}})
+        net.reset_accounting()
+        assert net.rounds == 0 and net.stats.steps == 0
+
+    def test_node_rng_deterministic(self):
+        net1 = CongestNetwork(line_graph(2), seed=3)
+        net2 = CongestNetwork(line_graph(2), seed=3)
+        assert net1.node_rng(1).integers(0, 100) == net2.node_rng(1).integers(0, 100)
+
+    def test_run_quiescence(self):
+        net = CongestNetwork(line_graph(4))
+
+        def step(t, inboxes):
+            if t == 0:
+                return {0: {1: [("go", 1)]}}
+            outboxes = {}
+            for v, by_sender in inboxes.items():
+                nxt = v + 1
+                if nxt < 4:
+                    outboxes[v] = {nxt: [("go", 1)]}
+            return outboxes
+
+        executed = net.run(step, max_steps=50)
+        assert executed == 4  # 3 forwarding steps + 1 quiescent detection step
+        assert net.rounds == 3

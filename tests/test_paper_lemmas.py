@@ -1,0 +1,204 @@
+"""Machine checks of the paper's structural lemmas on random instances.
+
+These tests verify, against exact sequential distances, the facts the
+algorithms' correctness proofs rest on:
+
+* **Fact 1** (Lemma 5.1 of [13]): if C is a minimum weight cycle through v
+  and y and ``d(y,t) + 2 d(v,y) >= d(t,y) + 2 d(v,t)``, then some cycle
+  through t and v has weight at most 2 w(C).
+* **Lemma 3.2**: P(v) induces a connected subgraph of the shortest-path
+  out-tree rooted at v — i.e. every vertex on a shortest path to a member
+  of P(v) is itself in P(v).
+* **Lemma 3.3 (ii)**: sum_v |P(v)| = sum_u |P^{-1}(u)|, so few vertices can
+  be bottlenecks when the P(v) are small.
+* The girth candidate inequality of §4: a BFS candidate
+  ``d(w,x) + d(w,y) + 1`` over a non-backtracking edge never undershoots
+  the girth, and when w lies on a minimum cycle it is exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.restricted_bfs import build_rv, membership_test, partition_sample
+from repro.graphs import Graph, erdos_renyi
+from repro.graphs.graph import INF
+from repro.sequential import (
+    bfs_distances,
+    distances,
+    exact_girth,
+    exact_mwc,
+    k_source_distances,
+)
+from repro.sequential.mwc import mwc_through_vertex, shortest_cycle_through_edge
+
+
+def cycles_through_pair(g: Graph, a: int, b: int) -> float:
+    """Weight of the lightest directed cycle through both a and b (exact).
+
+    min over simple structures d(a,b) + d(b,a); for the Fact 1 check this
+    closed-walk value is exactly the quantity "minimum weight cycle
+    containing t and v" is compared against in the paper's usage (the walk
+    contains a cycle and the proof's inequality chain bounds the walk).
+    """
+    return distances(g, a)[b] + distances(g, b)[a]
+
+
+class TestFact1:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_fact1_on_random_digraphs(self, seed):
+        g = erdos_renyi(16, 0.25, directed=True, seed=seed)
+        if exact_mwc(g) == INF:
+            return
+        d = k_source_distances(g, range(g.n))
+        for v in range(g.n):
+            w_c_v = mwc_through_vertex(g, v)
+            if w_c_v == INF:
+                continue
+            for y in range(g.n):
+                if y == v:
+                    continue
+                # Only pairs where some minimum cycle through v contains y:
+                # approximated by checking the closed walk through v and y
+                # equals w(C); Fact 1's hypothesis needs y on the cycle.
+                if d[v][y] + d[y][v] != w_c_v:
+                    continue
+                for t in range(g.n):
+                    if t in (v, y):
+                        continue
+                    if any(d[a][b] == INF for a, b in
+                           [(y, t), (v, y), (t, y), (v, t)]):
+                        continue
+                    if d[y][t] + 2 * d[v][y] >= d[t][y] + 2 * d[v][t]:
+                        through_tv = cycles_through_pair(g, t, v)
+                        assert through_tv <= 2 * w_c_v + 1e-9, (
+                            seed, v, y, t, through_tv, w_c_v)
+
+
+def compute_pv(g: Graph, v: int, rv, d):
+    """P(v) by Definition 3.1 from exact distances."""
+    out = []
+    for y in range(g.n):
+        ok = True
+        for t in rv:
+            lhs = d[y][t] + 2 * d[v][y]
+            rhs = d[t][y] + 2 * d[v][t]
+            if not lhs <= rhs:
+                ok = False
+                break
+        if ok:
+            out.append(y)
+    return out
+
+
+class TestLemma32:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pv_connected_in_shortest_path_tree(self, seed):
+        g = erdos_renyi(18, 0.2, directed=True, seed=seed)
+        rng = np.random.default_rng(seed)
+        d = k_source_distances(g, range(g.n))
+        S = sorted(rng.choice(g.n, size=6, replace=False).tolist())
+        parts = partition_sample(S, 3, rng)
+        pair = {(s, t): d[s][t] for s in S for t in S}
+        for v in range(g.n):
+            d_v_to = {s: d[v][s] for s in S}
+            d_to_v = {s: d[s][v] for s in S}
+            rv = build_rv(v, parts, d_v_to, d_to_v, pair, rng)
+            pv = set(compute_pv(g, v, rv, d))
+            # Lemma 3.2: every z on a shortest v->y path with y in P(v) is
+            # in P(v). Check via the distance identity d(v,y)=d(v,z)+d(z,y).
+            for y in pv:
+                if d[v][y] == INF:
+                    continue
+                for z in range(g.n):
+                    if d[v][z] == INF or d[z][y] == INF:
+                        continue
+                    if d[v][z] + d[z][y] == d[v][y]:
+                        assert z in pv, (seed, v, y, z, rv)
+
+
+class TestLemma33Counting:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_double_counting_identity(self, seed):
+        g = erdos_renyi(16, 0.25, directed=True, seed=seed)
+        rng = np.random.default_rng(seed)
+        d = k_source_distances(g, range(g.n))
+        S = sorted(rng.choice(g.n, size=5, replace=False).tolist())
+        parts = partition_sample(S, 2, rng)
+        pair = {(s, t): d[s][t] for s in S for t in S}
+        pvs = []
+        for v in range(g.n):
+            rv = build_rv(v, parts, {s: d[v][s] for s in S},
+                          {s: d[s][v] for s in S}, pair, rng)
+            pvs.append(set(compute_pv(g, v, rv, d)))
+        p_inv = [sum(1 for v in range(g.n) if u in pvs[v]) for u in range(g.n)]
+        assert sum(len(p) for p in pvs) == sum(p_inv)
+
+
+class TestMembershipAgainstDefinition:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_membership_test_matches_definition(self, seed):
+        g = erdos_renyi(15, 0.25, directed=True, seed=seed)
+        rng = np.random.default_rng(seed)
+        d = k_source_distances(g, range(g.n))
+        S = sorted(rng.choice(g.n, size=4, replace=False).tolist())
+        for v in range(g.n):
+            rv = list(S[:2])
+            d_y_to_R = {t: d[v][t] for t in rv}
+            for u in range(g.n):
+                if d[v][u] == INF:
+                    continue
+                got = membership_test(
+                    u, d[v][u], rv, d_y_to_R,
+                    {t: d[u][t] for t in S}, {t: d[t][u] for t in S},
+                )
+                expected = all(
+                    d[u][t] + 2 * d[v][u] <= d[t][u] + 2 * d[v][t]
+                    for t in rv
+                )
+                assert got == expected, (seed, v, u)
+
+
+class TestGirthCandidates:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_candidates_never_undershoot(self, seed):
+        g = erdos_renyi(14, 0.25, seed=seed)
+        girth = exact_girth(g)
+        if girth == INF:
+            return
+        for w in range(g.n):
+            dist = bfs_distances(g, w)
+            # Parent assignment: smallest-id neighbor one level up.
+            parent = {}
+            for v in range(g.n):
+                if dist[v] not in (0, INF):
+                    parent[v] = min(
+                        u for u in g.neighbors(v) if dist[u] == dist[v] - 1)
+            for x, y, _ in g.edges():
+                if dist[x] == INF or dist[y] == INF:
+                    continue
+                if parent.get(x) == y or parent.get(y) == x:
+                    continue
+                assert dist[x] + dist[y] + 1 >= girth
+
+    @pytest.mark.parametrize("n", [5, 8, 13])
+    def test_candidate_exact_when_source_on_cycle(self, n):
+        from repro.graphs import cycle_graph
+        g = cycle_graph(n)
+        for w in range(n):
+            dist = bfs_distances(g, w)
+            parent = {}
+            for v in range(g.n):
+                if dist[v] != 0:
+                    parent[v] = min(
+                        u for u in g.neighbors(v) if dist[u] == dist[v] - 1)
+            candidates = [
+                dist[x] + dist[y] + 1
+                for x, y, _ in g.edges()
+                if parent.get(x) != y and parent.get(y) != x
+            ]
+            # Exactly the antipodal meeting edge(s) survive; candidate = n.
+            assert candidates and min(candidates) == n

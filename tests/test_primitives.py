@@ -1,0 +1,326 @@
+"""Tests for CONGEST primitives: correctness and round bounds."""
+
+import math
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.congest.primitives import (
+    bfs,
+    broadcast,
+    build_bfs_tree,
+    converge_min,
+    converge_sum,
+    convergecast,
+    multi_source_bfs,
+    multi_source_wave,
+    propagate_down_trees,
+    source_detection,
+)
+from repro.graphs import Graph, cycle_graph, erdos_renyi, grid_graph
+from repro.graphs.graph import INF
+from repro.sequential import bfs_distances, k_source_distances
+from repro.sequential.shortest_paths import weight_limited_distances
+
+
+def net_for(g, **kw):
+    return CongestNetwork(g, **kw)
+
+
+class TestBfsTree:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tree_spans_and_depths_correct(self, seed):
+        g = erdos_renyi(30, 0.1, seed=seed)
+        net = net_for(g)
+        tree = build_bfs_tree(net, root=0)
+        ref = bfs_distances(g, 0)
+        assert tree.depth == [int(d) for d in ref]
+        # Every non-root has a parent one level up.
+        for v in range(1, g.n):
+            assert tree.depth[v] == tree.depth[tree.parent[v]] + 1
+
+    def test_rounds_linear_in_eccentricity(self):
+        g = cycle_graph(40)
+        net = net_for(g)
+        build_bfs_tree(net, root=0)
+        ecc = g.undirected_eccentricity(0)
+        assert net.rounds <= 2 * ecc + 4
+
+    def test_children_match_parents(self):
+        g = grid_graph(4, 4)
+        net = net_for(g)
+        tree = build_bfs_tree(net)
+        for p, kids in tree.children.items():
+            for c in kids:
+                assert tree.parent[c] == p
+
+    def test_directed_input_uses_communication_links(self):
+        g = Graph(3, directed=True)
+        g.add_edge(1, 0)
+        g.add_edge(1, 2)
+        net = net_for(g)
+        tree = build_bfs_tree(net, root=0)
+        assert max(tree.depth) == 2
+
+
+class TestConvergecast:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_min_and_sum(self, seed):
+        g = erdos_renyi(25, 0.12, seed=seed)
+        net = net_for(g)
+        values = [(v * 7) % 23 for v in range(g.n)]
+        assert converge_min(net, values) == min(values)
+        assert converge_sum(net, values) == sum(values)
+
+    def test_all_nodes_learn_result(self):
+        g = cycle_graph(10)
+        net = net_for(g)
+        converge_min(net, list(range(10)))
+        assert all(net.state[v]["convergecast_result"] == 0 for v in range(10))
+
+    def test_rounds_linear_in_diameter(self):
+        g = cycle_graph(30)
+        net = net_for(g)
+        converge_min(net, list(range(30)))
+        D = g.undirected_diameter()
+        assert net.rounds <= 6 * D + 10
+
+    def test_value_count_validated(self):
+        net = net_for(cycle_graph(5))
+        with pytest.raises(ValueError):
+            convergecast(net, [1, 2], min)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_payloads_reach_all_nodes(self, seed):
+        g = erdos_renyi(20, 0.15, seed=seed)
+        net = net_for(g)
+        messages = {v: [f"m{v}-{i}" for i in range(v % 3)] for v in range(g.n)}
+        received = broadcast(net, messages)
+        expected = sorted(m for msgs in messages.values() for m in msgs)
+        for v in range(g.n):
+            assert sorted(received[v]) == expected
+
+    def test_round_bound_m_plus_d(self):
+        g = cycle_graph(24)
+        net = net_for(g)
+        M = 12
+        messages = {0: [f"x{i}" for i in range(M)]}
+        broadcast(net, messages)
+        D = g.undirected_diameter()
+        # O(M + D) with a modest constant (up + down + count convergecast).
+        assert net.rounds <= 6 * (M + D) + 20
+
+    def test_empty_broadcast(self):
+        net = net_for(cycle_graph(6))
+        received = broadcast(net, {})
+        assert all(r == [] for r in received)
+
+    def test_strict_bandwidth_respected(self):
+        g = cycle_graph(12)
+        net = net_for(g, strict=True)
+        broadcast(net, {3: list(range(5)), 7: list(range(4))})
+        # No BandwidthExceeded raised: pipelining keeps load <= 1 word.
+
+
+class TestSingleSourceBfs:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_distances_exact(self, seed, directed):
+        g = erdos_renyi(30, 0.1, directed=directed, seed=seed)
+        net = net_for(g)
+        dist, _ = bfs(net, 0)
+        assert dist == bfs_distances(g, 0)
+
+    def test_reverse_bfs(self):
+        g = Graph(4, directed=True)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        net = net_for(g)
+        dist, _ = bfs(net, 3, reverse=True)
+        assert dist == [3, 2, 1, 0]
+
+    def test_hop_limit(self):
+        g = cycle_graph(12)
+        net = net_for(g)
+        dist, _ = bfs(net, 0, h=3)
+        assert dist[3] == 3 and dist[4] == INF
+
+    def test_parents_form_tree(self):
+        g = erdos_renyi(25, 0.12, seed=1)
+        net = net_for(g)
+        dist, parent = bfs(net, 0, record_parents=True)
+        for v in range(1, g.n):
+            if dist[v] != INF:
+                assert dist[parent[v]] == dist[v] - 1
+
+    def test_rounds_equal_depth_reached(self):
+        g = cycle_graph(20)
+        net = net_for(g, strict=True)
+        bfs(net, 0)
+        assert net.rounds <= g.undirected_eccentricity(0) + 1
+
+
+class TestMultiSourceBfs:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_exact_distances_all_sources(self, seed, directed):
+        g = erdos_renyi(26, 0.12, directed=directed, seed=seed)
+        net = net_for(g)
+        sources = [0, 3, 7, 11]
+        known, _ = multi_source_bfs(net, sources, h=None)
+        ref = k_source_distances(g, sources)
+        for v in range(g.n):
+            for s in sources:
+                expected = ref[s][v]
+                got = known[v].get(s, INF)
+                assert got == expected
+
+    def test_hop_limit_respected(self):
+        g = cycle_graph(16)
+        net = net_for(g)
+        known, _ = multi_source_bfs(net, [0], h=3)
+        assert known[3].get(0) == 3
+        assert 0 not in known[5]
+
+    def test_round_bound_h_plus_k(self):
+        g = grid_graph(6, 6)
+        net = net_for(g, strict=True)
+        sources = list(range(0, 36, 5))
+        multi_source_bfs(net, sources, h=None)
+        D = g.undirected_diameter()
+        assert net.rounds <= D + len(sources) + 8
+
+    def test_strict_one_word_per_edge(self):
+        g = erdos_renyi(20, 0.2, seed=2)
+        net = net_for(g, strict=True)
+        multi_source_bfs(net, list(range(10)), h=None)  # must not raise
+
+    def test_parents_consistent(self):
+        g = erdos_renyi(22, 0.15, seed=3)
+        net = net_for(g)
+        known, parents = multi_source_bfs(net, [0, 5], record_parents=True)
+        for v in range(g.n):
+            for s, d in known[v].items():
+                if v == s:
+                    continue
+                p = parents[v][s]
+                assert known[p][s] == d - 1
+
+    def test_empty_sources(self):
+        net = net_for(cycle_graph(5))
+        known, _ = multi_source_bfs(net, [])
+        assert all(k == {} for k in known)
+
+
+class TestWaves:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_weight_limited_distances(self, seed):
+        g = erdos_renyi(20, 0.15, directed=True, weighted=True, max_weight=5,
+                        seed=seed)
+        net = net_for(g)
+        budget = 12
+        known, _ = multi_source_wave(net, [0, 4], budget=budget)
+        for s in (0, 4):
+            ref = weight_limited_distances(g, s, budget)
+            for v in range(g.n):
+                assert known[v].get(s, INF) == ref[v]
+
+    def test_wave_on_weight_override_graph(self):
+        g = cycle_graph(6, directed=True)
+        scaled = g.with_weights(lambda u, v, w: 2)
+        net = net_for(g)
+        known, _ = multi_source_wave(net, [0], budget=12, weight_graph=scaled)
+        assert known[3][0] == 6
+
+    def test_wave_rejects_zero_weight(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 0)
+        net = net_for(g)
+        with pytest.raises(Exception):
+            multi_source_wave(net, [0], budget=5)
+
+    def test_reverse_wave(self):
+        g = Graph(3, directed=True, weighted=True)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        net = net_for(g)
+        known, _ = multi_source_wave(net, [2], budget=10, reverse=True)
+        assert known[0][2] == 5
+
+    def test_rounds_bounded_by_budget_plus_k(self):
+        g = grid_graph(5, 5, weighted=True, max_weight=3, seed=1)
+        net = net_for(g)
+        multi_source_wave(net, [0, 12, 24], budget=15)
+        assert net.rounds <= 2 * (15 + 3) + 16
+
+
+class TestSourceDetection:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_detects_sigma_nearest(self, seed):
+        g = erdos_renyi(24, 0.15, seed=seed)
+        net = net_for(g)
+        sigma = 5
+        lists = source_detection(net, sigma=sigma, budget=g.n)
+        ref = k_source_distances(g, range(g.n))
+        for v in range(g.n):
+            expected = sorted((int(ref[s][v]), s) for s in range(g.n)
+                              if ref[s][v] != INF)[:sigma]
+            assert lists[v] == expected
+
+    def test_budget_truncates(self):
+        g = cycle_graph(12)
+        net = net_for(g)
+        lists = source_detection(net, sigma=12, budget=2)
+        for v in range(g.n):
+            assert all(d <= 2 for d, _ in lists[v])
+            assert len(lists[v]) == 5  # self + two on each side
+
+    def test_restricted_source_set(self):
+        g = cycle_graph(10)
+        net = net_for(g)
+        lists = source_detection(net, sigma=2, budget=10, sources=[0, 5])
+        assert [s for _, s in lists[1]] == [0, 5]
+
+    def test_rounds_bounded(self):
+        g = grid_graph(6, 6)
+        net = net_for(g)
+        sigma = 6
+        source_detection(net, sigma=sigma, budget=6)
+        assert net.rounds <= 2 * (6 + sigma) + 16
+
+
+class TestTreePropagation:
+    def test_values_delivered_to_whole_tree(self):
+        g = grid_graph(4, 4)
+        net = net_for(g)
+        sources = [0, 15]
+        known, parents = multi_source_bfs(net, sources, record_parents=True)
+        values = {0: ["a", "b"], 15: ["c"]}
+        delivered = propagate_down_trees(net, parents, values)
+        for v in range(g.n):
+            got = sorted(delivered[v])
+            expected = []
+            if 0 in known[v]:
+                expected += [(0, "a"), (0, "b")]
+            if 15 in known[v]:
+                expected += [(15, "c")]
+            assert got == sorted(expected)
+
+    def test_empty_values(self):
+        g = cycle_graph(5)
+        net = net_for(g)
+        _, parents = multi_source_bfs(net, [0], record_parents=True)
+        delivered = propagate_down_trees(net, parents, {})
+        assert all(d == [] for d in delivered)
+
+    def test_overlapping_trees_pipelined(self):
+        g = cycle_graph(20)
+        net = net_for(g)
+        sources = [0, 1, 2, 3]
+        _, parents = multi_source_bfs(net, sources, record_parents=True)
+        values = {s: [f"v{s}-{i}" for i in range(3)] for s in sources}
+        delivered = propagate_down_trees(net, parents, values)
+        for v in range(g.n):
+            assert len(delivered[v]) == 12  # every tree spans the cycle

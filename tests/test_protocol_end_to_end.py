@@ -1,0 +1,76 @@
+"""End-to-end reduction tests: deciding disjointness by computing MWC.
+
+These close the loop of the lower-bound proofs in the forward direction:
+running a correct (approximation) algorithm on the reduction instance and
+thresholding at the gap midpoint decides set disjointness — so any such
+algorithm inherits the Ω(k)-bit communication requirement.
+"""
+
+import pytest
+
+from repro.core.directed_mwc import directed_mwc_2approx_on
+from repro.core.exact_mwc import exact_mwc_congest_on
+from repro.lowerbounds import (
+    alpha_approx_directed_family,
+    directed_mwc_family,
+    random_disjoint,
+    random_intersecting,
+    undirected_weighted_family,
+)
+from repro.lowerbounds.protocol import solve_disjointness_via_mwc
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_directed_family_decided_correctly(self, seed):
+        for maker in (random_disjoint, random_intersecting):
+            inst = directed_mwc_family(5, maker(25, seed=seed))
+            outcome = solve_disjointness_via_mwc(inst, seed=seed)
+            assert outcome["correct"], (seed, maker.__name__)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_undirected_weighted_family(self, seed):
+        for maker in (random_disjoint, random_intersecting):
+            inst = undirected_weighted_family(4, maker(16, seed=seed))
+            outcome = solve_disjointness_via_mwc(inst, seed=seed)
+            assert outcome["correct"]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_alpha_family_with_exact(self, seed):
+        for maker in (random_disjoint, random_intersecting):
+            inst = alpha_approx_directed_family(6, 6, 4.0, maker(6, seed=seed))
+            outcome = solve_disjointness_via_mwc(inst, seed=seed)
+            assert outcome["correct"]
+
+    def test_traffic_reported(self):
+        inst = directed_mwc_family(6, random_disjoint(36, seed=0))
+        outcome = solve_disjointness_via_mwc(inst, seed=0)
+        assert outcome["bits_crossed"] > 0
+        assert outcome["k_bits"] == 36
+
+
+class TestApproximateSolverOnAlphaFamily:
+    """A 2-approximation decides the alpha = 8 family (gap ratio > 8 > 2):
+    exactly the inapproximability direction of Theorem 1.2.B."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_approx_decides_large_gap(self, seed):
+        for maker in (random_disjoint, random_intersecting):
+            inst = alpha_approx_directed_family(6, 6, 8.0, maker(6, seed=seed))
+            # yes = 10, no = 81; a 2-approx outputs <= 20 on yes-instances
+            # and >= 81 on no-instances: threshold 45.5 separates them.
+            outcome = solve_disjointness_via_mwc(
+                inst, runner=directed_mwc_2approx_on, seed=seed)
+            assert outcome["correct"], (seed, maker.__name__)
+
+    def test_two_approx_cannot_be_trusted_on_ratio_two_family(self):
+        """On the (2-eps) family the 2-approx value range straddles the
+        threshold: the reduction (correctly) does not apply — this is why
+        Theorem 1.2.A stops at (2-eps)."""
+        inst = directed_mwc_family(5, random_intersecting(25, seed=1))
+        # yes-instance value may legitimately be anywhere in [4, 8]: a value
+        # of 8 would be declared 'disjoint'. We only assert the solver runs
+        # and reports a value within the 2-approx envelope.
+        outcome = solve_disjointness_via_mwc(
+            inst, runner=directed_mwc_2approx_on, seed=1)
+        assert 4 <= outcome["value"] <= 8

@@ -1,0 +1,142 @@
+"""Property tests for the scaling lemma (§5.1 / [41]) and stretched graphs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import CongestNetwork
+from repro.congest.primitives import multi_source_wave
+from repro.congest.primitives.bfs import bfs
+from repro.graphs import Graph, StretchedGraph, erdos_renyi, scaled_graph
+from repro.graphs.graph import INF, GraphError
+from repro.graphs.scaling import (
+    hop_budget,
+    num_scales,
+    scale_index_for_weight,
+    scale_ladder,
+    scale_weight,
+    unscale_value,
+)
+from repro.sequential.shortest_paths import hop_limited_distances
+
+
+class TestScaleArithmetic:
+    def test_hop_budget(self):
+        assert hop_budget(10, 1.0) == 30
+        assert hop_budget(10, 0.5) == 50
+        with pytest.raises(ValueError):
+            hop_budget(10, 0)
+
+    def test_scale_weight_monotone_in_scale(self):
+        w = 37
+        vals = [scale_weight(w, i, h=10, eps=0.5) for i in range(10)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_scale_index(self):
+        assert scale_index_for_weight(1) == 0
+        assert scale_index_for_weight(2) == 1
+        assert scale_index_for_weight(3) == 2
+        assert scale_index_for_weight(8) == 3
+        assert scale_index_for_weight(0) == 0
+
+    def test_num_scales_covers_max_path(self):
+        h, W = 16, 100
+        assert 2 ** (num_scales(h, W) - 1) >= h * W
+
+    def test_zero_weight_maps_to_zero_then_clamped_to_one_in_graph(self):
+        assert scale_weight(0, 3, 10, 0.5) == 0
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 0)
+        gs = scaled_graph(g, i=3, h=10, eps=0.5)
+        assert gs.weight(0, 1) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=12),
+    eps=st.sampled_from([0.25, 0.5, 1.0]),
+)
+def test_property_scaling_lemma_forward(weights, eps):
+    """An h-hop path of weight w(P) fits in h* at scale i* = ceil(log2 w(P))."""
+    h = len(weights)
+    wp = sum(weights)
+    i_star = scale_index_for_weight(wp)
+    scaled = sum(max(1, scale_weight(w, i_star, h, eps)) for w in weights)
+    assert scaled <= hop_budget(h, eps) + h  # +h slack for the max(1, .) lift
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=12),
+    eps=st.sampled_from([0.25, 0.5, 1.0]),
+)
+def test_property_scaling_lemma_backward(weights, eps):
+    """Unscaling a path's scaled weight overestimates by at most (1+eps) at i*."""
+    h = len(weights)
+    wp = sum(weights)
+    i_star = scale_index_for_weight(wp)
+    scaled = sum(max(1, scale_weight(w, i_star, h, eps)) for w in weights)
+    estimate = unscale_value(scaled, i_star, h, eps)
+    assert estimate >= wp * (1 - 1e-9)  # never underestimates
+    assert estimate <= (1 + eps) * wp + eps * h  # (1+eps) up to the unit lift
+
+
+class TestScaleLadder:
+    def test_ladder_clamps_weights(self):
+        g = erdos_renyi(10, 0.3, weighted=True, max_weight=50, seed=0)
+        h, eps = 4, 0.5
+        budget = hop_budget(h, eps)
+        for i, gi in scale_ladder(g, h, eps):
+            assert gi.max_weight() <= budget + 1
+
+    def test_ladder_covers_mwc_scale(self):
+        g = erdos_renyi(12, 0.3, weighted=True, max_weight=9, seed=1)
+        scales = [i for i, _ in scale_ladder(g, h=5, eps=0.5)]
+        assert scale_index_for_weight(5 * 9) in scales
+
+
+class TestStretchedGraph:
+    def test_rejects_unweighted(self):
+        with pytest.raises(GraphError):
+            StretchedGraph(Graph(2))
+
+    def test_structure(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 3)
+        sg = StretchedGraph(g)
+        assert sg.graph.n == 2 + 2  # two internal vertices
+        assert sg.graph.m == 3
+        assert sg.host[2] == 0 and sg.host[3] == 0
+
+    def test_rejects_zero_weight(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 0)
+        with pytest.raises(GraphError):
+            StretchedGraph(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_wave_equals_bfs_on_materialized_stretch(self, seed):
+        """The unit-speed wave is round-for-round the stretched-graph BFS."""
+        g = erdos_renyi(10, 0.25, directed=True, weighted=True, max_weight=4,
+                        seed=seed)
+        budget = 9
+        # Wave on the weighted graph.
+        net = CongestNetwork(g)
+        known, _ = multi_source_wave(net, [0], budget=budget)
+        # BFS on the materialized stretched graph, hop-limited to budget.
+        sg = StretchedGraph(g)
+        snet = CongestNetwork(sg.graph, host=sg.host)
+        sdist, _ = bfs(snet, 0, h=budget)
+        for v in range(g.n):
+            expected = sdist[v] if sdist[v] != INF else INF
+            assert known[v].get(0, INF) == expected
+
+    def test_stretch_hosting_saves_bandwidth(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 5)
+        sg = StretchedGraph(g)
+        snet = CongestNetwork(sg.graph, host=sg.host, strict=True)
+        bfs(snet, 0, h=5)  # all but the final hop are host-local: no overload
+        assert snet.stats.local_messages > 0

@@ -1,0 +1,106 @@
+"""Tests for random-delay path scheduling ([24, 36])."""
+
+import math
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.congest.primitives.scheduling import (
+    Job,
+    congestion_dilation,
+    route_jobs,
+)
+from repro.graphs import Graph, cycle_graph, grid_graph
+from repro.graphs.graph import GraphError
+
+
+def path_graph(n):
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestJobBasics:
+    def test_job_validation(self):
+        with pytest.raises(GraphError):
+            Job(path=(3,))
+
+    def test_congestion_dilation(self):
+        jobs = [Job((0, 1, 2)), Job((3, 1, 2)), Job((0, 1))]
+        congestion, dilation = congestion_dilation(jobs)
+        assert congestion == 2  # edge (1, 2) used twice
+        assert dilation == 2
+
+    def test_empty(self):
+        assert congestion_dilation([]) == (0, 0)
+
+    def test_path_must_follow_edges(self):
+        net = CongestNetwork(cycle_graph(6))
+        with pytest.raises(GraphError):
+            route_jobs(net, [Job((0, 3))])
+
+
+class TestRouting:
+    def test_single_job_arrives_in_path_length(self):
+        g = path_graph(10)
+        net = CongestNetwork(g, seed=0)
+        arrival = route_jobs(net, [Job(tuple(range(10)))], rho=1)
+        assert arrival[0] >= 9  # nine hops, plus the unit delay
+
+    def test_all_jobs_arrive(self):
+        g = grid_graph(5, 5)
+        net = CongestNetwork(g, seed=1)
+        jobs = [Job((r * 5, r * 5 + 1, r * 5 + 2, r * 5 + 3, r * 5 + 4))
+                for r in range(5)]
+        arrival = route_jobs(net, jobs)
+        assert all(a > 0 for a in arrival)
+
+    def test_disjoint_paths_fully_parallel(self):
+        """Congestion 1: all jobs finish in ~dilation + rho rounds."""
+        g = grid_graph(6, 6)
+        net = CongestNetwork(g, seed=2)
+        jobs = [Job(tuple(range(r * 6, r * 6 + 6))) for r in range(6)]
+        arrival = route_jobs(net, jobs, rho=1)
+        assert max(arrival) <= 5 + 1 + 2
+
+    def test_shared_edge_serializes_but_pipelines(self):
+        """k jobs over one shared edge: ~congestion + dilation rounds,
+        far below the k * dilation of sequential execution."""
+        n, k = 12, 8
+        g = path_graph(n)
+        net = CongestNetwork(g, seed=3)
+        jobs = [Job(tuple(range(n))) for _ in range(k)]
+        congestion, dilation = congestion_dilation(jobs)
+        arrival = route_jobs(net, jobs)
+        bound = 3 * (congestion + dilation) + 10
+        assert max(arrival) <= bound
+        assert max(arrival) < k * dilation  # beats sequential
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bound_congestion_plus_dilation_log(self, seed):
+        """Empirical check of the O(congestion + dilation log n) bound."""
+        g = grid_graph(6, 6)
+        net = CongestNetwork(g, seed=seed)
+        # Many jobs funneling through the grid's first row.
+        jobs = []
+        for r in range(1, 6):
+            for c in range(3):
+                start = r * 6 + c
+                path = [start]
+                # go up to row 0 then right along the shared row.
+                for rr in range(r - 1, -1, -1):
+                    path.append(rr * 6 + c)
+                for cc in range(c + 1, 6):
+                    path.append(cc)
+                jobs.append(Job(tuple(path)))
+        congestion, dilation = congestion_dilation(jobs)
+        arrival = route_jobs(net, jobs)
+        log_n = math.log2(net.n)
+        assert max(arrival) <= 4 * (congestion + dilation * log_n) + 16
+
+    def test_payloads_optional(self):
+        g = path_graph(4)
+        net = CongestNetwork(g, seed=0)
+        arrival = route_jobs(net, [Job((0, 1, 2, 3), payload="hello")])
+        assert arrival[0] > 0

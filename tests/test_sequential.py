@@ -1,0 +1,233 @@
+"""Tests for sequential reference algorithms (the repo's ground truth)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import INF
+from repro.sequential import (
+    all_pairs_shortest_paths,
+    bfs_distances,
+    dijkstra,
+    exact_girth,
+    exact_mwc,
+    hop_limited_distances,
+    mwc_through_vertex,
+    shortest_cycle_through_edge,
+)
+from repro.sequential.mwc import has_cycle, mwc_witness
+from repro.sequential.shortest_paths import weight_limited_distances
+
+
+def random_graph(seed, n=24, p=0.12, directed=False, weighted=False, max_weight=8):
+    return erdos_renyi(n, p, directed=directed, weighted=weighted,
+                       max_weight=max_weight, seed=seed)
+
+
+class TestShortestPaths:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bfs_matches_networkx(self, seed):
+        g = random_graph(seed, directed=True)
+        dist = bfs_distances(g, 0)
+        nxd = nx.single_source_shortest_path_length(g.to_networkx(), 0)
+        for v in range(g.n):
+            assert dist[v] == nxd.get(v, INF)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dijkstra_matches_networkx(self, seed):
+        g = random_graph(seed, directed=True, weighted=True)
+        dist = dijkstra(g, 0)
+        nxd = nx.single_source_dijkstra_path_length(g.to_networkx(), 0)
+        for v in range(g.n):
+            assert dist[v] == nxd.get(v, INF)
+
+    def test_reverse_bfs(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert bfs_distances(g, 2, reverse=True) == [2, 1, 0]
+
+    def test_hop_limit_truncates(self):
+        g = Graph(4, directed=True)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        assert bfs_distances(g, 0, h=2)[3] == INF
+        assert bfs_distances(g, 0, h=3)[3] == 3
+
+    def test_hop_limited_weighted_prefers_fewer_hops(self):
+        # 0->1->2 each weight 1 (2 hops, weight 2); 0->2 weight 5 (1 hop).
+        g = Graph(3, directed=True, weighted=True)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, 1)
+        g.add_edge(0, 2, 5)
+        assert hop_limited_distances(g, 0, h=1)[2] == 5
+        assert hop_limited_distances(g, 0, h=2)[2] == 2
+
+    def test_weight_limited(self):
+        g = Graph(3, directed=True, weighted=True)
+        g.add_edge(0, 1, 4)
+        g.add_edge(1, 2, 4)
+        wl = weight_limited_distances(g, 0, limit=5)
+        assert wl[1] == 4 and wl[2] == INF
+
+    def test_apsp_shape(self):
+        g = random_graph(0, n=12)
+        mat = all_pairs_shortest_paths(g)
+        assert len(mat) == 12 and all(mat[v][v] == 0 for v in range(12))
+
+
+class TestExactMwc:
+    def test_acyclic_directed(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert exact_mwc(g) == INF
+        assert not has_cycle(g)
+
+    def test_tree_undirected(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert exact_mwc(g) == INF
+
+    def test_two_cycle_directed(self):
+        g = Graph(2, directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert exact_mwc(g) == 2
+
+    def test_triangle(self):
+        g = cycle_graph(3)
+        assert exact_mwc(g) == 3
+        assert exact_girth(g) == 3
+
+    def test_weighted_undirected_prefers_light_long_cycle(self):
+        # Triangle of total weight 30 vs 5-cycle of total weight 5.
+        g = Graph(8, weighted=True)
+        g.add_edge(0, 1, 10)
+        g.add_edge(1, 2, 10)
+        g.add_edge(2, 0, 10)
+        for i in range(3, 8):
+            g.add_edge(i, 3 + (i - 2) % 5, 1)
+        g.add_edge(0, 3, 1)  # connect components
+        assert exact_mwc(g) == 5
+
+    def test_undirected_no_backtracking_on_multi_path(self):
+        # Two vertices joined by two parallel 2-paths: cycle of length 4.
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(0, 3)
+        g.add_edge(3, 2)
+        assert exact_mwc(g) == 4
+
+    def test_girth_rejects_directed(self):
+        with pytest.raises(ValueError):
+            exact_girth(Graph(3, directed=True))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_girth(self, seed):
+        g = random_graph(seed, n=20, p=0.15)
+        expected = nx.girth(g.to_networkx())
+        got = exact_girth(g)
+        assert got == (INF if expected == float("inf") else expected)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_directed_weighted_mwc_brute_force(self, seed):
+        g = random_graph(seed, n=10, p=0.2, directed=True, weighted=True)
+        expected = _brute_force_mwc(g)
+        assert exact_mwc(g) == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_undirected_weighted_mwc_brute_force(self, seed):
+        g = random_graph(seed, n=9, p=0.25, weighted=True)
+        expected = _brute_force_mwc(g)
+        assert exact_mwc(g) == expected
+
+
+def _brute_force_mwc(g):
+    """Exponential-time MWC via networkx simple cycle enumeration."""
+    gnx = g.to_networkx()
+    best = INF
+    for cyc in nx.simple_cycles(gnx):
+        if len(cyc) < (2 if g.directed else 3):
+            continue
+        w = 0
+        ok = True
+        for i in range(len(cyc)):
+            u, v = cyc[i], cyc[(i + 1) % len(cyc)]
+            if gnx.has_edge(u, v):
+                w += gnx[u][v]["weight"]
+            else:
+                ok = False
+                break
+        if ok:
+            best = min(best, w)
+    return best
+
+
+class TestCycleHelpers:
+    def test_shortest_cycle_through_edge_directed(self):
+        g = cycle_graph(5, directed=True)
+        assert shortest_cycle_through_edge(g, 0, 1) == 5
+
+    def test_shortest_cycle_through_edge_undirected_avoids_edge(self):
+        g = cycle_graph(5)
+        assert shortest_cycle_through_edge(g, 0, 1) == 5
+
+    def test_mwc_through_vertex_directed(self):
+        g = Graph(5, directed=True)
+        # Two cycles through 0: 0->1->0 (len 2) and 0->2->3->0 (len 3).
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        g.add_edge(0, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 0)
+        g.add_edge(4, 0)  # connectivity
+        assert mwc_through_vertex(g, 0) == 2
+        assert mwc_through_vertex(g, 3) == 3
+
+    def test_mwc_through_vertex_undirected(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 2)
+        assert mwc_through_vertex(g, 1) == 3
+        assert mwc_through_vertex(g, 4) == 5
+
+    def test_witness_is_valid_cycle(self):
+        g = cycle_graph(6, directed=True)
+        weight, cyc = mwc_witness(g)
+        assert weight == 6
+        assert cyc is not None and len(set(cyc)) == len(cyc)
+
+    def test_witness_none_when_acyclic(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        weight, cyc = mwc_witness(g)
+        assert weight == INF and cyc is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=6, max_value=16))
+def test_property_mwc_lower_bounded_by_any_cycle_edge_bound(seed, n):
+    """MWC is <= weight of the cycle closed through any single edge."""
+    g = erdos_renyi(n, 0.3, directed=True, weighted=True, max_weight=6, seed=seed)
+    mwc = exact_mwc(g)
+    for u, v, w in g.edges():
+        assert mwc <= shortest_cycle_through_edge(g, u, v)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_girth_unchanged_by_relabeling(seed):
+    g = erdos_renyi(14, 0.2, seed=seed)
+    mwc = exact_mwc(g)
+    # Relabel vertices by a rotation; MWC is invariant.
+    perm = [(v + 5) % g.n for v in range(g.n)]
+    h = Graph(g.n)
+    for u, v, _ in g.edges():
+        h.add_edge(perm[u], perm[v])
+    assert exact_mwc(h) == mwc

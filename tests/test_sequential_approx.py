@@ -1,0 +1,96 @@
+"""Tests for sequential approximation references + distributed cross-checks."""
+
+import pytest
+
+from repro.core.directed_mwc import directed_mwc_2approx
+from repro.core.girth import girth_2approx
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import exact_girth, exact_mwc
+from repro.sequential.approx import (
+    itai_rodeh_girth,
+    sampled_girth_estimate,
+    two_approx_directed_mwc,
+)
+
+
+class TestItaiRodeh:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_roots_exact(self, seed):
+        g = erdos_renyi(22, 0.15, seed=seed)
+        assert itai_rodeh_girth(g) == exact_girth(g)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_subset_never_undershoots(self, seed):
+        g = erdos_renyi(24, 0.12, seed=seed + 10)
+        true = exact_girth(g)
+        est = itai_rodeh_girth(g, roots=[0, 5, 9])
+        assert est >= true
+
+    def test_root_on_cycle_bound(self):
+        g = cycle_graph(15)
+        for w in range(15):
+            assert itai_rodeh_girth(g, roots=[w]) == 15
+
+    def test_forest(self):
+        g = Graph(5)
+        for i in range(1, 5):
+            g.add_edge(i, (i - 1) // 2)
+        assert itai_rodeh_girth(g) == INF
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphError):
+            itai_rodeh_girth(cycle_graph(4, directed=True))
+
+
+class TestSampledGirth:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_within_guarantee(self, seed):
+        g = erdos_renyi(26, 0.12, seed=seed)
+        true = exact_girth(g)
+        est = sampled_girth_estimate(g, seed=seed)
+        if true == INF:
+            assert est == INF
+        else:
+            assert true <= est <= (2 - 1 / true) * true + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agrees_with_distributed(self, seed):
+        """Sequential oracle and distributed §4 satisfy the same contract."""
+        g = erdos_renyi(28, 0.1, seed=seed + 50)
+        true = exact_girth(g)
+        seq = sampled_girth_estimate(g, seed=seed)
+        dist = girth_2approx(g, seed=seed).value
+        for est in (seq, dist):
+            if true == INF:
+                assert est == INF
+            else:
+                assert true <= est <= (2 - 1 / true) * true + 1e-9
+
+
+class TestSequentialDirected2Approx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_within_two(self, seed):
+        g = erdos_renyi(24, 0.12, directed=True, seed=seed)
+        true = exact_mwc(g)
+        est = two_approx_directed_mwc(g, seed=seed)
+        if true == INF:
+            assert est == INF
+        else:
+            assert true <= est <= 2 * true
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agrees_with_distributed(self, seed):
+        g = erdos_renyi(26, 0.1, directed=True, seed=seed + 70)
+        true = exact_mwc(g)
+        seq = two_approx_directed_mwc(g, seed=seed)
+        dist = directed_mwc_2approx(g, seed=seed).value
+        for est in (seq, dist):
+            if true == INF:
+                assert est == INF
+            else:
+                assert true <= est <= 2 * true
+
+    def test_rejects_undirected(self):
+        with pytest.raises(GraphError):
+            two_approx_directed_mwc(cycle_graph(5))

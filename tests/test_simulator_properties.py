@@ -1,0 +1,161 @@
+"""Property and failure-injection tests for the CONGEST simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import BandwidthExceeded, CongestNetwork, LocalityViolation
+from repro.congest.primitives import (
+    bfs,
+    multi_source_bfs,
+    multi_source_wave,
+    source_detection,
+)
+from repro.graphs import Graph, cycle_graph, erdos_renyi, grid_graph
+
+
+@st.composite
+def random_outboxes(draw, g):
+    """Legal random outboxes for one exchange step on graph g."""
+    rng_seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    outboxes = {}
+    for u in range(g.n):
+        neighbors = list(g.neighbors(u))
+        if not neighbors or rng.random() < 0.5:
+            continue
+        chosen = rng.choice(neighbors, size=min(2, len(neighbors)),
+                            replace=False)
+        outboxes[u] = {
+            int(v): [((u, int(v), i), 1) for i in range(int(rng.integers(1, 4)))]
+            for v in chosen
+        }
+    return outboxes
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_property_exchange_delivers_everything_exactly_once(data):
+    g = erdos_renyi(14, 0.25, seed=data.draw(st.integers(0, 1000)))
+    net = CongestNetwork(g)
+    outboxes = data.draw(random_outboxes(g))
+    sent = [(u, v, payload) for u, ob in outboxes.items()
+            for v, msgs in ob.items() for payload, _ in msgs]
+    inboxes = net.exchange(outboxes)
+    received = [(u, v, payload) for v, by_sender in inboxes.items()
+                for u, payloads in by_sender.items() for payload in payloads]
+    assert sorted(sent) == sorted(received)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_property_stats_match_traffic(data):
+    g = erdos_renyi(12, 0.3, seed=data.draw(st.integers(0, 1000)))
+    net = CongestNetwork(g)
+    outboxes = data.draw(random_outboxes(g))
+    total_msgs = sum(len(msgs) for ob in outboxes.values()
+                     for msgs in ob.values())
+    total_words = sum(w for ob in outboxes.values()
+                      for msgs in ob.values() for _, w in msgs)
+    net.exchange(outboxes)
+    assert net.stats.messages == total_msgs
+    assert net.stats.words == total_words
+    assert net.rounds >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_property_rounds_monotone_and_bandwidth_halves_rounds(data):
+    g = cycle_graph(8)
+    outboxes = data.draw(random_outboxes(g))
+    slow = CongestNetwork(g, bandwidth=1)
+    fast = CongestNetwork(g, bandwidth=4)
+    slow.exchange(outboxes)
+    fast.exchange(outboxes)
+    assert fast.rounds <= slow.rounds
+
+
+class TestFailureInjection:
+    def test_send_to_self_rejected(self):
+        net = CongestNetwork(cycle_graph(4))
+        with pytest.raises(LocalityViolation):
+            net.exchange({0: {0: [("x", 1)]}})
+
+    def test_send_to_distant_vertex_rejected(self):
+        net = CongestNetwork(cycle_graph(6))
+        with pytest.raises(LocalityViolation):
+            net.exchange({0: {3: [("x", 1)]}})
+
+    def test_directed_edge_still_bidirectional_link(self):
+        g = Graph(2, directed=True)
+        g.add_edge(0, 1)
+        net = CongestNetwork(g)
+        inboxes = net.exchange({1: {0: [("backwards", 1)]}})
+        assert inboxes[0][1] == ["backwards"]
+
+    def test_strict_catches_exact_overload(self):
+        net = CongestNetwork(cycle_graph(4), bandwidth=2, strict=True)
+        net.exchange({0: {1: [("a", 1), ("b", 1)]}})  # exactly at capacity
+        with pytest.raises(BandwidthExceeded):
+            net.exchange({0: {1: [("a", 1), ("b", 1), ("c", 1)]}})
+
+    def test_word_size_zero_is_free(self):
+        net = CongestNetwork(cycle_graph(4), bandwidth=1, strict=True)
+        net.exchange({0: {1: [("meta", 0), ("data", 1)]}})
+        assert net.rounds == 1
+
+
+class TestStrictPipelines:
+    """The pipelined primitives really fit the bandwidth, end to end."""
+
+    def test_wave_strict(self):
+        g = grid_graph(5, 5, weighted=True, max_weight=4, seed=1)
+        net = CongestNetwork(g, strict=True)
+        multi_source_wave(net, [0, 12, 24], budget=20)
+
+    def test_detection_strict(self):
+        g = grid_graph(5, 5)
+        net = CongestNetwork(g, strict=True)
+        source_detection(net, sigma=5, budget=8)
+
+    def test_multi_bfs_strict_many_sources(self):
+        g = erdos_renyi(30, 0.12, directed=True, seed=3)
+        net = CongestNetwork(g, strict=True)
+        multi_source_bfs(net, list(range(0, 30, 2)))
+
+    def test_single_bfs_strict(self):
+        g = erdos_renyi(25, 0.15, seed=4)
+        net = CongestNetwork(g, strict=True)
+        bfs(net, 0)
+
+
+class TestHosting:
+    def test_quotient_topology_charges_only_cross_host(self):
+        # Path 0-1-2-3 with {0,1} on host A and {2,3} on host B.
+        g = Graph(4)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        net = CongestNetwork(g, host=[0, 0, 1, 1], strict=True)
+        # Heavy local chatter is free; one word on the 1-2 link is charged.
+        net.exchange({
+            0: {1: [(i, 1) for i in range(10)]},
+            1: {2: [("cross", 1)]},
+            2: {3: [(i, 1) for i in range(10)]},
+        })
+        assert net.rounds == 1
+        assert net.stats.local_messages == 20
+
+    def test_hosted_stretch_run_counts_fewer_words_on_links(self):
+        from repro.graphs import StretchedGraph
+        g = Graph(3, weighted=True)
+        g.add_edge(0, 1, 6)
+        g.add_edge(1, 2, 6)
+        sg = StretchedGraph(g)
+        hosted = CongestNetwork(sg.graph, host=sg.host)
+        flat = CongestNetwork(sg.graph)
+        bfs(hosted, 0)
+        bfs(flat, 0)
+        hosted_link_words = hosted.stats.words - 0  # all words sent
+        assert hosted.stats.local_messages > 0
+        assert flat.stats.local_messages == 0

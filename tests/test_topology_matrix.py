@@ -1,0 +1,111 @@
+"""Algorithm x topology coverage matrix.
+
+Every main algorithm, exercised on every structurally distinct workload
+family (grid, ring-of-cliques, random regular, cycle+chords, planted,
+dense), with the guarantee checked against ground truth each time. These
+topologies stress different code paths: grids have large girth and small
+degree; ring-of-cliques mixes local triangles with one global cycle; regular
+graphs are expander-like (small diameter); cycles-with-chords have huge
+eccentricities; dense graphs maximize congestion.
+"""
+
+import pytest
+
+from repro.core.directed_mwc import directed_mwc_2approx
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.core.girth import girth_2approx
+from repro.core.weighted_mwc import (
+    directed_weighted_mwc_approx,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_with_chords,
+    erdos_renyi,
+    grid_graph,
+    planted_mwc,
+    random_regular,
+    ring_of_cliques,
+)
+from repro.graphs.graph import INF
+from repro.sequential import exact_mwc
+
+UNDIRECTED_TOPOLOGIES = {
+    "grid": lambda: grid_graph(5, 6),
+    "ring_of_cliques": lambda: ring_of_cliques(5, 4),
+    "regular": lambda: random_regular(24, 3, seed=1),
+    "cycle_chords": lambda: cycle_with_chords(28, 4, seed=2),
+    "dense": lambda: erdos_renyi(16, 0.5, seed=3),
+}
+
+DIRECTED_TOPOLOGIES = {
+    "cycle_chords": lambda: cycle_with_chords(28, 4, directed=True, seed=2),
+    "planted": lambda: planted_mwc(30, cycle_len=4, p=0.05, directed=True,
+                                   seed=4),
+    "dense": lambda: complete_graph(10, directed=True),
+    "sparse": lambda: erdos_renyi(30, 0.08, directed=True, seed=5),
+}
+
+WEIGHTED_UNDIRECTED = {
+    "grid": lambda: grid_graph(5, 5, weighted=True, max_weight=9, seed=1),
+    "regular": lambda: random_regular(22, 3, weighted=True, max_weight=6,
+                                      seed=2),
+    "cycle_chords": lambda: cycle_with_chords(24, 4, weighted=True,
+                                              max_weight=7, seed=3),
+}
+
+WEIGHTED_DIRECTED = {
+    "planted": lambda: planted_mwc(22, cycle_len=3, p=0.08, directed=True,
+                                   weighted=True, cycle_weight=2,
+                                   background_weight=15, seed=4),
+    "cycle_chords": lambda: cycle_with_chords(22, 4, directed=True,
+                                              weighted=True, max_weight=6,
+                                              seed=5),
+}
+
+
+@pytest.mark.parametrize("name", UNDIRECTED_TOPOLOGIES)
+def test_girth_matrix(name):
+    g = UNDIRECTED_TOPOLOGIES[name]()
+    true = exact_mwc(g)
+    res = girth_2approx(g, seed=7)
+    assert true <= res.value <= (2 - 1 / true) * true + 1e-9, name
+
+
+@pytest.mark.parametrize("name", DIRECTED_TOPOLOGIES)
+def test_directed_2approx_matrix(name):
+    g = DIRECTED_TOPOLOGIES[name]()
+    true = exact_mwc(g)
+    res = directed_mwc_2approx(g, seed=7)
+    if true == INF:
+        assert res.value == INF
+    else:
+        assert true <= res.value <= 2 * true, name
+
+
+@pytest.mark.parametrize("name", WEIGHTED_UNDIRECTED)
+def test_undirected_weighted_matrix(name):
+    g = WEIGHTED_UNDIRECTED[name]()
+    true = exact_mwc(g)
+    res = undirected_weighted_mwc_approx(g, eps=0.5, seed=7)
+    assert true - 1e-9 <= res.value <= 2.5 * true + 1e-9, name
+
+
+@pytest.mark.parametrize("name", WEIGHTED_DIRECTED)
+def test_directed_weighted_matrix(name):
+    g = WEIGHTED_DIRECTED[name]()
+    true = exact_mwc(g)
+    res = directed_weighted_mwc_approx(g, eps=0.5, seed=7)
+    assert true - 1e-9 <= res.value <= 2.5 * true + 1e-9, name
+
+
+@pytest.mark.parametrize("name", list(UNDIRECTED_TOPOLOGIES) )
+def test_exact_matrix_undirected(name):
+    g = UNDIRECTED_TOPOLOGIES[name]()
+    assert exact_mwc_congest(g, seed=7).value == exact_mwc(g), name
+
+
+@pytest.mark.parametrize("name", list(DIRECTED_TOPOLOGIES))
+def test_exact_matrix_directed(name):
+    g = DIRECTED_TOPOLOGIES[name]()
+    assert exact_mwc_congest(g, seed=7).value == exact_mwc(g), name

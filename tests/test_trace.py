@@ -1,0 +1,72 @@
+"""Tests for the execution trace recorder."""
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.congest.primitives import bfs, broadcast
+from repro.congest.trace import Trace, TraceRecorder
+from repro.graphs import cycle_graph, grid_graph
+
+
+class TestRecorder:
+    def test_records_bfs_wave(self):
+        g = cycle_graph(10)
+        net = CongestNetwork(g, seed=0)
+        with TraceRecorder(net) as trace:
+            bfs(net, 0)
+        assert trace.steps == net.stats.steps
+        total_words = sum(ev.words for ev in trace.events)
+        assert total_words == net.stats.words
+
+    def test_detach_restores(self):
+        net = CongestNetwork(cycle_graph(5), seed=0)
+        rec = TraceRecorder(net)
+        with rec:
+            pass
+        assert net.exchange == rec._original_exchange
+
+    def test_truncation(self):
+        g = grid_graph(4, 4)
+        net = CongestNetwork(g, seed=0)
+        with TraceRecorder(net, max_events=3) as trace:
+            broadcast(net, {0: list(range(5))})
+        assert trace.truncated
+        assert len(trace.events) == 3
+
+    def test_exceptions_propagate_and_detach(self):
+        net = CongestNetwork(cycle_graph(5), seed=0)
+        rec = TraceRecorder(net)
+        with pytest.raises(RuntimeError):
+            with rec:
+                raise RuntimeError("boom")
+        assert net.exchange == rec._original_exchange
+
+
+class TestTraceAnalysis:
+    def _traced_bfs(self):
+        g = cycle_graph(12)
+        net = CongestNetwork(g, seed=0)
+        with TraceRecorder(net) as trace:
+            bfs(net, 0)
+        return trace
+
+    def test_busiest_links(self):
+        trace = self._traced_bfs()
+        links = trace.busiest_links(top=3)
+        assert len(links) == 3
+        assert links[0][1] >= links[-1][1]
+
+    def test_words_per_step(self):
+        trace = self._traced_bfs()
+        volumes = trace.words_per_step()
+        assert len(volumes) == trace.steps
+        assert sum(volumes) == sum(ev.words for ev in trace.events)
+
+    def test_timeline_renders(self):
+        trace = self._traced_bfs()
+        text = trace.timeline_ascii()
+        assert "step" in text and "#" in text
+
+    def test_empty_trace(self):
+        assert Trace().timeline_ascii() == "(empty trace)"
+        assert Trace().busiest_links() == []

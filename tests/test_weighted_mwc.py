@@ -1,0 +1,144 @@
+"""Tests for §5: (2+eps)-approximate weighted MWC (Thms 1.4.C, 1.2.D)."""
+
+import pytest
+
+from repro.core.weighted_mwc import (
+    WeightedMwcParams,
+    directed_weighted_mwc_approx,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs import Graph, cycle_graph, erdos_renyi, planted_mwc
+from repro.graphs.graph import GraphError, INF
+from repro.sequential import exact_mwc
+
+EPS = 0.5
+
+
+def check(g, res, eps=EPS, slack=1e-6):
+    true = exact_mwc(g)
+    if true == INF:
+        assert res.value == INF
+    else:
+        assert true - slack <= res.value <= (2 + eps) * true + slack, (
+            true, res.value)
+    return true
+
+
+class TestUndirectedWeighted:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(30, 0.1, weighted=True, max_weight=8, seed=seed)
+        res = undirected_weighted_mwc_approx(g, eps=EPS, seed=seed)
+        check(g, res)
+
+    def test_weighted_cycle_exact_family(self):
+        weights = [3, 1, 4, 1, 5, 9, 2, 6]
+        g = cycle_graph(8, weighted=True, weights=weights)
+        res = undirected_weighted_mwc_approx(g, eps=EPS, seed=0)
+        true = sum(weights)
+        assert true <= res.value <= (2 + EPS) * true
+
+    def test_light_triangle_among_heavy_edges(self):
+        g = erdos_renyi(24, 0.12, weighted=True, max_weight=60, seed=3)
+        # Plant a light triangle.
+        for u, v in [(0, 1), (1, 2), (2, 0)]:
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
+            g.add_edge(u, v, 1)
+        res = undirected_weighted_mwc_approx(g, eps=EPS, seed=1)
+        true = check(g, res)
+        assert true == 3
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_many_seeds(self, seed):
+        g = erdos_renyi(26, 0.12, weighted=True, max_weight=10, seed=77)
+        res = undirected_weighted_mwc_approx(g, eps=EPS, seed=seed)
+        check(g, res)
+
+    def test_acyclic_tree(self):
+        g = Graph(6, weighted=True)
+        for i in range(1, 6):
+            g.add_edge(i, (i - 1) // 2, 2)
+        res = undirected_weighted_mwc_approx(g, eps=EPS, seed=0)
+        assert res.value == INF
+
+    def test_rejects_directed_input(self):
+        g = cycle_graph(5, directed=True, weighted=True, weights=[1] * 5)
+        with pytest.raises(GraphError):
+            undirected_weighted_mwc_approx(g, seed=0)
+
+    def test_rejects_unweighted_input(self):
+        with pytest.raises(GraphError):
+            undirected_weighted_mwc_approx(cycle_graph(5), seed=0)
+
+    def test_rejects_zero_weights(self):
+        g = Graph(3, weighted=True)
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 1)
+        g.add_edge(2, 0, 1)
+        with pytest.raises(GraphError):
+            undirected_weighted_mwc_approx(g, seed=0)
+
+    def test_tighter_eps_tightens_bound(self):
+        g = erdos_renyi(22, 0.15, weighted=True, max_weight=6, seed=5)
+        res = undirected_weighted_mwc_approx(g, eps=0.25, seed=0)
+        check(g, res, eps=0.25)
+
+    def test_details_recorded(self):
+        g = erdos_renyi(20, 0.15, weighted=True, max_weight=4, seed=6)
+        res = undirected_weighted_mwc_approx(g, eps=EPS, seed=0)
+        for key in ("h", "sample_size", "rounds_long", "rounds_short",
+                    "num_scales", "rounds_total"):
+            assert key in res.details
+
+
+class TestDirectedWeighted:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_digraphs(self, seed):
+        g = erdos_renyi(24, 0.12, directed=True, weighted=True, max_weight=8,
+                        seed=seed)
+        res = directed_weighted_mwc_approx(g, eps=EPS, seed=seed)
+        check(g, res)
+
+    def test_planted_light_cycle(self):
+        g = planted_mwc(24, cycle_len=3, p=0.05, directed=True, weighted=True,
+                        cycle_weight=1, background_weight=40, seed=2)
+        res = directed_weighted_mwc_approx(g, eps=EPS, seed=1)
+        true = check(g, res)
+        assert true == 3
+
+    def test_single_directed_weighted_cycle(self):
+        weights = [2, 7, 1, 8, 2, 8]
+        g = cycle_graph(6, directed=True, weighted=True, weights=weights)
+        res = directed_weighted_mwc_approx(g, eps=EPS, seed=0)
+        true = sum(weights)
+        assert true <= res.value <= (2 + EPS) * true
+
+    def test_acyclic_dag(self):
+        g = Graph(6, directed=True, weighted=True)
+        for i in range(5):
+            g.add_edge(i, i + 1, 3)
+        res = directed_weighted_mwc_approx(g, eps=EPS, seed=0)
+        assert res.value == INF
+
+    def test_rejects_undirected_input(self):
+        g = cycle_graph(5, weighted=True, weights=[1] * 5)
+        with pytest.raises(GraphError):
+            directed_weighted_mwc_approx(g, seed=0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_many_seeds(self, seed):
+        g = erdos_renyi(22, 0.15, directed=True, weighted=True, max_weight=9,
+                        seed=88)
+        res = directed_weighted_mwc_approx(g, eps=EPS, seed=seed)
+        check(g, res)
+
+    def test_two_cycle_with_weights(self):
+        g = Graph(5, directed=True, weighted=True)
+        g.add_edge(0, 1, 4)
+        g.add_edge(1, 0, 3)
+        g.add_edge(1, 2, 1)
+        g.add_edge(2, 3, 1)
+        g.add_edge(3, 4, 1)
+        res = directed_weighted_mwc_approx(g, eps=EPS, seed=0)
+        assert 7 <= res.value <= (2 + EPS) * 7
