@@ -9,7 +9,8 @@ truth in :mod:`repro.sequential`; analysis helpers in :mod:`repro.analysis`.
 """
 
 from repro.graphs.graph import Graph, INF
-from repro.congest.network import CongestNetwork
+from repro.congest.network import CongestNetwork, RoundBudgetExceeded, round_budget
+from repro.congest.faults import FaultPlan, FaultStats, FaultyNetwork, LinkOutage, NodeCrash
 
 __version__ = "1.0.0"
 
@@ -17,6 +18,13 @@ __all__ = [
     "Graph",
     "INF",
     "CongestNetwork",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyNetwork",
+    "LinkOutage",
+    "NodeCrash",
+    "RoundBudgetExceeded",
+    "round_budget",
     "directed_mwc_2approx",
     "directed_weighted_mwc_approx",
     "exact_mwc_congest",

@@ -25,6 +25,21 @@ def _add_seed(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_max_rounds(p: argparse.ArgumentParser) -> None:
+    """Attach the standard --max-rounds round-budget option."""
+    p.add_argument(
+        "--max-rounds", type=_positive_int, default=None, metavar="R",
+        help="abort with a clear error once the simulated execution "
+             "exceeds R CONGEST rounds (default: unbounded)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -44,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--witness", action="store_true",
                    help="also construct a witness cycle (exact only)")
     _add_seed(p)
+    _add_max_rounds(p)
 
     p = sub.add_parser("apsp", help="distributed APSP")
     p.add_argument("graph")
@@ -51,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "exact", "approx"])
     p.add_argument("--eps", type=float, default=0.5)
     _add_seed(p)
+    _add_max_rounds(p)
 
     p = sub.add_parser("generate", help="generate a workload graph")
     p.add_argument("out", help="output edge-list path")
@@ -272,6 +289,8 @@ def cmd_verify_lb(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.congest.network import RoundBudgetExceeded, round_budget
+
     args = build_parser().parse_args(argv)
     handlers = {
         "mwc": cmd_mwc,
@@ -281,7 +300,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "verify-lb": cmd_verify_lb,
     }
-    return handlers[args.command](args)
+    try:
+        # Commands that simulate CONGEST executions honor --max-rounds by
+        # installing an ambient round budget on every network they build.
+        with round_budget(getattr(args, "max_rounds", None)):
+            return handlers[args.command](args)
+    except RoundBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

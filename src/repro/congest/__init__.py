@@ -24,13 +24,33 @@ may be hosted on one physical node. Messages between co-hosted vertices are
 delivered with the usual one-step latency (synchrony is preserved) but
 consume no link bandwidth, matching the paper's "simulate all but the last
 edge of the path at one of the endpoints".
+
+Fault injection
+---------------
+:mod:`repro.congest.faults` relaxes the reliable-link assumption: a
+declarative :class:`FaultPlan` (drops, link outages, fail-stop crashes,
+duplication, corruption) applied deterministically from the network seed
+by :class:`FaultyNetwork`. The resilient counterparts — ack-and-retransmit
+reliable rounds — live in :mod:`repro.congest.primitives.reliable`; the
+fault taxonomy and determinism guarantees are documented in
+``docs/fault_model.md``.
 """
 
+from repro.congest.faults import (
+    Corrupted,
+    FaultPlan,
+    FaultStats,
+    FaultyNetwork,
+    LinkOutage,
+    NodeCrash,
+)
 from repro.congest.network import (
     BandwidthExceeded,
     CongestNetwork,
     LocalityViolation,
     NetworkStats,
+    RoundBudgetExceeded,
+    round_budget,
 )
 
 __all__ = [
@@ -38,4 +58,12 @@ __all__ = [
     "BandwidthExceeded",
     "LocalityViolation",
     "NetworkStats",
+    "RoundBudgetExceeded",
+    "round_budget",
+    "Corrupted",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyNetwork",
+    "LinkOutage",
+    "NodeCrash",
 ]

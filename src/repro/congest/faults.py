@@ -1,0 +1,363 @@
+"""Deterministic fault injection for the CONGEST simulator.
+
+The paper's CONGEST model assumes perfectly reliable synchronous links;
+this module relaxes that assumption in a controlled, *replayable* way so
+algorithms can be hardened (and chaos-tested) against:
+
+* **message drops** — each attempted transmission is lost independently
+  with probability ``drop_rate``;
+* **link outages** — scheduled intervals of rounds during which a specific
+  link delivers nothing in either (or one) direction;
+* **fail-stop node crashes** — from its crash round on, a node neither
+  sends nor receives; an optional recovery round brings it back with its
+  state intact (crash-recovery semantics);
+* **duplication** — a message is delivered twice with probability
+  ``duplicate_rate`` (e.g. a retransmitting NIC whose ack was lost);
+* **corruption** — a message is delivered with its payload wrapped in
+  :class:`Corrupted` with probability ``corrupt_rate``. Receivers model
+  checksums by discarding :class:`Corrupted` payloads they can detect.
+
+Determinism
+-----------
+All probabilistic faults are drawn from a dedicated generator derived from
+the network seed (independent of ``net.rng``, so algorithm randomness and
+fault randomness never interleave). Messages are processed in sorted
+``(sender, receiver, index)`` order regardless of outbox dict ordering.
+Hence: same graph + seed + :class:`FaultPlan` ⇒ identical faults,
+identical :class:`FaultStats`, identical rounds — the property the chaos
+test suite and the no-fault transparency test rely on.
+
+Accounting model
+----------------
+Dropped/suppressed messages are removed *before* delivery, so they consume
+no link bandwidth (the loss is modeled at the sender's NIC); duplicated
+messages consume double. Round accounting and :class:`NetworkStats` are
+computed by the wrapped :meth:`CongestNetwork.exchange` over the traffic
+that actually goes out on the wire. The full attempted outbox set is still
+validated for locality and word sanity first — faults never mask a buggy
+algorithm. See ``docs/fault_model.md`` for the taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.congest.network import CongestNetwork, Inbox, Outbox
+from repro.graphs.graph import Graph, GraphError
+
+#: Domain-separation constant mixed into the fault RNG seed so fault draws
+#: never collide with ``net.rng`` / ``node_rng`` streams.
+_FAULT_STREAM = 0xFA0175
+
+
+@dataclass(frozen=True)
+class Corrupted:
+    """Delivered payload whose content was damaged in transit.
+
+    Receivers that model checksums should treat a ``Corrupted`` payload as
+    undelivered (the resilient primitives do); receivers that ignore it see
+    garbage — which is the point of injecting it.
+    """
+
+    original: Any = None
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """Link ``(u, v)`` delivers nothing during rounds ``[start, end)``.
+
+    ``symmetric`` (default) silences both directions; otherwise only
+    ``u -> v`` traffic is affected. ``end=None`` means the outage is
+    permanent.
+    """
+
+    u: int
+    v: int
+    start: int = 0
+    end: Optional[int] = None
+
+    symmetric: bool = True
+
+    def __post_init__(self):
+        if self.u == self.v:
+            raise GraphError("a link outage needs two distinct endpoints")
+        if self.start < 0 or (self.end is not None and self.end <= self.start):
+            raise GraphError(
+                f"outage interval [{self.start}, {self.end}) is empty or negative"
+            )
+
+    def silences(self, sender: int, receiver: int, at_round: int) -> bool:
+        """Whether this outage drops a ``sender -> receiver`` message now."""
+        if at_round < self.start or (self.end is not None and at_round >= self.end):
+            return False
+        if (sender, receiver) == (self.u, self.v):
+            return True
+        return self.symmetric and (sender, receiver) == (self.v, self.u)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop crash of ``node`` at round ``at_round``.
+
+    While crashed the node neither sends nor receives. If
+    ``recover_round`` is set, the node rejoins (with its pre-crash state —
+    crash-recovery, not amnesia) from that round on.
+    """
+
+    node: int
+    at_round: int = 0
+    recover_round: Optional[int] = None
+
+    def __post_init__(self):
+        if self.at_round < 0:
+            raise GraphError("crash round must be non-negative")
+        if self.recover_round is not None and self.recover_round <= self.at_round:
+            raise GraphError("recovery must come strictly after the crash")
+
+    def crashed_at(self, at_round: int) -> bool:
+        """Whether the node is down at ``at_round``."""
+        if at_round < self.at_round:
+            return False
+        return self.recover_round is None or at_round < self.recover_round
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of every fault to inject into a run.
+
+    An all-default plan injects nothing and is fully transparent: a
+    :class:`FaultyNetwork` with a zero plan produces byte-identical results
+    and round counts to a plain :class:`CongestNetwork`.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    link_outages: Tuple[LinkOutage, ...] = ()
+    crashes: Tuple[NodeCrash, ...] = ()
+
+    def __post_init__(self):
+        for name in ("drop_rate", "duplicate_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise GraphError(f"{name} must be a probability, got {rate}")
+        # Accept any sequence but store canonical tuples (the plan is a
+        # value object: hashable, safely shared between runs).
+        object.__setattr__(self, "link_outages", tuple(self.link_outages))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        seen = set()
+        for crash in self.crashes:
+            if crash.node in seen:
+                raise GraphError(f"node {crash.node} has more than one crash entry")
+            seen.add(crash.node)
+
+    def is_zero(self) -> bool:
+        """True when the plan injects no fault of any kind."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and not self.link_outages
+            and not self.crashes
+        )
+
+    @property
+    def randomized(self) -> bool:
+        """Whether any fault category needs random draws."""
+        return bool(self.drop_rate or self.duplicate_rate or self.corrupt_rate)
+
+    def with_drop_rate(self, drop_rate: float) -> "FaultPlan":
+        """A copy of this plan with ``drop_rate`` replaced (sweep helper)."""
+        return replace(self, drop_rate=drop_rate)
+
+
+@dataclass
+class FaultStats:
+    """What the fault layer did to the traffic, message by message.
+
+    ``attempted_*`` count everything handed to :meth:`FaultyNetwork.exchange`
+    by the algorithm; the categories below partition the attempts that never
+    made it onto the wire. ``delivered_words`` includes duplicate copies.
+    """
+
+    attempted_messages: int = 0
+    attempted_words: int = 0
+    dropped_messages: int = 0
+    dropped_words: int = 0
+    outage_messages: int = 0
+    outage_words: int = 0
+    suppressed_messages: int = 0
+    suppressed_words: int = 0
+    duplicated_messages: int = 0
+    duplicated_words: int = 0
+    corrupted_messages: int = 0
+    corrupted_words: int = 0
+    delivered_messages: int = 0
+    delivered_words: int = 0
+    #: Rounds (at step start) in which at least one fault fired.
+    faulty_steps: int = 0
+
+    def lost_messages(self) -> int:
+        """Attempts that were never delivered, for any reason."""
+        return self.dropped_messages + self.outage_messages + self.suppressed_messages
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for benchmark persistence."""
+        return {
+            "attempted_messages": self.attempted_messages,
+            "attempted_words": self.attempted_words,
+            "dropped_messages": self.dropped_messages,
+            "dropped_words": self.dropped_words,
+            "outage_messages": self.outage_messages,
+            "outage_words": self.outage_words,
+            "suppressed_messages": self.suppressed_messages,
+            "suppressed_words": self.suppressed_words,
+            "duplicated_messages": self.duplicated_messages,
+            "duplicated_words": self.duplicated_words,
+            "corrupted_messages": self.corrupted_messages,
+            "corrupted_words": self.corrupted_words,
+            "delivered_messages": self.delivered_messages,
+            "delivered_words": self.delivered_words,
+            "faulty_steps": self.faulty_steps,
+        }
+
+
+class FaultyNetwork(CongestNetwork):
+    """A :class:`CongestNetwork` whose links obey a :class:`FaultPlan`.
+
+    Drop-in replacement: every algorithm in the repository runs unchanged
+    on a ``FaultyNetwork`` (with a zero plan, identically so). Faults are
+    applied between the algorithm's outboxes and the underlying delivery;
+    what survives is delivered — and accounted — by the base exchange.
+
+    Use :func:`repro.congest.primitives.reliable.reliable_exchange` (or the
+    ``reliable_*`` primitive wrappers) on top of this class to mask
+    message-level faults with acks and retransmissions.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        plan: Optional[FaultPlan] = None,
+        bandwidth: int = 1,
+        host: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+        strict: bool = False,
+        max_rounds: Optional[int] = None,
+    ):
+        super().__init__(graph, bandwidth=bandwidth, host=host, seed=seed,
+                         strict=strict, max_rounds=max_rounds)
+        self.plan = plan if plan is not None else FaultPlan()
+        for outage in self.plan.link_outages:
+            if not (0 <= outage.u < graph.n and 0 <= outage.v < graph.n):
+                raise GraphError(f"outage names vertex outside the graph: {outage}")
+        for crash in self.plan.crashes:
+            if not 0 <= crash.node < graph.n:
+                raise GraphError(f"crash names vertex outside the graph: {crash}")
+        self.fault_stats = FaultStats()
+        base = seed if seed is not None else 0
+        self._fault_rng = np.random.default_rng((_FAULT_STREAM, base))
+        self._crash_by_node = {c.node: c for c in self.plan.crashes}
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def is_crashed(self, v: int, at_round: Optional[int] = None) -> bool:
+        """Whether vertex ``v`` is down (at ``at_round``; default: now)."""
+        crash = self._crash_by_node.get(v)
+        if crash is None:
+            return False
+        return crash.crashed_at(self.rounds if at_round is None else at_round)
+
+    # ------------------------------------------------------------------
+    # Faulted exchange
+    # ------------------------------------------------------------------
+    def exchange(self, outboxes: Dict[int, Outbox]) -> Dict[int, Inbox]:
+        """Apply the fault plan to ``outboxes``, then deliver the survivors.
+
+        The *attempted* traffic is validated in full first (locality and
+        word sizes) — injected faults must never hide an algorithm bug.
+        """
+        self.validate_outboxes(outboxes)
+        if self.plan.is_zero():
+            return self.deliver(outboxes)
+        survivors = self._apply_faults(outboxes)
+        return self.deliver(survivors)
+
+    def deliver(self, outboxes: Dict[int, Outbox]) -> Dict[int, Inbox]:
+        """Deliver already-faulted traffic via the base synchronous step.
+
+        Exposed as a separate method so diagnostics (the trace recorder)
+        can observe what actually went out on the wire rather than what the
+        algorithm attempted to send.
+        """
+        return CongestNetwork.exchange(self, outboxes)
+
+    def _apply_faults(self, outboxes: Dict[int, Outbox]) -> Dict[int, Outbox]:
+        at_round = self.rounds
+        stats = self.fault_stats
+        rng = self._fault_rng
+        plan = self.plan
+        faults_before = (stats.dropped_messages + stats.outage_messages
+                         + stats.suppressed_messages + stats.duplicated_messages
+                         + stats.corrupted_messages)
+        survivors: Dict[int, Outbox] = {}
+        # Deterministic processing order, independent of dict insertion order.
+        for u in sorted(outboxes):
+            u_crashed = self.is_crashed(u, at_round)
+            for v in sorted(outboxes[u]):
+                msgs = outboxes[u][v]
+                if not msgs:
+                    continue
+                v_crashed = self.is_crashed(v, at_round)
+                kept: List[Tuple[Any, int]] = []
+                for payload, w in msgs:
+                    stats.attempted_messages += 1
+                    stats.attempted_words += w
+                    if u_crashed or v_crashed:
+                        stats.suppressed_messages += 1
+                        stats.suppressed_words += w
+                        continue
+                    if any(o.silences(u, v, at_round) for o in plan.link_outages):
+                        stats.outage_messages += 1
+                        stats.outage_words += w
+                        continue
+                    if plan.drop_rate and rng.random() < plan.drop_rate:
+                        stats.dropped_messages += 1
+                        stats.dropped_words += w
+                        continue
+                    if plan.corrupt_rate and rng.random() < plan.corrupt_rate:
+                        stats.corrupted_messages += 1
+                        stats.corrupted_words += w
+                        payload = Corrupted(payload)
+                    copies = 1
+                    if plan.duplicate_rate and rng.random() < plan.duplicate_rate:
+                        stats.duplicated_messages += 1
+                        stats.duplicated_words += w
+                        copies = 2
+                    for _ in range(copies):
+                        kept.append((payload, w))
+                        stats.delivered_messages += 1
+                        stats.delivered_words += w
+                if kept:
+                    survivors.setdefault(u, {})[v] = kept
+        faults_after = (stats.dropped_messages + stats.outage_messages
+                        + stats.suppressed_messages + stats.duplicated_messages
+                        + stats.corrupted_messages)
+        if faults_after > faults_before:
+            stats.faulty_steps += 1
+        return survivors
+
+    def reset_accounting(self) -> None:
+        """Zero rounds, traffic stats, *and* fault stats (state is kept)."""
+        super().reset_accounting()
+        self.fault_stats = FaultStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyNetwork(n={self.n}, bandwidth={self.bandwidth}, "
+            f"rounds={self.rounds}, lost={self.fault_stats.lost_messages()})"
+        )

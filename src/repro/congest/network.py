@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +23,38 @@ class BandwidthExceeded(RuntimeError):
 
 class LocalityViolation(RuntimeError):
     """Raised when a node sends to a vertex it has no link to."""
+
+
+class RoundBudgetExceeded(RuntimeError):
+    """Raised when an execution exceeds its CONGEST round budget.
+
+    Replaces silent non-termination: a misbehaving algorithm (or one starved
+    by injected faults) fails loudly instead of looping forever. Subclasses
+    :class:`RuntimeError` for backward compatibility with callers that
+    caught the old generic error.
+    """
+
+
+#: Ambient round budget applied to networks built while :func:`round_budget`
+#: is active (used by the CLI's ``--max-rounds`` flag).
+_AMBIENT_ROUND_BUDGET: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
+    "repro_round_budget", default=None
+)
+
+
+@contextlib.contextmanager
+def round_budget(limit: Optional[int]) -> Iterator[None]:
+    """Apply ``limit`` as the default ``max_rounds`` of networks built inside.
+
+    Algorithm entry points construct their own :class:`CongestNetwork`; this
+    context manager lets a driver (e.g. the CLI) bound all of them without
+    threading a parameter through every signature. ``None`` is a no-op.
+    """
+    token = _AMBIENT_ROUND_BUDGET.set(limit)
+    try:
+        yield
+    finally:
+        _AMBIENT_ROUND_BUDGET.reset(token)
 
 
 @dataclass
@@ -64,6 +98,11 @@ class CongestNetwork:
     strict:
         If True, any step whose per-link word load exceeds ``bandwidth``
         raises :class:`BandwidthExceeded` instead of charging extra rounds.
+    max_rounds:
+        Optional hard budget on the round counter. Once an exchange (or
+        :meth:`charge_rounds`) pushes ``rounds`` past this limit,
+        :class:`RoundBudgetExceeded` is raised. Defaults to the ambient
+        budget installed by :func:`round_budget` (``None`` = unbounded).
     """
 
     def __init__(
@@ -73,6 +112,7 @@ class CongestNetwork:
         host: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
         strict: bool = False,
+        max_rounds: Optional[int] = None,
     ):
         if graph.n == 0:
             raise GraphError("cannot build a network on an empty graph")
@@ -84,6 +124,11 @@ class CongestNetwork:
         self.n = graph.n
         self.bandwidth = bandwidth
         self.strict = strict
+        if max_rounds is None:
+            max_rounds = _AMBIENT_ROUND_BUDGET.get()
+        if max_rounds is not None and max_rounds < 1:
+            raise GraphError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = max_rounds
         if host is None:
             self._host = list(range(graph.n))
         else:
@@ -128,6 +173,25 @@ class CongestNetwork:
     # ------------------------------------------------------------------
     # Round execution
     # ------------------------------------------------------------------
+    def validate_outboxes(self, outboxes: Dict[int, Outbox]) -> None:
+        """Check every message of ``outboxes`` for locality and word sanity.
+
+        Runs *before* any inbox is built or any counter is touched, so a
+        violation anywhere in the step leaves the network untouched (no
+        partially-delivered, half-accounted state). Also used by the fault
+        layer, which must validate attempted traffic it then drops.
+        """
+        for u, outbox in outboxes.items():
+            comm_u = self._comm[u]
+            for v, msgs in outbox.items():
+                if v not in comm_u:
+                    raise LocalityViolation(
+                        f"vertex {u} attempted to send to non-neighbor {v}"
+                    )
+                for _payload, w in msgs:
+                    if w < 0:
+                        raise ValueError("message word size must be non-negative")
+
     def exchange(self, outboxes: Dict[int, Outbox]) -> Dict[int, Inbox]:
         """Run one synchronous step delivering all ``outboxes``.
 
@@ -138,27 +202,22 @@ class CongestNetwork:
 
         Advances the round counter by ``max(1, ceil(L / bandwidth))`` where
         ``L`` is the maximum per-direction physical link load in words.
+        The whole step is validated up front: a :class:`LocalityViolation`
+        (or a negative word size) anywhere aborts the step before any
+        delivery or accounting happens.
         """
+        self.validate_outboxes(outboxes)
         link_load: Dict[Tuple[int, int], int] = {}
         inboxes: Dict[int, Inbox] = {}
         n_msgs = 0
         n_words = 0
         n_local = 0
         for u, outbox in outboxes.items():
-            comm_u = self._comm[u]
             host_u = self._host[u]
             for v, msgs in outbox.items():
-                if v not in comm_u:
-                    raise LocalityViolation(
-                        f"vertex {u} attempted to send to non-neighbor {v}"
-                    )
                 if not msgs:
                     continue
-                words = 0
-                for payload, w in msgs:
-                    if w < 0:
-                        raise ValueError("message word size must be non-negative")
-                    words += w
+                words = sum(w for _payload, w in msgs)
                 n_msgs += len(msgs)
                 n_words += words
                 if self._host[v] == host_u:
@@ -180,7 +239,15 @@ class CongestNetwork:
         self.stats.messages += n_msgs
         self.stats.words += n_words
         self.stats.local_messages += n_local
+        self._check_round_budget()
         return inboxes
+
+    def _check_round_budget(self) -> None:
+        if self.max_rounds is not None and self.rounds > self.max_rounds:
+            raise RoundBudgetExceeded(
+                f"round budget exhausted: {self.rounds} rounds used, "
+                f"budget is {self.max_rounds}"
+            )
 
     def charge_rounds(self, rounds: int, reason: str = "") -> None:
         """Explicitly charge ``rounds`` idle/synchronization rounds.
@@ -191,6 +258,18 @@ class CongestNetwork:
         if rounds < 0:
             raise ValueError("cannot charge negative rounds")
         self.rounds += rounds
+        self._check_round_budget()
+
+    # ------------------------------------------------------------------
+    # Fault-model hooks (overridden by repro.congest.faults.FaultyNetwork)
+    # ------------------------------------------------------------------
+    def is_crashed(self, v: int) -> bool:
+        """Whether vertex ``v`` is currently crashed (never, without faults)."""
+        return False
+
+    def live_nodes(self) -> List[int]:
+        """Vertices currently alive (all of them, without faults)."""
+        return [v for v in range(self.n) if not self.is_crashed(v)]
 
     def run(
         self,
@@ -202,8 +281,11 @@ class CongestNetwork:
 
         ``step(t, inboxes)`` receives the step index and the previous step's
         inboxes and returns the outboxes for this step. Returns the number of
-        steps executed. If ``quiescence`` is set, stops after a step that
-        produced no messages.
+        steps executed. If ``quiescence`` is set, stops after a step in which
+        no *live* node produced a message (crashed nodes cannot block
+        termination). Exceeding ``max_steps`` raises
+        :class:`RoundBudgetExceeded` when quiescence was requested but never
+        reached.
         """
         inboxes: Dict[int, Inbox] = {}
         executed = 0
@@ -211,10 +293,18 @@ class CongestNetwork:
             outboxes = step(t, inboxes)
             executed += 1
             if quiescence and not any(
-                msgs for ob in outboxes.values() for msgs in ob.values()
+                msgs
+                for u, ob in outboxes.items()
+                if not self.is_crashed(u)
+                for msgs in ob.values()
             ):
                 break
             inboxes = self.exchange(outboxes)
+        else:
+            if quiescence:
+                raise RoundBudgetExceeded(
+                    f"step function did not quiesce within {max_steps} steps"
+                )
         return executed
 
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.congest.network import CongestNetwork, Inbox
+from repro.congest.network import CongestNetwork, Inbox, RoundBudgetExceeded
 
 
 @dataclass
@@ -68,8 +68,15 @@ def run_programs(
 ) -> List[Any]:
     """Execute one program per vertex until quiescence; returns results.
 
-    Raises ``RuntimeError`` if the programs are still talking after
-    ``max_rounds`` rounds.
+    Crash-aware: on a fault-injected network
+    (:class:`~repro.congest.faults.FaultyNetwork`) a crashed node's program
+    is simply not scheduled — fail-stop semantics — and it resumes with its
+    state intact if the fault plan recovers it. Quiescence is judged over
+    *live* nodes only, so a dead node can never keep the run spinning.
+
+    Raises :class:`~repro.congest.network.RoundBudgetExceeded` (a
+    ``RuntimeError``) if the programs are still talking after ``max_rounds``
+    scheduling rounds.
     """
     g = net.graph
     if len(programs) != g.n:
@@ -86,13 +93,17 @@ def run_programs(
     for r in range(max_rounds):
         outboxes = {}
         for v, prog in enumerate(programs):
+            if net.is_crashed(v):
+                continue
             out = prog.on_round(r, inboxes.get(v, {}))
             if out:
                 outboxes[v] = out
         if not outboxes:
             return [prog.result() for prog in programs]
         inboxes = net.exchange(outboxes)
-    raise RuntimeError(f"programs did not quiesce within {max_rounds} rounds")
+    raise RoundBudgetExceeded(
+        f"programs did not quiesce within {max_rounds} rounds"
+    )
 
 
 class BfsProgram(NodeProgram):

@@ -20,6 +20,11 @@ Primitive                       Rounds
 ``aggregate_top_k``             O(k + D)
 ``route_jobs``                  O(congestion + dilation log n) [24, 36]
 ==============================  =======================================
+
+The ``reliable_*`` variants (and the :class:`ReliableNetwork` adapter) run
+the same primitives over faulty links via ack-and-retransmit rounds; under
+message-loss probability p their expected cost is the fault-free cost
+times O(1 / (1 - p)^2). See :mod:`repro.congest.primitives.reliable`.
 """
 
 from repro.congest.primitives.flood import BfsTree, build_bfs_tree
@@ -31,6 +36,16 @@ from repro.congest.primitives.waves import multi_source_wave, source_detection
 from repro.congest.primitives.trees import propagate_down_trees
 from repro.congest.primitives.aggregation import aggregate_top_k, elect_leader
 from repro.congest.primitives.scheduling import Job, congestion_dilation, route_jobs
+from repro.congest.primitives.reliable import (
+    DEFAULT_RETRY_BUDGET,
+    ReliableNetwork,
+    RetryBudgetExceeded,
+    reliable_bfs,
+    reliable_bfs_tree,
+    reliable_broadcast,
+    reliable_convergecast,
+    reliable_exchange,
+)
 
 __all__ = [
     "BfsTree",
@@ -50,4 +65,12 @@ __all__ = [
     "Job",
     "congestion_dilation",
     "route_jobs",
+    "DEFAULT_RETRY_BUDGET",
+    "ReliableNetwork",
+    "RetryBudgetExceeded",
+    "reliable_bfs",
+    "reliable_bfs_tree",
+    "reliable_broadcast",
+    "reliable_convergecast",
+    "reliable_exchange",
 ]

@@ -1,0 +1,241 @@
+"""Ack-and-retransmit machinery: reliable rounds over faulty links.
+
+:func:`reliable_exchange` turns one logical synchronous step into a
+stop-and-wait protocol: data messages carry sequence ids, receivers ack
+what they can verify, and senders retransmit unacked messages until
+everything is through or the retry budget is exhausted (then
+:class:`RetryBudgetExceeded` — loud failure, never silent loss). Receivers
+deduplicate by id, so duplicated deliveries and retransmissions after a
+lost ack are harmless; :class:`~repro.congest.faults.Corrupted` payloads
+model failed checksums and are treated as undelivered.
+
+:class:`ReliableNetwork` packages the protocol as a network adapter: it
+quacks like a :class:`~repro.congest.network.CongestNetwork` but its
+``exchange`` is reliable, so *any* orchestrated algorithm in the
+repository — the primitives, the exact MWC pipeline, the approximation
+algorithms — runs unchanged over faulty links at the cost of extra
+measured rounds. The ``reliable_*`` functions below are the pre-wrapped
+primitives named in the classical toolbox.
+
+Cost model: on fault-free links a reliable step costs exactly 2 exchange
+steps (data + ack). Under message-loss probability ``p`` the expected
+number of attempts per message is ``1 / (1 - p)^2`` (data *and* ack must
+survive), so the expected round-overhead factor of a whole algorithm is
+``O(1 / (1 - p)^2)`` — measured empirically by
+``benchmarks/bench_fault_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.congest.faults import Corrupted
+from repro.congest.network import (
+    CongestNetwork,
+    Inbox,
+    Outbox,
+    RoundBudgetExceeded,
+)
+from repro.congest.primitives.bfs import bfs
+from repro.congest.primitives.broadcast import broadcast
+from repro.congest.primitives.convergecast import convergecast
+from repro.congest.primitives.flood import BfsTree, build_bfs_tree
+
+#: Default maximum data+ack attempts per logical step. At the chaos-suite
+#: ceiling p = 0.3 a single attempt succeeds w.p. (0.7)^2 = 0.49, so 50
+#: attempts leave a per-message failure probability below 2^-48.
+DEFAULT_RETRY_BUDGET = 50
+
+_DATA = "rel/data"
+_ACK = "rel/ack"
+
+
+class RetryBudgetExceeded(RoundBudgetExceeded):
+    """A reliable step could not deliver everything within its retry budget.
+
+    Raised instead of hanging (or silently losing traffic) when links are
+    worse than the budget assumes — e.g. a permanently crashed receiver or
+    a permanent link outage that retransmission cannot mask.
+    """
+
+
+def reliable_exchange(
+    net: CongestNetwork,
+    outboxes: Dict[int, Outbox],
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+) -> Dict[int, Inbox]:
+    """One *reliable* logical step: deliver every message of ``outboxes``.
+
+    Runs the stop-and-wait protocol over ``net.exchange`` (typically a
+    :class:`~repro.congest.faults.FaultyNetwork`). Returns inboxes exactly
+    as a fault-free ``exchange`` would: per (sender, receiver), payloads in
+    original send order, duplicates removed, corruption filtered out.
+
+    Raises :class:`RetryBudgetExceeded` after ``retry_budget`` failed
+    attempts — per logical step, an attempt being one data step plus one
+    ack step.
+    """
+    if retry_budget < 1:
+        raise ValueError(f"retry budget must be >= 1, got {retry_budget}")
+    net.validate_outboxes(outboxes)
+    # (sender, receiver, index) ids make retransmissions and duplicates
+    # idempotent at the receiver.
+    pending: Dict[Tuple[int, int, int], Tuple[Any, int]] = {}
+    for u, outbox in outboxes.items():
+        for v, msgs in outbox.items():
+            for i, (payload, w) in enumerate(msgs):
+                pending[(u, v, i)] = (payload, w)
+    delivered: Dict[Tuple[int, int, int], Any] = {}
+    for _attempt in range(retry_budget):
+        if not pending:
+            break
+        # Data step: retransmit everything not yet acked.
+        data_out: Dict[int, Outbox] = {}
+        for (u, v, i), (payload, w) in pending.items():
+            data_out.setdefault(u, {}).setdefault(v, []).append(
+                ((_DATA, (u, v, i), payload), w)
+            )
+        data_in = net.exchange(data_out)
+        # Ack step: receivers confirm every intact message (including ones
+        # they already had — the previous ack may have been the loss).
+        ack_out: Dict[int, Outbox] = {}
+        for v, by_sender in data_in.items():
+            for u, payloads in by_sender.items():
+                for wire in payloads:
+                    if isinstance(wire, Corrupted):
+                        continue  # failed checksum: pretend it never arrived
+                    _tag, msg_id, payload = wire
+                    if msg_id not in delivered:
+                        delivered[msg_id] = payload
+                    ack_out.setdefault(v, {}).setdefault(u, []).append(
+                        ((_ACK, msg_id), 1)
+                    )
+        ack_in = net.exchange(ack_out) if ack_out else {}
+        for _u, by_acker in ack_in.items():
+            for _v, payloads in by_acker.items():
+                for wire in payloads:
+                    if isinstance(wire, Corrupted):
+                        continue
+                    _tag, msg_id = wire
+                    pending.pop(msg_id, None)
+    if pending:
+        raise RetryBudgetExceeded(
+            f"{len(pending)} message(s) still undelivered after "
+            f"{retry_budget} attempts (first: {sorted(pending)[0]})"
+        )
+    inboxes: Dict[int, Inbox] = {}
+    for (u, v, _i) in sorted(delivered):
+        inboxes.setdefault(v, {}).setdefault(u, []).append(delivered[(u, v, _i)])
+    return inboxes
+
+
+class ReliableNetwork:
+    """Adapter giving any network a reliable ``exchange``.
+
+    Wrap a (typically faulty) network and hand the wrapper to any
+    orchestrated algorithm::
+
+        faulty = FaultyNetwork(g, FaultPlan(drop_rate=0.2), seed=7)
+        net = ReliableNetwork(faulty)
+        res = exact_mwc_congest_on(net)   # correct despite the drops
+
+    Everything except ``exchange``/``run`` (state, rounds, stats, topology
+    helpers) delegates to the wrapped network, so round accounting includes
+    the full retransmission cost.
+    """
+
+    def __init__(self, net: CongestNetwork,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET):
+        if retry_budget < 1:
+            raise ValueError(f"retry budget must be >= 1, got {retry_budget}")
+        self._net = net
+        self.retry_budget = retry_budget
+
+    def exchange(self, outboxes: Dict[int, Outbox]) -> Dict[int, Inbox]:
+        """Reliable logical step (see :func:`reliable_exchange`)."""
+        return reliable_exchange(self._net, outboxes, self.retry_budget)
+
+    def run(
+        self,
+        step: Callable[[int, Dict[int, Inbox]], Dict[int, Outbox]],
+        max_steps: int,
+        quiescence: bool = True,
+    ) -> int:
+        """Drive ``step`` with reliable exchanges (mirrors the base ``run``)."""
+        inboxes: Dict[int, Inbox] = {}
+        executed = 0
+        for t in range(max_steps):
+            outboxes = step(t, inboxes)
+            executed += 1
+            if quiescence and not any(
+                msgs
+                for u, ob in outboxes.items()
+                if not self._net.is_crashed(u)
+                for msgs in ob.values()
+            ):
+                break
+            inboxes = self.exchange(outboxes)
+        else:
+            if quiescence:
+                raise RoundBudgetExceeded(
+                    f"step function did not quiesce within {max_steps} steps"
+                )
+        return executed
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._net, name)
+
+    def __repr__(self) -> str:
+        return f"ReliableNetwork({self._net!r}, retry_budget={self.retry_budget})"
+
+
+# ----------------------------------------------------------------------
+# Pre-wrapped resilient primitives
+# ----------------------------------------------------------------------
+def reliable_bfs_tree(
+    net: CongestNetwork,
+    root: int = 0,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+) -> BfsTree:
+    """Fault-tolerant BFS spanning tree (flood with retransmission)."""
+    return build_bfs_tree(ReliableNetwork(net, retry_budget), root=root)
+
+
+def reliable_bfs(
+    net: CongestNetwork,
+    source: int,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+    **kwargs: Any,
+):
+    """Fault-tolerant single-source BFS wave; same contract as ``bfs``."""
+    return bfs(ReliableNetwork(net, retry_budget), source, **kwargs)
+
+
+def reliable_convergecast(
+    net: CongestNetwork,
+    values,
+    op: Callable[[Any, Any], Any],
+    tree: Optional[BfsTree] = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+) -> Any:
+    """Fault-tolerant convergecast; builds a resilient tree if none given."""
+    rnet = ReliableNetwork(net, retry_budget)
+    if tree is None:
+        tree = build_bfs_tree(rnet)
+    return convergecast(rnet, values, op, tree)
+
+
+def reliable_broadcast(
+    net: CongestNetwork,
+    messages: Dict[int, Any],
+    tree: Optional[BfsTree] = None,
+    words_per_message: int = 1,
+    max_steps: Optional[int] = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+) -> List[List[Any]]:
+    """Fault-tolerant pipelined broadcast; same contract as ``broadcast``."""
+    rnet = ReliableNetwork(net, retry_budget)
+    if tree is None:
+        tree = build_bfs_tree(rnet)
+    return broadcast(rnet, messages, tree=tree,
+                     words_per_message=words_per_message, max_steps=max_steps)

@@ -84,10 +84,14 @@ class TraceRecorder:
         self.net = net
         self.trace = Trace()
         self.max_events = max_events
-        self._original_exchange = net.exchange
+        # On a fault-injected network, hook the post-fault delivery method
+        # so the trace shows what actually went out on the wire (dropped
+        # and crash-suppressed messages never appear).
+        self._attr = "deliver" if hasattr(net, "deliver") else "exchange"
+        self._original_exchange = getattr(net, self._attr)
 
     def __enter__(self) -> Trace:
-        self.net.exchange = self._recording_exchange  # type: ignore[method-assign]
+        setattr(self.net, self._attr, self._recording_exchange)
         return self.trace
 
     def __exit__(self, *exc) -> None:
@@ -115,5 +119,5 @@ class TraceRecorder:
         return self._original_exchange(outboxes)
 
     def detach(self) -> None:
-        """Restore the network's original exchange method."""
-        self.net.exchange = self._original_exchange  # type: ignore[method-assign]
+        """Restore the network's original exchange/deliver method."""
+        setattr(self.net, self._attr, self._original_exchange)

@@ -151,8 +151,18 @@ def persist(report: ExperimentReport) -> str:
             "polylog_correction": report.polylog_correction,
         }
     path = os.path.join(results_dir(), f"{report.exp_id}.json")
-    with open(path, "w") as f:
-        json.dump(payload, f, indent=2, default=str)
+    # Atomic write: an interrupted run must never leave a truncated JSON
+    # (or clobber a previous good result with a partial one).
+    tmp_path = f"{path}.tmp"
+    try:
+        with open(tmp_path, "w") as f:
+            json.dump(payload, f, indent=2, default=str)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
     return path
 
 

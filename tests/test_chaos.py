@@ -1,0 +1,153 @@
+"""Chaos test suite: algorithms vs. injected faults.
+
+Property contract proved here, for drop rates up to 0.3:
+
+* exact undirected MWC and single-source BFS over the retransmitting
+  primitives return *exactly* the fault-free answer (faults cost rounds,
+  never correctness);
+* fail-stop crashes either degrade gracefully (results over the surviving
+  network) or fail loudly (``RetryBudgetExceeded`` / partial results) —
+  never silent corruption or hangs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import FaultPlan, FaultyNetwork, NodeCrash
+from repro.congest.node import BfsProgram, run_programs
+from repro.congest.primitives import (
+    ReliableNetwork,
+    RetryBudgetExceeded,
+    reliable_bfs,
+    reliable_broadcast,
+    reliable_convergecast,
+)
+from repro.core.exact_mwc import exact_mwc_congest_on
+from repro.graphs import cycle_graph, erdos_renyi
+from repro.graphs.graph import INF
+from repro.sequential import bfs_distances, exact_mwc
+
+#: The acceptance ceiling for masked message loss.
+MAX_DROP = 0.3
+
+
+def chaos_graph(seed, weighted=True):
+    """Small connected workload graph; one per chaos seed."""
+    return erdos_renyi(14 + (seed % 5), 0.22, weighted=weighted,
+                       max_weight=9, seed=seed)
+
+
+class TestExactMwcUnderDrops:
+    """Acceptance: exact undirected MWC correct at p <= 0.3, >= 20 graphs."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_correct_cycle_weight(self, seed):
+        g = chaos_graph(seed)
+        drop = MAX_DROP * (seed % 4 + 1) / 4  # sweep 0.075 .. 0.3
+        faulty = FaultyNetwork(g, FaultPlan(drop_rate=drop), seed=seed)
+        res = exact_mwc_congest_on(ReliableNetwork(faulty))
+        assert res.value == exact_mwc(g), (seed, drop)
+        assert faulty.fault_stats.dropped_messages > 0
+
+    def test_rounds_exceed_fault_free(self):
+        g = chaos_graph(1)
+        clean = exact_mwc_congest_on(
+            ReliableNetwork(FaultyNetwork(g, FaultPlan(), seed=1)))
+        noisy = exact_mwc_congest_on(
+            ReliableNetwork(FaultyNetwork(g, FaultPlan(drop_rate=MAX_DROP),
+                                          seed=1)))
+        assert noisy.value == clean.value
+        assert noisy.rounds > clean.rounds
+
+
+class TestBfsUnderDrops:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           drop=st.floats(min_value=0.0, max_value=MAX_DROP),
+           net_seed=st.integers(min_value=0, max_value=10_000))
+    def test_distances_exact_despite_drops(self, seed, drop, net_seed):
+        g = chaos_graph(seed, weighted=False)
+        net = FaultyNetwork(g, FaultPlan(drop_rate=drop), seed=net_seed)
+        dist, _ = reliable_bfs(net, 0)
+        assert dist == bfs_distances(g, 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           drop=st.floats(min_value=0.0, max_value=MAX_DROP))
+    def test_convergecast_and_broadcast_exact(self, seed, drop):
+        g = chaos_graph(seed, weighted=False)
+        net = FaultyNetwork(g, FaultPlan(drop_rate=drop), seed=seed)
+        values = [float((7 * v + seed) % 23) for v in range(g.n)]
+        assert reliable_convergecast(net, values, min) == min(values)
+        received = reliable_broadcast(net, {0: ["a", "b"], 1: ["c"]})
+        assert all(r == ["a", "b", "c"] for r in received)
+
+
+class TestDuplicationAndCorruption:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           dup=st.floats(min_value=0.0, max_value=0.4),
+           corrupt=st.floats(min_value=0.0, max_value=0.3))
+    def test_reliable_bfs_masks_dup_and_corruption(self, seed, dup, corrupt):
+        g = chaos_graph(seed, weighted=False)
+        plan = FaultPlan(duplicate_rate=dup, corrupt_rate=corrupt)
+        net = FaultyNetwork(g, plan, seed=seed)
+        dist, _ = reliable_bfs(net, 0)
+        assert dist == bfs_distances(g, 0)
+
+
+class TestCrashDegradation:
+    def test_unreachable_receiver_raises_loudly(self):
+        g = cycle_graph(6)
+        plan = FaultPlan(crashes=(NodeCrash(1, at_round=0),))
+        net = FaultyNetwork(g, plan, seed=0)
+        with pytest.raises(RetryBudgetExceeded):
+            reliable_bfs(net, 0, retry_budget=4)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_node_programs_survive_crash_or_stay_partial(self, seed):
+        # Fail-stop crash of a non-source node: every node the wave can
+        # still reach gets its true distance in the cut graph; the dead
+        # node reports nothing.
+        g = erdos_renyi(16, 0.25, seed=seed)
+        dead = 1 + seed % (g.n - 1)
+        plan = FaultPlan(crashes=(NodeCrash(dead, at_round=0),))
+        net = FaultyNetwork(g, plan, seed=seed)
+        results = run_programs(net, [BfsProgram(0) for _ in range(g.n)],
+                               max_rounds=200)
+        assert results[dead] is None
+        # Reference: BFS on the graph with the dead vertex's edges removed.
+        ref = _bfs_without(g, 0, dead)
+        for v in range(g.n):
+            if v == dead:
+                continue
+            expected = None if ref[v] == INF else int(ref[v])
+            assert results[v] == expected, (seed, dead, v)
+
+    def test_recovering_node_rejoins(self):
+        g = cycle_graph(8)
+        plan = FaultPlan(crashes=(NodeCrash(4, at_round=0, recover_round=2),))
+        net = FaultyNetwork(g, plan, seed=0)
+        results = run_programs(net, [BfsProgram(0) for _ in range(8)],
+                               max_rounds=100)
+        # Node 4 is down only for the first rounds; the wave reaches it
+        # after recovery, and every distance is the true cycle distance.
+        assert results == [0, 1, 2, 3, 4, 3, 2, 1]
+
+
+def _bfs_without(g, source, removed):
+    """Hop distances from ``source`` ignoring vertex ``removed``."""
+    from collections import deque
+
+    dist = [INF] * g.n
+    dist[source] = 0
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        for v in g.out_neighbors(u):
+            if v == removed or dist[v] != INF:
+                continue
+            dist[v] = dist[u] + 1
+            q.append(v)
+    return dist

@@ -1,0 +1,325 @@
+"""Tests for the fault-injection subsystem (repro.congest.faults)."""
+
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    Corrupted,
+    FaultPlan,
+    FaultStats,
+    FaultyNetwork,
+    LinkOutage,
+    NodeCrash,
+    RoundBudgetExceeded,
+    round_budget,
+)
+from repro.congest.node import BfsProgram, MinAggregationProgram, run_programs
+from repro.congest.primitives import bfs, broadcast, build_bfs_tree, converge_min
+from repro.core.directed_mwc import directed_mwc_2approx_on
+from repro.core.exact_mwc import exact_mwc_congest_on
+from repro.core.girth import girth_2approx_on
+from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import GraphError
+
+
+def line_graph(n):
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(GraphError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(GraphError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(GraphError):
+            FaultPlan(corrupt_rate=2.0)
+
+    def test_outage_interval_sane(self):
+        with pytest.raises(GraphError):
+            LinkOutage(0, 1, start=5, end=5)
+        with pytest.raises(GraphError):
+            LinkOutage(0, 0, start=0, end=3)
+        with pytest.raises(GraphError):
+            LinkOutage(0, 1, start=-1, end=3)
+
+    def test_crash_schedule_sane(self):
+        with pytest.raises(GraphError):
+            NodeCrash(0, at_round=-1)
+        with pytest.raises(GraphError):
+            NodeCrash(0, at_round=5, recover_round=5)
+        with pytest.raises(GraphError):
+            FaultPlan(crashes=(NodeCrash(1), NodeCrash(1, at_round=9)))
+
+    def test_plan_rejects_out_of_graph_vertices(self):
+        g = line_graph(3)
+        with pytest.raises(GraphError):
+            FaultyNetwork(g, FaultPlan(crashes=(NodeCrash(7),)))
+        with pytest.raises(GraphError):
+            FaultyNetwork(g, FaultPlan(link_outages=(LinkOutage(0, 9),)))
+
+    def test_is_zero(self):
+        assert FaultPlan().is_zero()
+        assert not FaultPlan(drop_rate=0.01).is_zero()
+        assert not FaultPlan(crashes=(NodeCrash(0),)).is_zero()
+
+    def test_with_drop_rate_helper(self):
+        plan = FaultPlan(corrupt_rate=0.1).with_drop_rate(0.25)
+        assert plan.drop_rate == 0.25 and plan.corrupt_rate == 0.1
+
+
+class TestNoFaultTransparency:
+    """Acceptance: zero plan => byte-identical results and round counts."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_mwc_weighted(self, seed):
+        g = erdos_renyi(20, 0.18, weighted=True, max_weight=9, seed=seed)
+        plain = exact_mwc_congest_on(CongestNetwork(g, seed=seed))
+        faulty = exact_mwc_congest_on(FaultyNetwork(g, FaultPlan(), seed=seed))
+        assert plain.value == faulty.value
+        assert plain.rounds == faulty.rounds
+        assert plain.stats == faulty.stats
+
+    def test_directed_2approx(self):
+        g = erdos_renyi(24, 0.12, directed=True, seed=4)
+        plain = directed_mwc_2approx_on(CongestNetwork(g, seed=1))
+        faulty = directed_mwc_2approx_on(FaultyNetwork(g, seed=1))
+        assert plain.value == faulty.value
+        assert plain.rounds == faulty.rounds
+
+    def test_girth_2approx(self):
+        g = erdos_renyi(24, 0.14, seed=6)
+        plain = girth_2approx_on(CongestNetwork(g, seed=2))
+        faulty = girth_2approx_on(FaultyNetwork(g, seed=2))
+        assert plain.value == faulty.value
+        assert plain.rounds == faulty.rounds
+
+    def test_primitives_and_programs(self):
+        g = erdos_renyi(18, 0.2, seed=1)
+        plain, faulty = CongestNetwork(g, seed=0), FaultyNetwork(g, seed=0)
+        assert bfs(plain, 0) == bfs(faulty, 0)
+        assert broadcast(plain, {0: [1, 2, 3]}) == broadcast(faulty, {0: [1, 2, 3]})
+        assert plain.rounds == faulty.rounds
+        p1 = run_programs(CongestNetwork(g, seed=0),
+                          [BfsProgram(0) for _ in range(g.n)])
+        p2 = run_programs(FaultyNetwork(g, seed=0),
+                          [BfsProgram(0) for _ in range(g.n)])
+        assert p1 == p2
+
+    def test_zero_plan_records_no_fault_stats(self):
+        net = FaultyNetwork(line_graph(4), FaultPlan(), seed=0)
+        bfs(net, 0)
+        assert net.fault_stats == FaultStats()
+
+
+class TestDeterminism:
+    """Acceptance: same graph + seed + plan => identical FaultStats/rounds."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_identical_fault_stats_across_runs(self, seed):
+        g = erdos_renyi(20, 0.18, weighted=True, max_weight=6, seed=2)
+        plan = FaultPlan(drop_rate=0.2, duplicate_rate=0.1, corrupt_rate=0.05)
+        runs = []
+        for _ in range(2):
+            net = FaultyNetwork(g, plan, seed=seed)
+            from repro.congest.primitives import reliable_bfs
+            dist, _ = reliable_bfs(net, 0)
+            runs.append((dist, net.rounds, net.fault_stats))
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_give_different_faults(self):
+        g = erdos_renyi(20, 0.2, seed=2)
+        plan = FaultPlan(drop_rate=0.3)
+        stats = []
+        for seed in (0, 1):
+            net = FaultyNetwork(g, plan, seed=seed)
+            from repro.congest.primitives import reliable_bfs
+            reliable_bfs(net, 0)
+            stats.append(net.fault_stats)
+        assert stats[0] != stats[1]
+
+    def test_fault_rng_independent_of_algorithm_rng(self):
+        # Consuming net.rng must not perturb the fault stream.
+        g = line_graph(6)
+        plan = FaultPlan(drop_rate=0.5)
+        net1 = FaultyNetwork(g, plan, seed=9)
+        net2 = FaultyNetwork(g, plan, seed=9)
+        net2.rng.random(1000)
+        for net in (net1, net2):
+            for _ in range(20):
+                net.exchange({0: {1: [("x", 1)]}})
+        assert net1.fault_stats == net2.fault_stats
+
+
+class TestDropDuplicateCorrupt:
+    def test_all_drops_when_rate_is_one(self):
+        net = FaultyNetwork(line_graph(3), FaultPlan(drop_rate=1.0), seed=0)
+        inboxes = net.exchange({0: {1: [("a", 1), ("b", 1)]}})
+        assert inboxes == {}
+        assert net.fault_stats.dropped_messages == 2
+        assert net.fault_stats.dropped_words == 2
+        assert net.fault_stats.delivered_messages == 0
+        # Dropped traffic consumes no bandwidth: empty step, 1 round.
+        assert net.rounds == 1 and net.stats.words == 0
+
+    def test_duplicates_delivered_twice(self):
+        net = FaultyNetwork(line_graph(3), FaultPlan(duplicate_rate=1.0), seed=0)
+        inboxes = net.exchange({0: {1: [("a", 1)]}})
+        assert inboxes[1][0] == ["a", "a"]
+        assert net.fault_stats.duplicated_messages == 1
+        assert net.fault_stats.delivered_messages == 2
+        assert net.stats.words == 2  # duplicates do consume bandwidth
+
+    def test_corruption_wraps_payload(self):
+        net = FaultyNetwork(line_graph(3), FaultPlan(corrupt_rate=1.0), seed=0)
+        inboxes = net.exchange({0: {1: [("payload", 1)]}})
+        (got,) = inboxes[1][0]
+        assert isinstance(got, Corrupted)
+        assert got.original == "payload"
+        assert net.fault_stats.corrupted_messages == 1
+
+    def test_drop_rate_statistics_plausible(self):
+        net = FaultyNetwork(line_graph(2), FaultPlan(drop_rate=0.25), seed=3)
+        for _ in range(400):
+            net.exchange({0: {1: [("m", 1)]}})
+        frac = net.fault_stats.dropped_messages / net.fault_stats.attempted_messages
+        assert 0.15 < frac < 0.35
+
+    def test_faults_do_not_mask_locality_violations(self):
+        from repro.congest import LocalityViolation
+        net = FaultyNetwork(line_graph(3), FaultPlan(drop_rate=1.0), seed=0)
+        with pytest.raises(LocalityViolation):
+            net.exchange({0: {2: [("x", 1)]}})
+
+
+class TestLinkOutages:
+    def test_outage_window(self):
+        plan = FaultPlan(link_outages=(LinkOutage(0, 1, start=2, end=4),))
+        net = FaultyNetwork(line_graph(3), plan, seed=0)
+        delivered = []
+        for _ in range(6):  # rounds 0..5, one per exchange
+            inboxes = net.exchange({0: {1: [("m", 1)]}})
+            delivered.append(bool(inboxes))
+        assert delivered == [True, True, False, False, True, True]
+        assert net.fault_stats.outage_messages == 2
+
+    def test_symmetric_outage_covers_both_directions(self):
+        plan = FaultPlan(link_outages=(LinkOutage(0, 1, start=0, end=None),))
+        net = FaultyNetwork(line_graph(3), plan, seed=0)
+        assert net.exchange({1: {0: [("m", 1)]}}) == {}
+
+    def test_directed_outage_leaves_reverse_direction(self):
+        plan = FaultPlan(link_outages=(
+            LinkOutage(0, 1, start=0, end=None, symmetric=False),))
+        net = FaultyNetwork(line_graph(3), plan, seed=0)
+        assert net.exchange({0: {1: [("m", 1)]}}) == {}
+        assert net.exchange({1: {0: [("m", 1)]}})[0][1] == ["m"]
+
+    def test_outage_only_affects_named_link(self):
+        plan = FaultPlan(link_outages=(LinkOutage(0, 1, start=0, end=None),))
+        net = FaultyNetwork(line_graph(3), plan, seed=0)
+        assert net.exchange({1: {2: [("m", 1)]}})[2][1] == ["m"]
+
+
+class TestCrashes:
+    def test_crashed_node_neither_sends_nor_receives(self):
+        plan = FaultPlan(crashes=(NodeCrash(1, at_round=0),))
+        net = FaultyNetwork(line_graph(3), plan, seed=0)
+        assert net.is_crashed(1) and not net.is_crashed(0)
+        assert net.live_nodes() == [0, 2]
+        inboxes = net.exchange({0: {1: [("to-dead", 1)]},
+                                1: {2: [("from-dead", 1)]}})
+        assert inboxes == {}
+        assert net.fault_stats.suppressed_messages == 2
+
+    def test_recovery_restores_traffic(self):
+        plan = FaultPlan(crashes=(NodeCrash(1, at_round=0, recover_round=3),))
+        net = FaultyNetwork(line_graph(3), plan, seed=0)
+        assert net.exchange({0: {1: [("m", 1)]}}) == {}  # round 0: down
+        net.charge_rounds(2)  # jump past the recovery round
+        assert net.exchange({0: {1: [("m", 1)]}})[1][0] == ["m"]
+
+    def test_run_programs_skips_crashed_and_quiesces_on_live(self):
+        g = cycle_graph(6)
+        plan = FaultPlan(crashes=(NodeCrash(3, at_round=0),))
+        net = FaultyNetwork(g, plan, seed=0)
+        values = [float(v + 10) for v in range(6)]
+        results = run_programs(
+            net, [MinAggregationProgram(values[v]) for v in range(6)],
+            max_rounds=200)
+        # Live nodes converge around the dead node; 3's program never ran
+        # past setup so it keeps its own value.
+        assert all(r == 10.0 for v, r in enumerate(results) if v != 3)
+        assert results[3] == 13.0
+
+    def test_crashed_source_degrades_bfs_gracefully(self):
+        # The cycle is cut at the dead node: the wave still reaches every
+        # live node the long way around.
+        from repro.graphs.graph import INF
+        g = cycle_graph(8)
+        plan = FaultPlan(crashes=(NodeCrash(4, at_round=0),))
+        net = FaultyNetwork(g, plan, seed=0)
+        results = run_programs(net, [BfsProgram(0) for _ in range(8)],
+                               max_rounds=100)
+        assert results[4] is None
+        assert results[3] == 3 and results[5] == 3  # rerouted, not 4's +-1
+
+
+class TestRoundBudget:
+    def test_network_budget_enforced_on_exchange(self):
+        net = CongestNetwork(line_graph(2), max_rounds=3)
+        for _ in range(3):
+            net.exchange({0: {1: [("m", 1)]}})
+        with pytest.raises(RoundBudgetExceeded):
+            net.exchange({0: {1: [("m", 1)]}})
+
+    def test_network_budget_enforced_on_charge(self):
+        net = CongestNetwork(line_graph(2), max_rounds=5)
+        with pytest.raises(RoundBudgetExceeded):
+            net.charge_rounds(6)
+
+    def test_ambient_budget_context(self):
+        with round_budget(2):
+            net = CongestNetwork(line_graph(2))
+        assert net.max_rounds == 2
+        outside = CongestNetwork(line_graph(2))
+        assert outside.max_rounds is None
+
+    def test_run_raises_without_quiescence(self):
+        net = CongestNetwork(line_graph(2))
+        with pytest.raises(RoundBudgetExceeded):
+            net.run(lambda t, inbox: {0: {1: [("m", 1)]}}, max_steps=5)
+
+    def test_budget_error_is_a_runtime_error(self):
+        assert issubclass(RoundBudgetExceeded, RuntimeError)
+
+
+class TestAccounting:
+    def test_reset_accounting_clears_fault_stats(self):
+        net = FaultyNetwork(line_graph(2), FaultPlan(drop_rate=1.0), seed=0)
+        net.exchange({0: {1: [("m", 1)]}})
+        assert net.fault_stats.dropped_messages == 1
+        net.reset_accounting()
+        assert net.fault_stats == FaultStats()
+        assert net.rounds == 0
+
+    def test_stats_partition_attempts(self):
+        plan = FaultPlan(drop_rate=0.3,
+                         crashes=(NodeCrash(2, at_round=0),))
+        net = FaultyNetwork(line_graph(4), plan, seed=1)
+        for _ in range(50):
+            net.exchange({0: {1: [("a", 1)]}, 1: {2: [("b", 1)]},
+                          3: {2: [("c", 1)]}})
+        s = net.fault_stats
+        # delivered counts duplicates; with duplicate_rate=0 the attempted
+        # traffic splits exactly into lost + delivered.
+        assert s.attempted_messages == s.lost_messages() + s.delivered_messages
+        assert s.suppressed_messages == 100  # both messages into node 2
+
+    def test_as_dict_roundtrip(self):
+        stats = FaultStats(dropped_messages=3, dropped_words=4)
+        d = stats.as_dict()
+        assert d["dropped_messages"] == 3 and d["delivered_words"] == 0

@@ -67,5 +67,29 @@ class TestPersistence:
             assert payload["notes"] == "hello"
             assert "fit" in payload and "corrected_fit" in payload
             assert len(payload["rows"]) == 2
+            assert not os.path.exists(path + ".tmp")
+        finally:
+            os.unlink(path)
+
+    def test_persist_is_atomic_under_interruption(self, monkeypatch):
+        # An interrupted write must neither leave a truncated JSON nor
+        # clobber a previous good result.
+        report = run_sweep("TEST-ATOMIC", [4, 8], quadratic_runner)
+        path = persist(report)
+        try:
+            report2 = run_sweep("TEST-ATOMIC", [4, 8, 16], quadratic_runner)
+            import repro.harness as harness
+
+            def exploding_dump(*args, **kwargs):
+                raise KeyboardInterrupt("simulated ctrl-C mid-write")
+
+            monkeypatch.setattr(harness.json, "dump", exploding_dump)
+            with pytest.raises(KeyboardInterrupt):
+                persist(report2)
+            monkeypatch.undo()
+            with open(path) as f:
+                payload = json.load(f)  # old result intact, valid JSON
+            assert len(payload["rows"]) == 2
+            assert not os.path.exists(path + ".tmp")
         finally:
             os.unlink(path)

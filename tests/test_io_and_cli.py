@@ -95,6 +95,21 @@ class TestCli:
         assert main(["apsp", graph_file]) == 0
         assert "reachable pairs" in capsys.readouterr().out
 
+    def test_max_rounds_budget_aborts_cleanly(self, graph_file, capsys):
+        assert main(["mwc", graph_file, "--algorithm", "exact",
+                     "--max-rounds", "3"]) == 3
+        err = capsys.readouterr().err
+        assert "round budget" in err and "budget is 3" in err
+
+    def test_max_rounds_budget_loose_enough_passes(self, graph_file, capsys):
+        assert main(["mwc", graph_file, "--algorithm", "exact",
+                     "--max-rounds", "100000"]) == 0
+        assert "mwc value" in capsys.readouterr().out
+
+    def test_max_rounds_applies_to_apsp(self, graph_file, capsys):
+        assert main(["apsp", graph_file, "--max-rounds", "2"]) == 3
+        assert "error:" in capsys.readouterr().err
+
     def test_generate_then_consume(self, tmp_path, capsys):
         out = tmp_path / "gen.txt"
         assert main(["generate", str(out), "--type", "cycle", "-n", "10",

@@ -54,6 +54,26 @@ class TestExchange:
         with pytest.raises(LocalityViolation):
             net.exchange({0: {2: [("x", 1)]}})
 
+    def test_invalid_step_leaves_network_untouched(self):
+        # Regression: the whole outbox set is validated before any inbox is
+        # built or any counter mutated, so a violation buried after valid
+        # messages aborts the step atomically.
+        net = CongestNetwork(line_graph(3))
+        bad_step = {0: {1: [("ok", 1)]}, 1: {2: [("ok", 1)]},
+                    2: {0: [("non-neighbor", 1)]}}
+        with pytest.raises(LocalityViolation):
+            net.exchange(bad_step)
+        assert net.rounds == 0
+        assert net.stats.steps == 0 and net.stats.messages == 0
+        bad_words = {0: {1: [("ok", 1), ("negative", -1)]}}
+        with pytest.raises(ValueError):
+            net.exchange(bad_words)
+        assert net.rounds == 0 and net.stats.words == 0
+        # The network still works normally afterwards.
+        inboxes = net.exchange({0: {1: [("hello", 1)]}})
+        assert inboxes[1][0] == ["hello"]
+        assert net.rounds == 1 and net.stats.messages == 1
+
     def test_round_charging_for_heavy_step(self):
         net = CongestNetwork(line_graph(2), bandwidth=1)
         net.exchange({0: {1: [(i, 1) for i in range(5)]}})

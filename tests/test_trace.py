@@ -42,6 +42,58 @@ class TestRecorder:
         assert net.exchange == rec._original_exchange
 
 
+class TestFaultInteraction:
+    """A traced FaultyNetwork records what the wire carried, not attempts."""
+
+    def test_records_delivered_not_dropped(self):
+        from repro.congest import FaultPlan, FaultyNetwork
+
+        g = cycle_graph(3)
+        net = FaultyNetwork(g, FaultPlan(drop_rate=1.0), seed=0)
+        with TraceRecorder(net) as trace:
+            net.exchange({0: {1: [("doomed", 1)]}})
+        assert trace.steps == 1
+        assert trace.events == []  # everything was dropped pre-wire
+        assert net.fault_stats.dropped_messages == 1
+
+    def test_partial_drops_trace_survivors_only(self):
+        from repro.congest import FaultPlan, FaultyNetwork
+        from repro.congest.primitives import reliable_bfs
+
+        g = cycle_graph(10)
+        net = FaultyNetwork(g, FaultPlan(drop_rate=0.4), seed=3)
+        with TraceRecorder(net) as trace:
+            reliable_bfs(net, 0)
+        traced_words = sum(ev.words for ev in trace.events)
+        # The trace matches the delivery-side stats exactly and excludes
+        # every dropped word.
+        assert traced_words == net.stats.words
+        assert net.fault_stats.dropped_words > 0
+        attempted = net.fault_stats.attempted_words
+        assert traced_words == attempted - net.fault_stats.dropped_words \
+            + net.fault_stats.duplicated_words
+
+    def test_truncation_still_flags(self):
+        from repro.congest import FaultPlan, FaultyNetwork
+        from repro.congest.primitives import reliable_bfs
+
+        g = grid_graph(4, 4)
+        net = FaultyNetwork(g, FaultPlan(drop_rate=0.2), seed=1)
+        with TraceRecorder(net, max_events=3) as trace:
+            reliable_bfs(net, 0)
+        assert trace.truncated
+        assert len(trace.events) == 3
+
+    def test_detach_restores_faulty_delivery(self):
+        from repro.congest import FaultPlan, FaultyNetwork
+
+        net = FaultyNetwork(cycle_graph(5), FaultPlan(drop_rate=0.5), seed=0)
+        rec = TraceRecorder(net)
+        with rec:
+            pass
+        assert net.deliver == rec._original_exchange
+
+
 class TestTraceAnalysis:
     def _traced_bfs(self):
         g = cycle_graph(12)
