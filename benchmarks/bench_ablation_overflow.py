@@ -11,7 +11,7 @@ load stays bounded while the uncapped variant's grows with n.
 from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
 from repro.graphs import Graph
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [32, 64, 128]
 

@@ -12,7 +12,7 @@ guarantee). The sweep documents both observations.
 from repro.graphs import cycle_with_chords
 from repro.core.weighted_mwc import undirected_weighted_mwc_approx
 from repro.harness import SweepRow, emit
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 N = 96
 EPSES = [0.25, 0.5, 1.0, 2.0]

@@ -12,7 +12,7 @@ from conftest import sparse_digraph
 from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
 from repro.core.exact_mwc import exact_mwc_congest
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [48, 96, 192, 384]
 

@@ -8,7 +8,7 @@ accordingly modest.
 from conftest import sparse_weighted
 from repro.core.weighted_mwc import directed_weighted_mwc_approx
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [32, 64, 128, 192]
 EPS = 0.5

@@ -7,7 +7,7 @@ analogue is covered by ``bench_exact_undirected.py`` (same substrate).
 from conftest import sparse_digraph
 from repro.core.exact_mwc import exact_mwc_congest
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [64, 128, 256, 512]
 

@@ -3,7 +3,7 @@
 from conftest import sparse_graph
 from repro.core.baselines import exact_girth_congest
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_girth
+from repro.cache import cached_exact_girth as exact_girth
 
 SIZES = [64, 128, 256, 512]
 

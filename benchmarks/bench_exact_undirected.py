@@ -9,7 +9,7 @@ machinery guarantees Õ(n) in the worst case.
 from conftest import sparse_weighted
 from repro.core.exact_mwc import exact_mwc_congest
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [48, 96, 192, 384]
 

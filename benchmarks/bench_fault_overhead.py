@@ -16,7 +16,7 @@ from repro.congest import FaultPlan, FaultyNetwork
 from repro.congest.primitives import ReliableNetwork
 from repro.core.exact_mwc import exact_mwc_congest_on
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 N = 48
 DROP_PERCENTS = [0, 10, 20, 30]

@@ -15,7 +15,7 @@ from repro.core.baselines import girth_prt
 from repro.core.girth import girth_2approx
 from repro.graphs import cycle_graph
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_girth
+from repro.cache import cached_exact_girth as exact_girth
 
 SIZES = [64, 128, 256, 512]
 GIRTH_SIZES = [32, 64, 128, 256]

@@ -16,7 +16,7 @@ from repro.congest import CongestNetwork
 from repro.core.ksource import k_source_bfs, k_source_bfs_repeated_on
 from repro.graphs import cycle_with_chords
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import k_source_distances
+from repro.cache import cached_k_source_distances as k_source_distances
 
 N = 128
 KS = [24, 40, 64, 96, 128]

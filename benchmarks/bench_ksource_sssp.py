@@ -8,7 +8,7 @@ rounds grow sublinearly in k.
 from repro.core.ksource import k_source_sssp
 from repro.graphs import cycle_with_chords
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import k_source_distances
+from repro.cache import cached_k_source_distances as k_source_distances
 
 N = 96
 KS = [16, 24, 40, 64, 96]

@@ -19,7 +19,7 @@ from repro.core.weighted_mwc import (
 )
 from repro.graphs import cycle_with_chords
 from repro.graphs.graph import INF
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 N = 40
 SEEDS = range(6)

@@ -1,0 +1,86 @@
+"""EXP BENCH_SIMCORE — batched-exchange fast path: parity and speedup.
+
+Every point runs the same algorithm twice — once with the columnar batched
+exchange disabled (the dict reference path) and once enabled — and asserts
+the simulation is observationally identical: same rounds, same message and
+word totals. Wall times of both paths are recorded in the persisted JSON,
+which doubles as the performance log behind docs/performance.md.
+
+The checked-in ``benchmarks/results/BENCH_SIMCORE.json`` is a golden
+baseline: CI re-runs this sweep (with ``--jobs 2``) and fails if any round
+count drifts from it, fencing the simulator core and the fast path at once.
+"""
+
+import json
+import os
+import time
+
+from conftest import sparse_weighted
+from repro.congest.batch import batching
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.core.ksource import k_source_bfs
+from repro.graphs import cycle_with_chords
+from repro.harness import SweepRow, emit, results_dir, run_sweep
+
+EXP_ID = "BENCH_SIMCORE"
+
+# (workload, size): small enough for a CI smoke run, large enough that the
+# batched path's advantage is visible in the recorded timings.
+POINTS = [
+    ("mwc", 48),
+    ("mwc", 96),
+    ("ksource", 24),
+    ("ksource", 40),
+]
+
+
+def _run(kind: str, size: int):
+    if kind == "mwc":
+        g = sparse_weighted(size, seed=size, max_weight=16)
+        return exact_mwc_congest(g, seed=1)
+    g = cycle_with_chords(128, num_chords=3, directed=True, seed=4)
+    sources = list(range(0, 128, max(1, 128 // size)))[:size]
+    return k_source_bfs(g, sources, seed=1, method="skeleton",
+                        sample_constant=1.0)
+
+
+def _point(idx: int) -> SweepRow:
+    kind, size = POINTS[idx]
+    timings = {}
+    observed = {}
+    for label, enabled in (("dict", False), ("batch", True)):
+        with batching(enabled):
+            start = time.perf_counter()
+            res = _run(kind, size)
+            timings[label] = time.perf_counter() - start
+        observed[label] = (res.rounds, res.stats.messages, res.stats.words)
+    assert observed["batch"] == observed["dict"], (kind, size, observed)
+    rounds, messages, words = observed["dict"]
+    return SweepRow(
+        n=size, rounds=rounds,
+        extra={"workload": kind, "messages": messages, "words": words,
+               "dict_seconds": round(timings["dict"], 4),
+               "batch_seconds": round(timings["batch"], 4)})
+
+
+def _baseline_rounds():
+    """Round counts from the checked-in baseline, or None on first run."""
+    path = os.path.join(results_dir(), f"{EXP_ID}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        payload = json.load(f)
+    return {(r["extra"]["workload"], r["n"]): r["rounds"]
+            for r in payload["rows"]}
+
+
+def test_simcore_parity_and_baseline(once):
+    baseline = _baseline_rounds()
+    report = once(lambda: run_sweep(
+        EXP_ID, list(range(len(POINTS))), _point, fit=False,
+        notes="dict vs batched exchange: rounds/messages/words asserted "
+              "identical per point; *_seconds are wall times of each path"))
+    if baseline is not None:
+        fresh = {(r.extra["workload"], r.n): r.rounds for r in report.rows}
+        assert fresh == baseline, "round counts drifted from BENCH_SIMCORE.json"
+    emit(report)

@@ -7,7 +7,7 @@ comes from the O(log nW)-size scale ladder.
 from conftest import sparse_weighted
 from repro.core.weighted_mwc import undirected_weighted_mwc_approx
 from repro.harness import SweepRow, emit, run_sweep
-from repro.sequential import exact_mwc
+from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [48, 96, 192, 320]
 EPS = 0.5

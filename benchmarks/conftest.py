@@ -5,30 +5,59 @@ simulated networks; pytest-benchmark additionally records wall time of each
 experiment sweep. Each file regenerates one Table 1 row / Theorem 1.6 curve
 (see DESIGN.md §3 for the index) and persists its report under
 ``benchmarks/results/``.
+
+Performance knobs (docs/performance.md): workload graphs and sequential
+ground truths are memoized on disk via :mod:`repro.cache`; ``--jobs N`` (or
+``REPRO_JOBS=N``) fans independent sweep points out over a process pool.
 """
+
+import os
 
 import pytest
 
+from repro.cache import cached_graph
 from repro.graphs import erdos_renyi
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per experiment sweep (default: REPRO_JOBS or serial)",
+    )
+
+
+def pytest_configure(config):
+    # Surface --jobs through the env var run_sweep already honors, so the
+    # setting reaches pool workers and library code alike.
+    jobs = config.getoption("--jobs", default=None)
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)
 
 
 def sparse_digraph(n: int, seed: int = 1, avg_degree: float = 5.0):
     """Connected sparse random digraph: the directed MWC workload."""
-    return erdos_renyi(n, p=min(1.0, avg_degree / n), directed=True, seed=seed)
+    p = min(1.0, avg_degree / n)
+    return cached_graph(
+        f"sparse_digraph|{n}|{seed}|{p}",
+        lambda: erdos_renyi(n, p=p, directed=True, seed=seed))
 
 
 def sparse_graph(n: int, seed: int = 1, avg_degree: float = 5.0):
     """Connected sparse random graph: the undirected workload."""
-    return erdos_renyi(n, p=min(1.0, 2 * avg_degree / n), directed=False,
-                       seed=seed)
+    p = min(1.0, 2 * avg_degree / n)
+    return cached_graph(
+        f"sparse_graph|{n}|{seed}|{p}",
+        lambda: erdos_renyi(n, p=p, directed=False, seed=seed))
 
 
 def sparse_weighted(n: int, seed: int = 1, max_weight: int = 8,
                     directed: bool = False, avg_degree: float = 5.0):
     """Connected sparse weighted graph, W = poly(n)-bounded weights."""
     p = min(1.0, (avg_degree if directed else 2 * avg_degree) / n)
-    return erdos_renyi(n, p=p, directed=directed, weighted=True,
-                       max_weight=max_weight, seed=seed)
+    return cached_graph(
+        f"sparse_weighted|{n}|{seed}|{max_weight}|{int(directed)}|{p}",
+        lambda: erdos_renyi(n, p=p, directed=directed, weighted=True,
+                            max_weight=max_weight, seed=seed))
 
 
 @pytest.fixture

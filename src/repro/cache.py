@@ -1,0 +1,247 @@
+"""Content-addressed disk cache for graphs and sequential ground truths.
+
+Benchmark sweeps spend a surprising share of wall-clock recomputing values
+that never change between runs: the generated workload graphs and the
+*sequential* reference answers (true minimum weight cycle, SSSP distance
+tables) that each sweep point compares the CONGEST result against. Both are
+pure functions of the graph, so this module memoizes them on disk, keyed by
+a stable content digest of the graph itself — not by generator parameters,
+so any two ways of building the same graph share cache entries, and any
+change to a generator automatically misses.
+
+Layout: one JSON file per entry under ``benchmarks/results/.cache/<kind>/``
+(override the root with ``REPRO_CACHE_DIR``; disable entirely with
+``REPRO_CACHE=0``). Writes are atomic (tmp + fsync + rename), matching the
+harness's persist discipline, so an interrupted run never leaves a corrupt
+entry. Entries record the digest they were computed for, and loads verify
+it, so a hash-scheme change invalidates old entries instead of serving them.
+
+Only *sequential* truths are cached — never CONGEST runs: measured rounds
+and message counts are what the benchmarks exist to measure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.graphs.graph import Graph
+
+#: Set to ``"0"`` to bypass the cache entirely (every call recomputes).
+CACHE_ENV = "REPRO_CACHE"
+#: Overrides the on-disk cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the digest scheme or any entry format changes incompatibly.
+_SCHEMA = 1
+
+#: Process-wide hit/miss counters, keyed by entry kind (``repro cache
+#: stats`` reports the on-disk view; these serve tests and profiling).
+counters: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def cache_enabled() -> bool:
+    """Whether the disk cache is active (default: yes)."""
+    return os.environ.get(CACHE_ENV, "1") != "0"
+
+
+def cache_root() -> str:
+    """The cache directory (created on demand)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        path = override
+    else:
+        here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        path = os.path.join(here, "benchmarks", "results", ".cache")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def graph_digest(g: Graph) -> str:
+    """Stable content digest of a graph.
+
+    Hashes the canonical encoding (schema version, n, directed, weighted,
+    sorted edge triples), so digests are independent of construction order
+    and stable across processes and sessions — unlike ``hash()``.
+    """
+    h = hashlib.sha256()
+    h.update(f"{_SCHEMA}|{g.n}|{int(g.directed)}|{int(g.weighted)}".encode())
+    for u, v, w in sorted(g.edges()):
+        h.update(f"|{u},{v},{w}".encode())
+    return h.hexdigest()
+
+
+def _entry_path(kind: str, key: str) -> str:
+    directory = os.path.join(cache_root(), kind)
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"{key}.json")
+
+
+def _load(kind: str, key: str) -> Optional[Dict[str, Any]]:
+    path = _entry_path(kind, key)
+    try:
+        with open(path) as f:
+            entry = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if entry.get("schema") != _SCHEMA or entry.get("key") != key:
+        return None
+    return entry
+
+
+def _store(kind: str, key: str, payload: Any) -> None:
+    path = _entry_path(kind, key)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w") as f:
+            # json round-trips inf as Infinity by default (allow_nan), which
+            # the MWC value of an acyclic graph needs.
+            json.dump({"schema": _SCHEMA, "key": key, "value": payload}, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except OSError:
+        # A read-only or full disk degrades to a recompute, never an error.
+        pass
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+
+
+def memoized(kind: str, key: str, compute: Callable[[], Any],
+             encode: Callable[[Any], Any] = lambda v: v,
+             decode: Callable[[Any], Any] = lambda v: v) -> Any:
+    """Return the cached value for ``(kind, key)``, computing on miss.
+
+    ``encode``/``decode`` adapt the value to and from its JSON form (JSON
+    object keys are strings, so int-keyed dicts need the round trip).
+    """
+    if not cache_enabled():
+        return compute()
+    entry = _load(kind, key)
+    if entry is not None:
+        counters["hits"] += 1
+        return decode(entry["value"])
+    counters["misses"] += 1
+    value = compute()
+    _store(kind, key, encode(value))
+    return value
+
+
+# ----------------------------------------------------------------------
+# Ground truths
+# ----------------------------------------------------------------------
+def cached_exact_mwc(g: Graph) -> float:
+    """True minimum weight cycle (``repro.sequential.exact_mwc``), cached."""
+    from repro.sequential import exact_mwc
+
+    return float(memoized("mwc", graph_digest(g), lambda: exact_mwc(g)))
+
+
+def cached_exact_girth(g: Graph) -> float:
+    """True girth (``repro.sequential.exact_girth``), cached."""
+    from repro.sequential import exact_girth
+
+    return float(memoized("girth", graph_digest(g), lambda: exact_girth(g)))
+
+
+def cached_k_source_distances(
+    g: Graph, sources: Iterable[int], reverse: bool = False
+) -> Dict[int, List[float]]:
+    """Sequential k-source distance table, cached per (graph, sources)."""
+    from repro.sequential import k_source_distances
+
+    src_list = list(sources)
+    suffix = hashlib.sha256(
+        (",".join(map(str, src_list)) + f"|r{int(reverse)}").encode()
+    ).hexdigest()[:16]
+    key = f"{graph_digest(g)}-{suffix}"
+    return memoized(
+        "ksource", key,
+        lambda: k_source_distances(g, src_list, reverse=reverse),
+        encode=lambda table: {str(s): d for s, d in table.items()},
+        decode=lambda table: {int(s): list(d) for s, d in table.items()},
+    )
+
+
+def cached_distances(g: Graph, source: int, reverse: bool = False) -> List[float]:
+    """Sequential single-source distances, cached per (graph, source)."""
+    from repro.sequential import distances
+
+    key = f"{graph_digest(g)}-s{source}-r{int(reverse)}"
+    return memoized("sssp", key,
+                    lambda: distances(g, source, reverse=reverse),
+                    decode=lambda d: list(d))
+
+
+# ----------------------------------------------------------------------
+# Generated graphs
+# ----------------------------------------------------------------------
+def cached_graph(key: str, build: Callable[[], Graph]) -> Graph:
+    """Memoize a deterministic graph construction under a caller-chosen key.
+
+    ``key`` must uniquely describe the construction (builder name plus every
+    parameter including seeds); the entry stores the full edge list, so a
+    hit skips the generator entirely. Keys are hashed, so any length and
+    characters are fine.
+    """
+    digest = hashlib.sha256(f"{_SCHEMA}|{key}".encode()).hexdigest()
+
+    def encode(g: Graph) -> Dict[str, Any]:
+        return {"n": g.n, "directed": g.directed, "weighted": g.weighted,
+                "edges": [[u, v, w] for u, v, w in g.edges()]}
+
+    def decode(payload: Dict[str, Any]) -> Graph:
+        g = Graph(payload["n"], directed=payload["directed"],
+                  weighted=payload["weighted"])
+        for u, v, w in payload["edges"]:
+            g.add_edge(u, v, w)
+        return g
+
+    return memoized("graph", digest, build, encode=encode, decode=decode)
+
+
+# ----------------------------------------------------------------------
+# Maintenance (surfaced by ``repro cache`` in the CLI)
+# ----------------------------------------------------------------------
+def info() -> Dict[str, Any]:
+    """Entry counts and total bytes per kind, plus the root path."""
+    root = cache_root()
+    kinds: Dict[str, Dict[str, int]] = {}
+    total_bytes = 0
+    for kind in sorted(os.listdir(root)):
+        directory = os.path.join(root, kind)
+        if not os.path.isdir(directory):
+            continue
+        files = [f for f in os.listdir(directory) if f.endswith(".json")]
+        size = sum(os.path.getsize(os.path.join(directory, f)) for f in files)
+        kinds[kind] = {"entries": len(files), "bytes": size}
+        total_bytes += size
+    return {"root": root, "kinds": kinds, "total_bytes": total_bytes,
+            "enabled": cache_enabled()}
+
+
+def clear() -> int:
+    """Delete every cache entry; returns the number removed."""
+    root = cache_root()
+    removed = 0
+    for kind in os.listdir(root):
+        directory = os.path.join(root, kind)
+        if not os.path.isdir(directory):
+            continue
+        for name in os.listdir(directory):
+            try:
+                os.remove(os.path.join(directory, name))
+                removed += 1
+            except OSError:
+                pass
+        try:
+            os.rmdir(directory)
+        except OSError:
+            pass
+    return removed

@@ -7,6 +7,7 @@ Commands
 ``generate``  write a workload graph as an edge list
 ``table``     render Table 1 with any persisted benchmark results
 ``verify-lb`` build + verify a lower-bound reduction instance
+``cache``     inspect or clear the graph / ground-truth disk cache
 """
 
 from __future__ import annotations
@@ -101,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=float, default=4.0)
     p.add_argument("--intersecting", action="store_true")
     _add_seed(p)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the benchmark result cache")
+    p.add_argument("action", nargs="?", default="stats",
+                   choices=["stats", "clear"],
+                   help="'stats' (default) prints entry counts; 'clear' "
+                        "deletes every cached entry")
     return parser
 
 
@@ -287,6 +295,25 @@ def cmd_verify_lb(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Handle `repro cache`: show or clear the disk cache."""
+    from repro import cache
+
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.cache_root()}")
+        return 0
+    stats = cache.info()
+    print(f"cache root: {stats['root']}")
+    print(f"enabled: {stats['enabled']}")
+    if not stats["kinds"]:
+        print("  (empty)")
+    for kind, meta in stats["kinds"].items():
+        print(f"  {kind}: {meta['entries']} entries, {meta['bytes']} bytes")
+    print(f"total: {stats['total_bytes']} bytes")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro.congest.network import RoundBudgetExceeded, round_budget
@@ -299,6 +326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": cmd_table,
         "report": cmd_report,
         "verify-lb": cmd_verify_lb,
+        "cache": cmd_cache,
     }
     try:
         # Commands that simulate CONGEST executions honor --max-rounds by

@@ -1,0 +1,163 @@
+"""Batched message fast path for the CONGEST simulator.
+
+The dict-based :meth:`~repro.congest.network.CongestNetwork.exchange` walks
+nested per-message dictionaries to validate locality, compute per-link
+loads, and build inboxes; for the k-source BFS/SSSP workloads (Theorem 1.6)
+that loop dominates benchmark wall-clock. This module provides a flat,
+columnar representation of one synchronous step's traffic:
+
+* :class:`BatchedOutbox` — parallel ``src``/``dst``/``payloads`` columns
+  (plus an optional ``words`` column; ``None`` means every message is one
+  word, the common case for the paper's O(log n)-bit messages).
+* :class:`BatchedInbox` — the delivered view of the same columns, returned
+  by ``exchange_batched(batch, grouped=False)`` so hot consumers can iterate
+  the message stream directly instead of re-walking nested inbox dicts.
+* :func:`fast_path` — the feature-flag / capability gate. Primitives ask it
+  once per invocation; it answers ``False`` whenever the batched path could
+  change observable behaviour (batching disabled via ``REPRO_BATCH=0``,
+  fault injection active, a reliable-exchange wrapper, or a monkey-patched
+  ``exchange`` such as :class:`~repro.congest.trace.TraceRecorder`).
+
+Parity contract
+---------------
+``exchange_batched`` charges rounds and :class:`NetworkStats` *identically*
+to ``exchange`` for the same message multiset, and grouped inboxes are
+bit-for-bit equal (same nesting, same per-(sender, receiver) payload order)
+when the batch is appended in the dict path's emission order. The
+property-based suite in ``tests/test_batch.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+# Structurally identical to repro.congest.network.Outbox; redeclared here so
+# this module stays import-free of network (which imports BatchedInbox).
+Outbox = Dict[int, Dict[int, list]]
+
+#: Environment variable gating the fast path; set to ``"0"`` to force every
+#: ported primitive back onto the dict-based exchange.
+BATCH_ENV = "REPRO_BATCH"
+
+#: Programmatic override installed by :func:`batching`; ``None`` defers to
+#: the environment.
+_FORCED: Optional[bool] = None
+
+
+def batching_enabled() -> bool:
+    """Whether the batched fast path is globally enabled (default: yes)."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(BATCH_ENV, "1") != "0"
+
+
+@contextlib.contextmanager
+def batching(enabled: bool) -> Iterator[None]:
+    """Force the fast path on or off within a block (tests, A/B timing)."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = enabled
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+def fast_path(net) -> bool:
+    """Whether ``net`` should take the batched fast path right now.
+
+    Looked up on ``type(net)`` so duck-typed wrappers without a
+    ``batching_supported`` method (e.g. ``ReliableNetwork``'s delegating
+    ``__getattr__``) answer ``False`` instead of leaking the capability of
+    the network they wrap.
+    """
+    if not batching_enabled():
+        return False
+    supported = getattr(type(net), "batching_supported", None)
+    return supported is not None and supported(net)
+
+
+class BatchedOutbox:
+    """One synchronous step's outgoing traffic as parallel columns.
+
+    ``src[i]``/``dst[i]``/``payloads[i]`` describe message ``i``; messages
+    are delivered (and grouped) in append order, which must equal the order
+    the dict path would emit them in for bit-for-bit inbox parity. Hot
+    loops may append to the column lists directly — ``send`` exists for
+    convenience and for the rare non-unit word size.
+    """
+
+    __slots__ = ("src", "dst", "payloads", "words")
+
+    def __init__(self) -> None:
+        self.src: List[int] = []
+        self.dst: List[int] = []
+        self.payloads: List[Any] = []
+        #: ``None`` means every message is exactly one word.
+        self.words: Optional[List[int]] = None
+
+    def send(self, u: int, v: int, payload: Any, words: int = 1) -> None:
+        """Append one message ``u -> v`` of ``words`` words."""
+        if words != 1 and self.words is None:
+            self.words = [1] * len(self.src)
+        self.src.append(u)
+        self.dst.append(v)
+        self.payloads.append(payload)
+        if self.words is not None:
+            self.words.append(words)
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def __bool__(self) -> bool:
+        return bool(self.src)
+
+    def clear(self) -> None:
+        """Drop all queued messages (reuse across steps)."""
+        del self.src[:]
+        del self.dst[:]
+        del self.payloads[:]
+        self.words = None
+
+    def to_outboxes(self) -> Dict[int, Outbox]:
+        """The equivalent nested dict outboxes, preserving append order.
+
+        This is the graceful-degrade bridge: a primitive that emits batches
+        can still run on a fault-injected or reliable network by handing
+        ``net.exchange(batch.to_outboxes())`` the exact same traffic.
+        """
+        outboxes: Dict[int, Outbox] = {}
+        words = self.words
+        for i, u in enumerate(self.src):
+            v = self.dst[i]
+            w = 1 if words is None else words[i]
+            by_dst = outboxes.get(u)
+            if by_dst is None:
+                by_dst = outboxes[u] = {}
+            msgs = by_dst.get(v)
+            if msgs is None:
+                by_dst[v] = [(self.payloads[i], w)]
+            else:
+                msgs.append((self.payloads[i], w))
+        return outboxes
+
+
+class BatchedInbox:
+    """Delivered messages of one step, in columnar form.
+
+    ``src``/``dst``/``payloads`` alias the outbox columns (delivery on a
+    fault-free network is total, so the delivered stream *is* the sent
+    stream). Iterate with ``zip(inbox.src, inbox.dst, inbox.payloads)``.
+    """
+
+    __slots__ = ("src", "dst", "payloads")
+
+    def __init__(self, src: List[int], dst: List[int], payloads: List[Any]):
+        self.src = src
+        self.dst = dst
+        self.payloads = payloads
+
+    def __len__(self) -> int:
+        return len(self.src)

@@ -261,6 +261,25 @@ class FaultyNetwork(CongestNetwork):
         base = seed if seed is not None else 0
         self._fault_rng = np.random.default_rng((_FAULT_STREAM, base))
         self._crash_by_node = {c.node: c for c in self.plan.crashes}
+        # live_nodes() memo: (rounds when computed, live vertex list).
+        self._live_cache: Optional[Tuple[int, List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    def batching_supported(self) -> bool:
+        """Fast path only when no fault can fire.
+
+        An active :class:`FaultPlan` must see (and may mutate) every
+        message, so ported primitives degrade gracefully to the dict-based
+        ``exchange``; a zero plan is fully transparent, making the batched
+        step byte-identical to the faulted one.
+        """
+        return (
+            self.plan.is_zero()
+            and "exchange" not in self.__dict__
+            and "deliver" not in self.__dict__
+        )
 
     # ------------------------------------------------------------------
     # Liveness
@@ -271,6 +290,23 @@ class FaultyNetwork(CongestNetwork):
         if crash is None:
             return False
         return crash.crashed_at(self.rounds if at_round is None else at_round)
+
+    def live_nodes(self) -> List[int]:
+        """Vertices currently alive, memoized per round counter value.
+
+        Liveness only changes when ``self.rounds`` does, so per-round
+        callers (quiescence checks, per-step program drivers) share one
+        list instead of re-testing every vertex. Callers must treat the
+        returned list as read-only.
+        """
+        if not self._crash_by_node:
+            return list(range(self.n))
+        cached = self._live_cache
+        if cached is not None and cached[0] == self.rounds:
+            return cached[1]
+        live = [v for v in range(self.n) if not self.is_crashed(v)]
+        self._live_cache = (self.rounds, live)
+        return live
 
     # ------------------------------------------------------------------
     # Faulted exchange

@@ -4,17 +4,23 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.congest.batch import BatchedInbox
 from repro.graphs.graph import Graph, GraphError
 
 #: An outbox maps each destination vertex to a list of (payload, words) pairs.
 Outbox = Dict[int, List[Tuple[Any, int]]]
 #: An inbox maps each source vertex to the list of payloads received from it.
 Inbox = Dict[int, List[Any]]
+
+# Batches at or below this size take the scalar accounting path in
+# exchange_batched; above it, the vectorized numpy path wins.
+_SCALAR_BATCH_LIMIT = 64
 
 
 class BandwidthExceeded(RuntimeError):
@@ -67,13 +73,16 @@ class NetworkStats:
     local_messages: int = 0
     max_link_load: int = 0
     #: Histogram of per-step maximum link load (load value -> step count).
-    link_load_histogram: Dict[int, int] = field(default_factory=dict)
+    #: A Counter (dict subclass, so equality with plain dicts still holds)
+    #: for O(1) missing-key updates on the exchange hot path.
+    link_load_histogram: Counter = field(default_factory=Counter)
 
     def record_step(self, max_load: int) -> None:
         """Record one exchange step's maximum per-link load."""
         self.steps += 1
-        self.max_link_load = max(self.max_link_load, max_load)
-        self.link_load_histogram[max_load] = self.link_load_histogram.get(max_load, 0) + 1
+        if max_load > self.max_link_load:
+            self.max_link_load = max_load
+        self.link_load_histogram[max_load] += 1
 
 
 class CongestNetwork:
@@ -144,6 +153,11 @@ class CongestNetwork:
         self.state: List[Dict[str, Any]] = [dict() for _ in range(graph.n)]
         self._seed = seed
         self.rng = np.random.default_rng(seed)
+        # Per-vertex generator cache (see node_rng) and the lazily built
+        # link index backing the batched fast path (see exchange_batched).
+        self._node_rngs: Dict[int, Tuple[np.random.Generator, dict]] = {}
+        self._batch_index: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._pair_link_map: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -157,9 +171,23 @@ class CongestNetwork:
         return self._host[v]
 
     def node_rng(self, v: int) -> np.random.Generator:
-        """Deterministic per-vertex generator derived from the network seed."""
-        base = self._seed if self._seed is not None else 0
-        return np.random.default_rng((base, v))
+        """Deterministic per-vertex generator derived from the network seed.
+
+        Every call observes a generator in its seed-fresh state (callers in
+        per-vertex loops rely on draws being independent of earlier calls
+        for the same vertex), but the expensive ``SeedSequence`` hashing and
+        bit-generator construction happen only once per vertex: later calls
+        rewind the cached generator to its initial state instead.
+        """
+        entry = self._node_rngs.get(v)
+        if entry is None:
+            base = self._seed if self._seed is not None else 0
+            gen = np.random.default_rng((base, v))
+            self._node_rngs[v] = (gen, gen.bit_generator.state)
+            return gen
+        gen, state = entry
+        gen.bit_generator.state = state
+        return gen
 
     def diameter_upper_bound(self) -> int:
         """Eccentricity of vertex 0, a ≤ 2D upper bound known to all nodes.
@@ -230,7 +258,9 @@ class CongestNetwork:
                 )
         max_load = max(link_load.values(), default=0)
         if self.strict and max_load > self.bandwidth:
-            offender = max(link_load, key=link_load.get)  # type: ignore[arg-type]
+            # Reuse the max just computed: a single early-exit scan finds
+            # the offending link instead of a second full key-wise max.
+            offender = next(k for k, v in link_load.items() if v == max_load)
             raise BandwidthExceeded(
                 f"link {offender} carried {max_load} words; bandwidth is {self.bandwidth}"
             )
@@ -240,6 +270,176 @@ class CongestNetwork:
         self.stats.words += n_words
         self.stats.local_messages += n_local
         self._check_round_budget()
+        return inboxes
+
+    # ------------------------------------------------------------------
+    # Batched fast path (see repro.congest.batch)
+    # ------------------------------------------------------------------
+    def batching_supported(self) -> bool:
+        """Whether ``exchange_batched`` is behaviourally safe on this network.
+
+        False once ``exchange`` has been monkey-patched on the instance
+        (e.g. by a :class:`~repro.congest.trace.TraceRecorder`): the batched
+        path would bypass the hook. Fault-injected subclasses override this
+        to force the dict path whenever a fault plan is active.
+        """
+        return "exchange" not in self.__dict__
+
+    def _link_index(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Lazily built columnar index of the communication links.
+
+        Returns ``(pair_keys, pair_link, link_hosts)``: ``pair_keys`` holds
+        every legal directed sender/receiver pair encoded as ``u * n + v``
+        (sorted, for searchsorted lookup); ``pair_link[i]`` is the physical
+        host-pair link id of that pair, or ``-1`` when the endpoints are
+        co-hosted (free local delivery); ``link_hosts[lid]`` is the
+        ``(host_u, host_v)`` pair of link ``lid`` for error reporting.
+        """
+        if self._batch_index is not None:
+            return self._batch_index
+        n = self.n
+        host = self._host
+        pair_keys: List[int] = []
+        pair_link: List[int] = []
+        link_ids: Dict[Tuple[int, int], int] = {}
+        for u in range(n):
+            host_u = host[u]
+            for v in self._comm[u]:
+                host_v = host[v]
+                if host_u == host_v:
+                    lid = -1
+                else:
+                    lid = link_ids.setdefault((host_u, host_v), len(link_ids))
+                pair_keys.append(u * n + v)
+                pair_link.append(lid)
+        keys = np.asarray(pair_keys, dtype=np.int64)
+        links = np.asarray(pair_link, dtype=np.int64)
+        order = np.argsort(keys)
+        hosts = np.empty((max(1, len(link_ids)), 2), dtype=np.int64)
+        for (host_u, host_v), lid in link_ids.items():
+            hosts[lid] = (host_u, host_v)
+        # Scalar twin of the columnar index, for batches too small to
+        # amortize numpy call overhead.
+        self._pair_link_map = dict(zip(pair_keys, pair_link))
+        self._batch_index = (keys[order], links[order], hosts)
+        return self._batch_index
+
+    def exchange_batched(self, batch, grouped: bool = True):
+        """Run one synchronous step delivering a ``BatchedOutbox``.
+
+        Validation (locality, word sanity), per-link load computation, and
+        every counter charge are vectorized over the batch columns but
+        *identical* in effect to :meth:`exchange` on the same messages: the
+        round counter advances by ``max(1, ceil(L / bandwidth))``, the same
+        :class:`NetworkStats` fields move by the same amounts, and a
+        violation anywhere aborts before any accounting happens.
+
+        With ``grouped`` (default) returns nested dict inboxes bit-for-bit
+        equal to the dict path's (given the batch was appended in emission
+        order). ``grouped=False`` returns a
+        :class:`~repro.congest.batch.BatchedInbox` view of the delivered
+        stream, sparing hot consumers the dict rebuild.
+        """
+        src_col, dst_col, payloads = batch.src, batch.dst, batch.payloads
+        count = len(src_col)
+        if count == 0:
+            # Parity with exchange({}): an idle step still costs one round.
+            self.rounds += 1
+            self.stats.record_step(0)
+            self._check_round_budget()
+            return {} if grouped else BatchedInbox([], [], [])
+        pair_keys, pair_link, link_hosts = self._link_index()
+        if count <= _SCALAR_BATCH_LIMIT:
+            # Small batches: a plain dict walk beats numpy's per-call
+            # overhead (asarray + searchsorted + reductions) by ~10x at
+            # these sizes, with identical validation and accounting.
+            pair_map = self._pair_link_map
+            word_col = batch.words
+            loads: Dict[int, int] = {}
+            n = self.n
+            n_remote = 0
+            n_words = 0
+            for i in range(count):
+                u = src_col[i]
+                lid = pair_map.get(u * n + dst_col[i], -2)
+                if lid == -2:
+                    raise LocalityViolation(
+                        f"vertex {u} attempted to send to non-neighbor {dst_col[i]}"
+                    )
+                w = 1 if word_col is None else word_col[i]
+                if w < 0:
+                    raise ValueError("message word size must be non-negative")
+                n_words += w
+                if lid >= 0:
+                    n_remote += 1
+                    loads[lid] = loads.get(lid, 0) + w
+            max_load = max(loads.values(), default=0)
+            if self.strict and max_load > self.bandwidth:
+                lid = next(k for k, v in loads.items() if v == max_load)
+                offender = tuple(int(h) for h in link_hosts[lid])
+                raise BandwidthExceeded(
+                    f"link {offender} carried {max_load} words; "
+                    f"bandwidth is {self.bandwidth}"
+                )
+        else:
+            src = np.asarray(src_col, dtype=np.int64)
+            dst = np.asarray(dst_col, dtype=np.int64)
+            if batch.words is None:
+                words = None
+                n_words = count
+            else:
+                words = np.asarray(batch.words, dtype=np.int64)
+                if words.size and int(words.min()) < 0:
+                    raise ValueError("message word size must be non-negative")
+                n_words = int(words.sum())
+            keys = src * self.n + dst
+            pos = np.searchsorted(pair_keys, keys)
+            pos_safe = np.minimum(pos, len(pair_keys) - 1)
+            ok = pair_keys[pos_safe] == keys
+            if not ok.all():
+                bad = int(np.argmin(ok))
+                raise LocalityViolation(
+                    f"vertex {src_col[bad]} attempted to send to non-neighbor {dst_col[bad]}"
+                )
+            link_of_msg = pair_link[pos_safe]
+            remote = link_of_msg >= 0
+            n_remote = int(remote.sum())
+            if n_remote:
+                loads_arr = np.zeros(len(link_hosts), dtype=np.int64)
+                if words is None:
+                    np.add.at(loads_arr, link_of_msg[remote], 1)
+                else:
+                    np.add.at(loads_arr, link_of_msg[remote], words[remote])
+                max_load = int(loads_arr.max())
+            else:
+                max_load = 0
+            if self.strict and max_load > self.bandwidth:
+                offender = tuple(
+                    int(h) for h in link_hosts[int(np.argmax(loads_arr))]
+                )
+                raise BandwidthExceeded(
+                    f"link {offender} carried {max_load} words; "
+                    f"bandwidth is {self.bandwidth}"
+                )
+        self.rounds += max(1, -(-max_load // self.bandwidth))
+        self.stats.record_step(max_load)
+        self.stats.messages += count
+        self.stats.words += n_words
+        self.stats.local_messages += count - n_remote
+        self._check_round_budget()
+        if not grouped:
+            return BatchedInbox(src_col, dst_col, payloads)
+        inboxes: Dict[int, Inbox] = {}
+        for i, v in enumerate(dst_col):
+            u = src_col[i]
+            by_sender = inboxes.get(v)
+            if by_sender is None:
+                by_sender = inboxes[v] = {}
+            msgs = by_sender.get(u)
+            if msgs is None:
+                by_sender[u] = [payloads[i]]
+            else:
+                msgs.append(payloads[i])
         return inboxes
 
     def _check_round_budget(self) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.broadcast import broadcast
 from repro.congest.primitives.convergecast import converge_min
@@ -70,29 +71,28 @@ def aggregate_top_k(
         return bound
 
     max_steps = 2 * (k + tree.height) + n + 16
+    use_batch = fast_path(net)
     for _ in range(max_steps):
-        outboxes = {}
+        up = BatchedOutbox()
         for v in range(n):
             if v == tree.root:
                 continue
-            out = []
+            p = tree.parent[v]
             ordered = sorted(known[v])
             limit = min(k, len(ordered))
             bound = frontier(v)
-            while sent[v] < limit and ordered[sent[v]] <= (bound, n):
-                out.append((("pair", ordered[sent[v]]), 1))
+            # One pair per round per edge (pipelining).
+            if sent[v] < limit and ordered[sent[v]] <= (bound, n):
+                up.send(v, p, ("pair", ordered[sent[v]]))
                 sent[v] += 1
-                if len(out) >= 1:  # one pair per round per edge (pipelining)
-                    break
             if (not done_sent[v] and sent[v] >= limit
                     and all(child_done[v].values())):
-                out.append((("done", v), 1))
+                up.send(v, p, ("done", v))
                 done_sent[v] = True
-            if out:
-                outboxes[v] = {tree.parent[v]: out}
-        if not outboxes:
+        if not up:
             break
-        inboxes = net.exchange(outboxes)
+        inboxes = (net.exchange_batched(up) if use_batch
+                   else net.exchange(up.to_outboxes()))
         for v, by_sender in inboxes.items():
             for c, payloads in by_sender.items():
                 for kind, payload in payloads:

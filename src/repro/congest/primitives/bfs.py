@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import INF
 
@@ -34,15 +35,33 @@ def bfs(
     limit = h if h is not None else g.n
     neigh = g.in_neighbors if reverse else g.out_neighbors
     level = 0
+    use_batch = fast_path(net)
     while frontier and level < limit:
-        outboxes = {}
-        for u in frontier:
-            targets = [v for v in neigh(u) if dist[v] == INF]
-            if targets:
-                outboxes[u] = {v: [((source, dist[u] + 1), 1)] for v in targets}
-        if not outboxes:
-            break
-        inboxes = net.exchange(outboxes)
+        if use_batch:
+            # Fast path: one columnar batch per BFS level; the grouped
+            # inboxes are bit-identical to the dict path's, so the
+            # min-sender parent choice below is unchanged.
+            batch = BatchedOutbox()
+            bsrc, bdst, bpay = batch.src, batch.dst, batch.payloads
+            for u in frontier:
+                pair = (source, dist[u] + 1)
+                for v in neigh(u):
+                    if dist[v] == INF:
+                        bsrc.append(u)
+                        bdst.append(v)
+                        bpay.append(pair)
+            if not batch:
+                break
+            inboxes = net.exchange_batched(batch)
+        else:
+            outboxes = {}
+            for u in frontier:
+                targets = [v for v in neigh(u) if dist[v] == INF]
+                if targets:
+                    outboxes[u] = {v: [((source, dist[u] + 1), 1)] for v in targets}
+            if not outboxes:
+                break
+            inboxes = net.exchange(outboxes)
         frontier = []
         for v, by_sender in inboxes.items():
             if dist[v] != INF:

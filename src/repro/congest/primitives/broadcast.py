@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.flood import BfsTree, build_bfs_tree
 from repro.congest.primitives.convergecast import converge_sum
@@ -44,10 +45,18 @@ def broadcast(
     # eligible child are never enqueued, so a non-empty queue always has
     # real work — the quiescence check relies on this.
     down_q: List[deque] = [deque() for _ in range(n)]
+    # Vertices with queued work. Emission iterates this set in ascending
+    # order, which matches the full range(n) scan exactly — most vertices
+    # are idle most rounds, so skipping them is pure win, not a reordering.
+    active: set = set()
 
     def enqueue_down(v: int, item, skip: Optional[int]) -> None:
-        if any(c != skip for c in tree.children[v]):
+        # Children are distinct, so >1 of them guarantees one differs from
+        # skip; this avoids a generator expression on the hottest call site.
+        cs = tree.children[v]
+        if cs and (skip is None or len(cs) > 1 or cs[0] != skip):
             down_q[v].append((item, skip))
+            active.add(v)
 
     for v in range(n):
         for seq, payload in enumerate(messages.get(v, ())):
@@ -55,51 +64,59 @@ def broadcast(
             known[v][item[0]] = payload
             if v != tree.root:
                 up_q[v].append(item)
+                active.add(v)
             enqueue_down(v, item, None)
     per_step = max(1, net.bandwidth // max(1, words_per_message))
-
-    def take(queue: deque) -> list:
-        batch = []
-        for _ in range(per_step):
-            if not queue:
-                break
-            batch.append(queue.popleft())
-        return batch
-
     budget = max_steps if max_steps is not None else 6 * (total + tree.height + 2) + 8
+    use_batch = fast_path(net)
     for _ in range(budget):
-        outboxes: Dict[int, Dict[int, list]] = {}
-        for v in range(n):
-            out: Dict[int, list] = {}
-            if v != tree.root and up_q[v]:
-                out[tree.parent[v]] = [
-                    (("up", item), words_per_message) for item in take(up_q[v])
-                ]
-            for item, skip in take(down_q[v]):
-                for c in tree.children[v]:
-                    if c == skip:
-                        continue
-                    out.setdefault(c, []).append(
-                        (("down", item), words_per_message)
-                    )
-            if out:
-                outboxes[v] = out
-        if not outboxes:
+        # Emission is sender-major (outer loop over v), so the columnar
+        # batch lists messages in exactly the order the dict path's grouped
+        # inboxes would flatten to — per-receiver processing order, and
+        # hence queue contents and round counts, are bit-identical.
+        batch = BatchedOutbox()
+        send = batch.send
+        for v in sorted(active):
+            uq = up_q[v]
+            if uq and v != tree.root:
+                parent_v = tree.parent[v]
+                for _ in range(min(per_step, len(uq))):
+                    send(v, parent_v, ("up", uq.popleft()), words_per_message)
+            dq = down_q[v]
+            if dq:
+                children_v = tree.children[v]
+                for _ in range(min(per_step, len(dq))):
+                    item, skip = dq.popleft()
+                    for c in children_v:
+                        if c != skip:
+                            send(v, c, ("down", item), words_per_message)
+            if not uq and not dq:
+                active.discard(v)
+        if not batch:
             break
-        inboxes = net.exchange(outboxes)
-        for v, by_sender in inboxes.items():
-            for sender, payloads in by_sender.items():
-                for direction, item in payloads:
-                    item_id, payload = item
-                    if item_id in known[v]:
-                        continue
-                    known[v][item_id] = payload
-                    if direction == "up":
-                        if v != tree.root:
-                            up_q[v].append(item)
-                        enqueue_down(v, item, sender)
-                    else:
-                        enqueue_down(v, item, None)
+        if use_batch:
+            inbox = net.exchange_batched(batch, grouped=False)
+            deliveries = zip(inbox.src, inbox.dst, inbox.payloads)
+        else:
+            inboxes = net.exchange(batch.to_outboxes())
+            deliveries = (
+                (sender, v, payload)
+                for v, by_sender in inboxes.items()
+                for sender, payloads in by_sender.items()
+                for payload in payloads
+            )
+        for sender, v, (direction, item) in deliveries:
+            item_id, payload = item
+            if item_id in known[v]:
+                continue
+            known[v][item_id] = payload
+            if direction == "up":
+                if v != tree.root:
+                    up_q[v].append(item)
+                    active.add(v)
+                enqueue_down(v, item, sender)
+            else:
+                enqueue_down(v, item, None)
     if any(len(known[v]) != total for v in range(n)):
         raise RuntimeError("broadcast did not complete within the step budget")
     received = [[known[v][k] for k in sorted(known[v])] for v in range(n)]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.flood import BfsTree, build_bfs_tree
 
@@ -35,16 +36,18 @@ def convergecast(
     # Upward phase: a node fires once all children have reported.
     ready = [v for v in range(n) if pending[v] == 0 and v != tree.root]
     reported = [False] * n
+    use_batch = fast_path(net)
     while True:
-        outboxes = {}
+        up = BatchedOutbox()
         fired = []
         for v in ready:
-            outboxes[v] = {tree.parent[v]: [((v, partial[v]), 1)]}
+            up.send(v, tree.parent[v], (v, partial[v]))
             fired.append(v)
-        if not outboxes:
+        if not up:
             break
         ready = []
-        inboxes = net.exchange(outboxes)
+        inboxes = (net.exchange_batched(up) if use_batch
+                   else net.exchange(up.to_outboxes()))
         for v in fired:
             reported[v] = True
         for p, by_child in inboxes.items():
@@ -58,13 +61,16 @@ def convergecast(
     # Downward phase: flood the result level by level.
     frontier = [tree.root]
     while frontier:
-        outboxes = {}
+        down = BatchedOutbox()
         for u in frontier:
-            if tree.children[u]:
-                outboxes[u] = {c: [(result, 1)] for c in tree.children[u]}
-        if not outboxes:
+            for c in tree.children[u]:
+                down.send(u, c, result)
+        if not down:
             break
-        net.exchange(outboxes)
+        if use_batch:
+            net.exchange_batched(down)
+        else:
+            net.exchange(down.to_outboxes())
         frontier = [c for u in frontier for c in tree.children[u]]
     for v in range(n):
         net.state[v]["convergecast_result"] = result

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 
 
@@ -40,18 +41,24 @@ def build_bfs_tree(net: CongestNetwork, root: int = 0) -> BfsTree:
     children: Dict[int, List[int]] = {v: [] for v in range(n)}
     depth[root] = 0
     frontier = [root]
+    use_batch = fast_path(net)
     while frontier:
-        # Wave step: frontier announces (depth) to all communication neighbors.
-        outboxes = {}
+        # Wave step: frontier announces (depth) to all communication
+        # neighbors. The batched fast path emits the same messages in the
+        # same order, so grouped inboxes (and hence parent choices) match
+        # the dict path bit for bit.
+        wave = BatchedOutbox()
         for u in frontier:
-            msgs = {v: [((u, depth[u]), 1)] for v in net.comm_neighbors(u) if depth[v] == -1}
-            if msgs:
-                outboxes[u] = msgs
-        if not outboxes:
+            pair = (u, depth[u])
+            for v in net.comm_neighbors(u):
+                if depth[v] == -1:
+                    wave.send(u, v, pair)
+        if not wave:
             break
-        inboxes = net.exchange(outboxes)
+        inboxes = (net.exchange_batched(wave) if use_batch
+                   else net.exchange(wave.to_outboxes()))
         new_frontier = []
-        acks = {}
+        acks = BatchedOutbox()
         for v, by_sender in inboxes.items():
             if depth[v] != -1:
                 continue
@@ -60,9 +67,10 @@ def build_bfs_tree(net: CongestNetwork, root: int = 0) -> BfsTree:
             parent[v] = p
             depth[v] = depth[p] + 1
             new_frontier.append(v)
-            acks.setdefault(v, {})[p] = [(("child", v), 1)]
+            acks.send(v, p, ("child", v))
         if acks:
-            ack_in = net.exchange(acks)
+            ack_in = (net.exchange_batched(acks) if use_batch
+                      else net.exchange(acks.to_outboxes()))
             for p, by_child in ack_in.items():
                 for c in by_child:
                     children[p].append(c)

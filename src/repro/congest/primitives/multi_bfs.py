@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import INF
 
@@ -51,7 +52,45 @@ def multi_source_bfs(
         heapq.heappush(pq[s], (0, s))
     budget = max_steps if max_steps is not None else limit + k + 8
     steps = 0
+    use_batch = fast_path(net)
+    heappop, heappush = heapq.heappop, heapq.heappush
     while steps < budget:
+        if use_batch:
+            # Fast path: same pipelining, columnar emission + consumption
+            # (see repro.congest.batch; per-vertex message order matches
+            # the dict path, so distances and parents are bit-identical).
+            batch = BatchedOutbox()
+            src, dst, payloads = batch.src, batch.dst, batch.payloads
+            for u in range(n):
+                entry = None
+                q = pq[u]
+                while q:
+                    d, s = heappop(q)
+                    if known[u].get(s) != d:
+                        continue  # superseded by a better distance
+                    if d >= limit:
+                        continue  # hop budget exhausted; do not extend
+                    entry = (d, s)
+                    break
+                if entry is None:
+                    continue
+                d, s = entry
+                pair = (s, d + 1)
+                for v in neigh(u):
+                    src.append(u)
+                    dst.append(v)
+                    payloads.append(pair)
+            if not batch:
+                break
+            inbox = net.exchange_batched(batch, grouped=False)
+            steps += 1
+            for sender, v, (s, d) in zip(inbox.src, inbox.dst, inbox.payloads):
+                known_v = known[v]
+                if known_v.get(s, INF) > d:
+                    known_v[s] = d
+                    parent[v][s] = sender
+                    heappush(pq[v], (d, s))
+            continue
         outboxes = {}
         for u in range(n):
             # Discard stale or non-forwardable entries locally (free), then

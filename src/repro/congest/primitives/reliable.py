@@ -155,6 +155,15 @@ class ReliableNetwork:
         """Reliable logical step (see :func:`reliable_exchange`)."""
         return reliable_exchange(self._net, outboxes, self.retry_budget)
 
+    def batching_supported(self) -> bool:
+        """Never: every message must travel the ack-and-retransmit protocol.
+
+        Defined explicitly (rather than relying on ``__getattr__``
+        delegation) so the batched fast path can never leak the wrapped
+        network's capability through the adapter.
+        """
+        return False
+
     def run(
         self,
         step: Callable[[int, Dict[int, Inbox]], Dict[int, Outbox]],

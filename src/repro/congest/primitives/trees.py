@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 
 
@@ -32,28 +33,50 @@ def propagate_down_trees(
     # Round 1..c: child registration, so nodes learn per-tree children.
     # Per edge the load is the number of trees routing through it; the
     # exchange call charges ceil(load / bandwidth) rounds.
+    use_batch = fast_path(net)
     children: List[Dict[int, List[int]]] = [dict() for _ in range(n)]
-    reg_outboxes: Dict[int, Dict[int, list]] = {}
+    # Registration and the pipelined loop below both emit sender-major
+    # (outer loop over v), so the ungrouped columnar inbox lists messages in
+    # exactly the order the dict path's grouped inboxes flatten to —
+    # delivered lists and FIFO queue contents stay bit-identical.
+    reg = BatchedOutbox()
     for v in range(n):
-        per_parent: Dict[int, list] = {}
         for s, p in parent[v].items():
-            per_parent.setdefault(p, []).append(((s, v), 1))
-        if per_parent:
-            reg_outboxes[v] = per_parent
-    if reg_outboxes:
-        reg_in = net.exchange(reg_outboxes)
-        for p, by_child in reg_in.items():
-            for c, payloads in by_child.items():
-                for s, child in payloads:
-                    children[p].setdefault(s, []).append(child)
+            reg.send(v, p, (s, v))
+    if reg:
+        if use_batch:
+            reg_in = net.exchange_batched(reg, grouped=False)
+            reg_msgs = zip(reg_in.dst, reg_in.payloads)
+        else:
+            reg_msgs = (
+                (p, payload)
+                for p, by_child in net.exchange(reg.to_outboxes()).items()
+                for payloads in by_child.values()
+                for payload in payloads
+            )
+        for p, (s, child) in reg_msgs:
+            children[p].setdefault(s, []).append(child)
 
     delivered: List[List[Tuple[int, Any]]] = [[] for _ in range(n)]
     # queues[v][u]: FIFO of (s, payload) waiting to cross edge v -> u.
     queues: List[Dict[int, deque]] = [dict() for _ in range(n)]
 
+    # Vertices with at least one non-empty queue; emission iterates it in
+    # ascending order, matching the full range(n) scan message-for-message.
+    active: set = set()
+
     def enqueue(v: int, s: int, payload: Any) -> None:
-        for c in children[v].get(s, ()):
-            queues[v].setdefault(c, deque()).append((s, payload))
+        cs = children[v].get(s)
+        if not cs:
+            return
+        qs = queues[v]
+        item = (s, payload)
+        for c in cs:
+            q = qs.get(c)
+            if q is None:
+                q = qs[c] = deque()
+            q.append(item)
+        active.add(v)
 
     total = 0
     for s, payloads in root_values.items():
@@ -65,25 +88,36 @@ def propagate_down_trees(
     cap = max_steps if max_steps is not None else 4 * (total * max(1, len(root_values)) + n) + 16
     steps = 0
     while steps < cap:
-        outboxes = {}
-        for v in range(n):
-            out = {}
+        wave = BatchedOutbox()
+        wsrc, wdst, wpay = wave.src, wave.dst, wave.payloads
+        for v in sorted(active):
+            pending = 0
             for u, q in queues[v].items():
-                if not q:
-                    continue
-                batch = [q.popleft() for _ in range(min(bandwidth, len(q)))]
-                out[u] = [(item, 1) for item in batch]
-            if out:
-                outboxes[v] = out
-        if not outboxes:
+                lq = len(q)
+                if lq:
+                    for _ in range(min(bandwidth, lq)):
+                        wsrc.append(v)
+                        wdst.append(u)
+                        wpay.append(q.popleft())
+                    pending += lq - bandwidth if lq > bandwidth else 0
+            if not pending:
+                active.discard(v)
+        if not wave:
             break
-        inboxes = net.exchange(outboxes)
+        if use_batch:
+            inbox = net.exchange_batched(wave, grouped=False)
+            msgs = zip(inbox.dst, inbox.payloads)
+        else:
+            msgs = (
+                (v, payload)
+                for v, by_sender in net.exchange(wave.to_outboxes()).items()
+                for payloads in by_sender.values()
+                for payload in payloads
+            )
         steps += 1
-        for v, by_sender in inboxes.items():
-            for _sender, payloads in by_sender.items():
-                for s, payload in payloads:
-                    delivered[v].append((s, payload))
-                    enqueue(v, s, payload)
+        for v, (s, payload) in msgs:
+            delivered[v].append((s, payload))
+            enqueue(v, s, payload)
     else:
         raise RuntimeError(f"tree propagation did not finish within {cap} steps")
     for v in range(n):

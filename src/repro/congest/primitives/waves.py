@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import Graph, GraphError, INF
 
@@ -68,12 +69,19 @@ def multi_source_wave(
         heapq.heappush(pq[s], (0, s))
     cap = max_steps if max_steps is not None else 2 * (budget + k) + 16
     steps = 0
+    use_batch = fast_path(net)
+    heappop, heappush = heapq.heappop, heapq.heappush
     while steps < cap:
-        outboxes = {}
+        # Fast path and dict path emit identical messages in identical
+        # (sender-major) order; see repro.congest.batch for the parity
+        # argument. Distances, parents, and round counts are bit-identical.
+        batch = BatchedOutbox()
+        bsrc, bdst, bpay = batch.src, batch.dst, batch.payloads
         for u in range(n):
             entry = None
-            while pq[u]:
-                d, s = heapq.heappop(pq[u])
+            q = pq[u]
+            while q:
+                d, s = heappop(q)
                 if known[u].get(s) != d:
                     continue
                 entry = (d, s)
@@ -81,25 +89,32 @@ def multi_source_wave(
             if entry is None:
                 continue
             d, s = entry
-            targets = {}
             for v, w in neigh_items(u):
                 if w < 1:
                     raise GraphError("wave primitives require weights >= 1")
                 if d + w <= budget:
-                    targets[v] = [((s, d + w), 1)]
-            if targets:
-                outboxes[u] = targets
-        if not outboxes:
+                    bsrc.append(u)
+                    bdst.append(v)
+                    bpay.append((s, d + w))
+        if not batch:
             break
-        inboxes = net.exchange(outboxes)
+        if use_batch:
+            inbox = net.exchange_batched(batch, grouped=False)
+            msgs = zip(inbox.src, inbox.dst, inbox.payloads)
+        else:
+            msgs = (
+                (sender, v, payload)
+                for v, by_sender in net.exchange(batch.to_outboxes()).items()
+                for sender, payloads in by_sender.items()
+                for payload in payloads
+            )
         steps += 1
-        for v, by_sender in inboxes.items():
-            for sender, payloads in by_sender.items():
-                for s, d in payloads:
-                    if known[v].get(s, INF) > d:
-                        known[v][s] = d
-                        parent[v][s] = sender
-                        heapq.heappush(pq[v], (d, s))
+        for sender, v, (s, d) in msgs:
+            known_v = known[v]
+            if known_v.get(s, INF) > d:
+                known_v[s] = d
+                parent[v][s] = sender
+                heappush(pq[v], (d, s))
     else:
         raise RuntimeError(
             f"multi_source_wave did not quiesce within {cap} steps "
@@ -152,12 +167,16 @@ def source_detection(
 
     cap = max_steps if max_steps is not None else 2 * (budget + sigma) + 16
     steps = 0
+    use_batch = fast_path(net)
+    heappop, heappush = heapq.heappop, heapq.heappush
     while steps < cap:
-        outboxes = {}
+        batch = BatchedOutbox()
+        bsrc, bdst, bpay = batch.src, batch.dst, batch.payloads
         for u in range(n):
             entry = None
-            while pq[u]:
-                d, s = heapq.heappop(pq[u])
+            q = pq[u]
+            while q:
+                d, s = heappop(q)
                 if known[u].get(s) != d:
                     continue
                 if not rank_within_sigma(u, d, s):
@@ -167,25 +186,32 @@ def source_detection(
             if entry is None:
                 continue
             d, s = entry
-            targets = {}
             for v, w in neigh_items(u):
                 if w < 1:
                     raise GraphError("wave primitives require weights >= 1")
                 if d + w <= budget:
-                    targets[v] = [((s, d + w), 1)]
-            if targets:
-                outboxes[u] = targets
-        if not outboxes:
+                    bsrc.append(u)
+                    bdst.append(v)
+                    bpay.append((s, d + w))
+        if not batch:
             break
-        inboxes = net.exchange(outboxes)
+        if use_batch:
+            inbox = net.exchange_batched(batch, grouped=False)
+            msgs = zip(inbox.src, inbox.dst, inbox.payloads)
+        else:
+            msgs = (
+                (sender, v, payload)
+                for v, by_sender in net.exchange(batch.to_outboxes()).items()
+                for sender, payloads in by_sender.items()
+                for payload in payloads
+            )
         steps += 1
-        for v, by_sender in inboxes.items():
-            for sender, payloads in by_sender.items():
-                for s, d in payloads:
-                    if known[v].get(s, INF) > d:
-                        known[v][s] = d
-                        parent[v][s] = sender
-                        heapq.heappush(pq[v], (d, s))
+        for sender, v, (s, d) in msgs:
+            known_v = known[v]
+            if known_v.get(s, INF) > d:
+                known_v[s] = d
+                parent[v][s] = sender
+                heappush(pq[v], (d, s))
     else:
         raise RuntimeError(
             f"source_detection did not quiesce within {cap} steps "

@@ -88,6 +88,11 @@ class TraceRecorder:
         # so the trace shows what actually went out on the wire (dropped
         # and crash-suppressed messages never appear).
         self._attr = "deliver" if hasattr(net, "deliver") else "exchange"
+        # Remember whether the method was already instance-patched so detach
+        # can restore that exact state: re-setattr-ing a bound method would
+        # otherwise pin it in __dict__ forever, which (besides being untidy)
+        # reads as "still hooked" to the batched-exchange fast-path gate.
+        self._was_instance_patched = self._attr in net.__dict__
         self._original_exchange = getattr(net, self._attr)
 
     def __enter__(self) -> Trace:
@@ -120,4 +125,7 @@ class TraceRecorder:
 
     def detach(self) -> None:
         """Restore the network's original exchange/deliver method."""
-        setattr(self.net, self._attr, self._original_exchange)
+        if self._was_instance_patched:
+            setattr(self.net, self._attr, self._original_exchange)
+        else:
+            self.net.__dict__.pop(self._attr, None)

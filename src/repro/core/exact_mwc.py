@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.multi_bfs import multi_source_bfs
@@ -66,12 +67,19 @@ def apsp_weighted_on(
         heapq.heappush(pq[s], (0, s))
     cap = max_steps if max_steps is not None else 40 * n + 200
     steps = 0
+    use_batch = fast_path(net)
+    heappop, heappush = heapq.heappop, heapq.heappush
     while steps < cap:
-        outboxes = {}
+        # Batched fast path: identical messages in identical (sender-major)
+        # order as the dict path — distances, parents, and rounds match bit
+        # for bit (see repro.congest.batch).
+        batch = BatchedOutbox()
+        bsrc, bdst, bpay = batch.src, batch.dst, batch.payloads
         for u in range(n):
             entry = None
-            while pq[u]:
-                d, s = heapq.heappop(pq[u])
+            q = pq[u]
+            while q:
+                d, s = heappop(q)
                 if known[u].get(s) != d:
                     continue
                 entry = (d, s)
@@ -79,20 +87,29 @@ def apsp_weighted_on(
             if entry is None:
                 continue
             d, s = entry
-            targets = {v: [((s, d + w), 1)] for v, w in neigh_items(u)}
-            if targets:
-                outboxes[u] = targets
-        if not outboxes:
+            for v, w in neigh_items(u):
+                bsrc.append(u)
+                bdst.append(v)
+                bpay.append((s, d + w))
+        if not batch:
             break
-        inboxes = net.exchange(outboxes)
+        if use_batch:
+            inbox = net.exchange_batched(batch, grouped=False)
+            msgs = zip(inbox.src, inbox.dst, inbox.payloads)
+        else:
+            msgs = (
+                (sender, v, payload)
+                for v, by_sender in net.exchange(batch.to_outboxes()).items()
+                for sender, payloads in by_sender.items()
+                for payload in payloads
+            )
         steps += 1
-        for v, by_sender in inboxes.items():
-            for sender, payloads in by_sender.items():
-                for s, d in payloads:
-                    if known[v].get(s, INF) > d:
-                        known[v][s] = d
-                        parent[v][s] = sender
-                        heapq.heappush(pq[v], (d, s))
+        for sender, v, (s, d) in msgs:
+            known_v = known[v]
+            if known_v.get(s, INF) > d:
+                known_v[s] = d
+                parent[v][s] = sender
+                heappush(pq[v], (d, s))
     else:
         raise RuntimeError(f"weighted APSP did not quiesce within {cap} steps")
     return known, parent

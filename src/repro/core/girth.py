@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.waves import multi_source_wave, source_detection
@@ -62,15 +63,16 @@ def _exchange_vectors(
     One synchronous step; the simulator charges ceil(len/B) rounds per link,
     i.e. O(max vector length) — the paper's O(|W|) / O(sigma) exchange.
     """
-    outboxes = {}
+    batch = BatchedOutbox()
     for v in range(net.n):
         vec = vectors[v]
         words = max(1, 2 * len(vec))
-        msgs = {u: [(vec, words)] for u in net.comm_neighbors(v)}
-        if msgs:
-            outboxes[v] = msgs
+        for u in net.comm_neighbors(v):
+            batch.send(v, u, vec, words)
     result: List[Dict[int, Dict[int, Tuple[float, int]]]] = [dict() for _ in range(net.n)]
-    for v, by_sender in net.exchange(outboxes).items():
+    inboxes = (net.exchange_batched(batch) if fast_path(net)
+               else net.exchange(batch.to_outboxes()))
+    for v, by_sender in inboxes.items():
         for u, payloads in by_sender.items():
             result[v][u] = payloads[0]
     return result

@@ -5,6 +5,11 @@ a workload over a geometric n range, collects measured CONGEST rounds and
 approximation ratios, fits the growth exponent, and emits a row-formatted
 report. Results are also persisted as JSON under ``benchmarks/results/`` so
 EXPERIMENTS.md numbers can be regenerated.
+
+Sweep points are independent, so :func:`run_sweep` can fan them out over a
+process pool: pass ``jobs=N`` or set ``REPRO_JOBS=N`` (docs/performance.md).
+Results always merge back in size order, so reports — and the JSON files
+they persist to — are byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -12,11 +17,16 @@ from __future__ import annotations
 import json
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.complexity import FitResult, fit_exponent
 from repro.analysis.tables import TABLE1_CLAIMS
+
+#: Environment variable supplying the default worker count for
+#: :func:`run_sweep`; unset, empty, ``"0"``, or ``"1"`` mean serial.
+JOBS_ENV = "REPRO_JOBS"
 
 
 @dataclass
@@ -88,6 +98,38 @@ class ExperimentReport:
         return "\n".join(lines)
 
 
+def default_jobs() -> int:
+    """Worker count implied by ``REPRO_JOBS`` (1 when unset or invalid)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def _run_rows(
+    sizes: Sequence[int],
+    runner: Callable[[int], SweepRow],
+    jobs: int,
+) -> List[SweepRow]:
+    """Evaluate every sweep point, possibly on a process pool.
+
+    ``executor.map`` yields results in submission order, so the merged row
+    list — and everything derived from it (fits, persisted JSON) — is
+    identical to the serial run. Determinism inside each point is the
+    runner's job; the benchmarks derive all seeds from the point's size, so
+    no cross-point state exists to lose. Pool failures (unpicklable runner,
+    a sandbox without working fork/spawn) fall back to the serial path.
+    """
+    if jobs <= 1 or len(sizes) <= 1:
+        return [runner(n) for n in sizes]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(sizes))) as pool:
+            return list(pool.map(runner, sizes))
+    except Exception:
+        return [runner(n) for n in sizes]
+
+
 def run_sweep(
     exp_id: str,
     sizes: Sequence[int],
@@ -95,15 +137,20 @@ def run_sweep(
     fit: bool = True,
     notes: str = "",
     polylog_correction: float = 0.0,
+    jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Run ``runner(n)`` over ``sizes`` and assemble a report.
 
     ``polylog_correction`` is the number of hidden log factors in the
     paper's Õ bound for this row; both the raw and the corrected exponent
     are reported (see :func:`repro.analysis.complexity.fit_exponent`).
+
+    ``jobs`` (default: ``REPRO_JOBS``, else serial) spreads the points over
+    a process pool; the runner must then be picklable (a module-level
+    function). Rows merge back in ``sizes`` order regardless.
     """
     start = time.perf_counter()
-    rows = [runner(n) for n in sizes]
+    rows = _run_rows(sizes, runner, default_jobs() if jobs is None else jobs)
     report = ExperimentReport(
         exp_id=exp_id,
         rows=rows,

@@ -1,0 +1,262 @@
+"""Parity and gating tests for the batched exchange fast path.
+
+The contract under test (repro.congest.batch): for any legal traffic,
+``exchange_batched`` must charge rounds and NetworkStats identically to the
+dict-based ``exchange``, grouped inboxes must be bit-for-bit equal, and the
+fast path must disable itself wherever it could change observable behaviour
+(fault plans, reliable wrappers, trace hooks, ``REPRO_BATCH=0``).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import CongestNetwork, FaultPlan, FaultyNetwork
+from repro.congest.batch import (
+    BatchedOutbox,
+    batching,
+    batching_enabled,
+    fast_path,
+)
+from repro.congest.network import (
+    BandwidthExceeded,
+    LocalityViolation,
+    _SCALAR_BATCH_LIMIT,
+)
+from repro.congest.faults import NodeCrash
+from repro.congest.primitives.bfs import bfs
+from repro.congest.primitives.multi_bfs import multi_source_bfs
+from repro.congest.primitives.reliable import ReliableNetwork
+from repro.congest.trace import TraceRecorder
+from repro.graphs import erdos_renyi
+from tests.strategies import connected_graphs
+
+
+def stats_tuple(net):
+    s = net.stats
+    return (net.rounds, s.steps, s.messages, s.words, s.local_messages,
+            s.max_link_load, dict(s.link_load_histogram))
+
+
+@st.composite
+def graph_and_batch(draw):
+    """A connected graph plus a legal batch over its (directed) edges."""
+    g = draw(connected_graphs(min_n=4, max_n=14))
+    edges = [(u, v) for u in range(g.n) for v in g.out_neighbors(u)]
+    count = draw(st.integers(min_value=0, max_value=2 * _SCALAR_BATCH_LIMIT))
+    picks = draw(st.lists(
+        st.integers(min_value=0, max_value=len(edges) - 1),
+        min_size=count, max_size=count))
+    unit_words = draw(st.booleans())
+    batch = BatchedOutbox()
+    for seq, idx in enumerate(picks):
+        u, v = edges[idx]
+        words = 1 if unit_words else draw(st.integers(min_value=0, max_value=4))
+        batch.send(u, v, ("msg", seq), words)
+    return g, batch
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_batch())
+def test_exchange_batched_matches_exchange(case):
+    """Property: identical inboxes, rounds, and stats on random traffic."""
+    g, batch = case
+    net_a = CongestNetwork(g, seed=0)
+    net_b = CongestNetwork(g, seed=0)
+    inboxes_dict = net_a.exchange(batch.to_outboxes())
+    inboxes_batch = net_b.exchange_batched(batch)
+    assert inboxes_batch == inboxes_dict
+    assert stats_tuple(net_b) == stats_tuple(net_a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_and_batch())
+def test_exchange_batched_ungrouped_stream_order(case):
+    """grouped=False yields the grouped inboxes' flattening, in order."""
+    g, batch = case
+    net_a = CongestNetwork(g, seed=0)
+    net_b = CongestNetwork(g, seed=0)
+    grouped = net_a.exchange(batch.to_outboxes())
+    inbox = net_b.exchange_batched(batch, grouped=False)
+    assert stats_tuple(net_b) == stats_tuple(net_a)
+    # Per receiver, the ungrouped stream preserves the grouped order as
+    # long as the batch was appended sender-major (send order here is
+    # arbitrary, so compare as multisets per (sender, receiver)).
+    seen = {}
+    for u, v, p in zip(inbox.src, inbox.dst, inbox.payloads):
+        seen.setdefault((v, u), []).append(p)
+    want = {(v, u): list(ps) for v, by in grouped.items()
+            for u, ps in by.items()}
+    assert seen == want
+
+
+def test_sender_major_emission_preserves_delivery_order():
+    """When the batch is filled sender-major (as every ported primitive
+    does), grouped inboxes match the dict path in *iteration order* too, and
+    the ungrouped stream is exactly the grouped inboxes' flattening."""
+    g = erdos_renyi(12, 0.35, seed=6)
+    batch = BatchedOutbox()
+    seq = 0
+    for u in range(g.n):
+        for v in sorted(g.out_neighbors(u)):
+            for _ in range(2):
+                batch.send(u, v, seq)
+                seq += 1
+    net_a = CongestNetwork(g, seed=0)
+    net_b = CongestNetwork(g, seed=0)
+    net_c = CongestNetwork(g, seed=0)
+    grouped_dict = net_a.exchange(batch.to_outboxes())
+    grouped_batch = net_b.exchange_batched(batch)
+    stream = net_c.exchange_batched(batch, grouped=False)
+    assert list(grouped_batch) == list(grouped_dict)
+    for v in grouped_dict:
+        assert list(grouped_batch[v]) == list(grouped_dict[v])
+    # The stream is in emission order; per receiver, its subsequence equals
+    # that receiver's grouped-inbox flattening (senders appear in first-
+    # message order, which sender-major emission makes ascending).
+    per_receiver = {}
+    for u, v, p in zip(stream.src, stream.dst, stream.payloads):
+        per_receiver.setdefault(v, []).append((u, p))
+    want = {v: [(u, p) for u, ps in by.items() for p in ps]
+            for v, by in grouped_dict.items()}
+    assert per_receiver == want
+    assert stats_tuple(net_b) == stats_tuple(net_a)
+    assert stats_tuple(net_c) == stats_tuple(net_a)
+
+
+def test_empty_batch_costs_one_round_like_empty_exchange():
+    g = erdos_renyi(8, 0.4, seed=2)
+    net_a = CongestNetwork(g, seed=0)
+    net_b = CongestNetwork(g, seed=0)
+    assert net_a.exchange({}) == {}
+    assert net_b.exchange_batched(BatchedOutbox()) == {}
+    assert stats_tuple(net_b) == stats_tuple(net_a)
+
+
+def test_locality_violation_message_parity():
+    g = erdos_renyi(10, 0.2, seed=3)
+    non_edge = next((u, v) for u in range(g.n) for v in range(g.n)
+                    if u != v and not g.has_edge(u, v))
+    batch = BatchedOutbox()
+    batch.send(*non_edge, "x")
+    dict_err = batch_err = None
+    try:
+        CongestNetwork(g, seed=0).exchange(batch.to_outboxes())
+    except LocalityViolation as exc:
+        dict_err = str(exc)
+    try:
+        CongestNetwork(g, seed=0).exchange_batched(batch)
+    except LocalityViolation as exc:
+        batch_err = str(exc)
+    assert dict_err is not None and dict_err == batch_err
+
+
+@pytest.mark.parametrize("oversize", [2, _SCALAR_BATCH_LIMIT + 10])
+def test_strict_bandwidth_parity_before_any_accounting(oversize):
+    """Both paths abort identically, leaving all counters untouched."""
+    g = erdos_renyi(6, 0.9, seed=1)
+    u = 0
+    v = next(iter(g.out_neighbors(u)))
+    batch = BatchedOutbox()
+    for i in range(oversize):
+        batch.send(u, v, i, 2)  # 2 words each; bandwidth default is 1
+    for exercise in ("dict", "batch"):
+        net = CongestNetwork(g, seed=0, strict=True)
+        with pytest.raises(BandwidthExceeded):
+            if exercise == "dict":
+                net.exchange(batch.to_outboxes())
+            else:
+                net.exchange_batched(batch)
+        assert stats_tuple(net) == (0, 0, 0, 0, 0, 0, {})
+
+
+GOLDEN_GRAPH_SEED = 7
+
+
+def _golden_net():
+    return CongestNetwork(erdos_renyi(48, 0.12, seed=GOLDEN_GRAPH_SEED), seed=0)
+
+
+def test_bfs_round_count_golden():
+    """Round counts on a pinned graph: regression fence for the fast path."""
+    for enabled in (False, True):
+        with batching(enabled):
+            net = _golden_net()
+            dist, _ = bfs(net, 0)
+            assert net.rounds == 3
+            assert max(d for d in dist) == 3
+
+
+def test_multi_bfs_round_count_golden():
+    for enabled in (False, True):
+        with batching(enabled):
+            net = _golden_net()
+            known, _ = multi_source_bfs(net, [0, 5, 9, 17])
+            assert net.rounds == 6
+            assert all(len(k) == 4 for k in known)
+
+
+def test_batching_context_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    assert batching_enabled()
+    monkeypatch.setenv("REPRO_BATCH", "0")
+    assert not batching_enabled()
+    with batching(True):
+        assert batching_enabled()  # context overrides the env
+    assert not batching_enabled()
+    monkeypatch.setenv("REPRO_BATCH", "1")
+    assert batching_enabled()
+    with batching(False):
+        assert not batching_enabled()
+
+
+def test_fast_path_gates():
+    g = erdos_renyi(12, 0.3, seed=5)
+    with batching(True):
+        assert fast_path(CongestNetwork(g, seed=0))
+        # Zero fault plan is transparent: fast path stays on.
+        assert fast_path(FaultyNetwork(g, FaultPlan(), seed=0))
+        # Any active fault forces the dict path (faults hook delivery).
+        faulty = FaultyNetwork(g, FaultPlan(drop_rate=0.5), seed=0)
+        assert not fast_path(faulty)
+        crashy = FaultyNetwork(
+            g, FaultPlan(crashes=(NodeCrash(node=1, at_round=3),)), seed=0)
+        assert not fast_path(crashy)
+        # Reliable wrappers re-implement exchange with acks: never batched
+        # (the delegating __getattr__ must not leak the inner capability).
+        assert not fast_path(ReliableNetwork(faulty))
+        assert not fast_path(ReliableNetwork(CongestNetwork(g, seed=0)))
+        # A trace hook monkey-patches exchange: batching would bypass it.
+        net = CongestNetwork(g, seed=0)
+        with TraceRecorder(net):
+            assert not fast_path(net)
+        assert fast_path(net)  # restored on exit
+    with batching(False):
+        assert not fast_path(CongestNetwork(g, seed=0))
+
+
+def test_ported_primitives_work_on_faulty_network_dict_fallback():
+    """Ported primitives degrade to the dict path on a faulty net and
+    still match a plain network when the plan injects nothing harmful."""
+    g = erdos_renyi(20, 0.25, seed=9)
+    plain = CongestNetwork(g, seed=0)
+    want, _ = bfs(plain, 0)
+    faulty = FaultyNetwork(g, FaultPlan(duplicate_rate=0.0, drop_rate=0.0,
+                                        corrupt_rate=0.0), seed=0)
+    got, _ = bfs(faulty, 0)
+    assert got == want
+
+
+def test_outbox_words_column_and_clear():
+    batch = BatchedOutbox()
+    batch.send(0, 1, "a")
+    assert batch.words is None
+    batch.send(1, 2, "b", 3)
+    assert batch.words == [1, 3]
+    batch.send(2, 3, "c")
+    assert batch.words == [1, 3, 1]
+    assert len(batch) == 3 and batch
+    out = batch.to_outboxes()
+    assert out == {0: {1: [("a", 1)]}, 1: {2: [("b", 3)]}, 2: {3: [("c", 1)]}}
+    batch.clear()
+    assert len(batch) == 0 and not batch and batch.words is None

@@ -1,0 +1,126 @@
+"""Tests for the content-addressed ground-truth / graph disk cache."""
+
+import json
+import os
+
+import pytest
+
+from repro import cache
+from repro.graphs import cycle_graph, erdos_renyi
+from repro.graphs.graph import INF, Graph
+from repro.sequential import exact_mwc, k_source_distances
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets its own empty cache directory and fresh counters."""
+    monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(cache.CACHE_ENV, raising=False)
+    cache.counters["hits"] = cache.counters["misses"] = 0
+    yield
+
+
+def test_graph_digest_is_content_addressed():
+    a = Graph(4, weighted=True)
+    a.add_edge(0, 1, 2)
+    a.add_edge(1, 2, 3)
+    b = Graph(4, weighted=True)
+    b.add_edge(1, 2, 3)  # same edges, different insertion order
+    b.add_edge(0, 1, 2)
+    assert cache.graph_digest(a) == cache.graph_digest(b)
+    c = Graph(4, weighted=True)
+    c.add_edge(0, 1, 2)
+    c.add_edge(1, 2, 4)  # one weight differs
+    assert cache.graph_digest(a) != cache.graph_digest(c)
+    # Structure flags are part of the identity, not just the edge list.
+    d = Graph(4, directed=True, weighted=True)
+    d.add_edge(0, 1, 2)
+    d.add_edge(1, 2, 3)
+    assert cache.graph_digest(a) != cache.graph_digest(d)
+
+
+def test_cached_exact_mwc_hits_on_second_call():
+    g = cycle_graph(6)
+    want = exact_mwc(g)
+    assert cache.cached_exact_mwc(g) == want
+    assert cache.counters == {"hits": 0, "misses": 1}
+    assert cache.cached_exact_mwc(g) == want
+    assert cache.counters == {"hits": 1, "misses": 1}
+
+
+def test_cached_exact_mwc_roundtrips_infinity():
+    g = Graph(3)  # acyclic: MWC is +inf, which JSON must survive
+    assert cache.cached_exact_mwc(g) == INF
+    assert cache.cached_exact_mwc(g) == INF
+    assert cache.counters["hits"] == 1
+
+
+def test_cached_k_source_distances_restores_int_keys():
+    g = erdos_renyi(16, 0.3, seed=3)
+    sources = [0, 4, 9]
+    want = k_source_distances(g, sources)
+    first = cache.cached_k_source_distances(g, sources)
+    again = cache.cached_k_source_distances(g, sources)
+    assert first == want
+    assert again == want  # decoded from JSON: keys must be ints again
+    assert all(isinstance(s, int) for s in again)
+    assert cache.counters["hits"] == 1
+    # Different source sets are distinct entries on the same graph.
+    other = cache.cached_k_source_distances(g, [1, 2])
+    assert set(other) == {1, 2}
+    assert cache.counters["misses"] == 2
+
+
+def test_cached_graph_roundtrip_equality():
+    key = "er|12|5|0.3"
+    built = []
+
+    def build():
+        built.append(True)
+        return erdos_renyi(12, 0.3, seed=5, weighted=True, max_weight=9)
+
+    g1 = cache.cached_graph(key, build)
+    g2 = cache.cached_graph(key, build)
+    assert len(built) == 1  # second call decoded from disk
+    assert g2.n == g1.n and g2.directed == g1.directed
+    assert g2.weighted == g1.weighted
+    assert sorted(g2.edges()) == sorted(g1.edges())
+    assert cache.graph_digest(g2) == cache.graph_digest(g1)
+
+
+def test_disable_env_bypasses_disk(monkeypatch):
+    monkeypatch.setenv(cache.CACHE_ENV, "0")
+    g = cycle_graph(5)
+    assert cache.cached_exact_mwc(g) == exact_mwc(g)
+    assert cache.cached_exact_mwc(g) == exact_mwc(g)
+    assert cache.counters == {"hits": 0, "misses": 0}
+    assert not os.listdir(cache.cache_root())
+
+
+def test_corrupt_or_mismatched_entry_recomputes():
+    g = cycle_graph(7)
+    cache.cached_exact_mwc(g)
+    path = os.path.join(cache.cache_root(), "mwc",
+                        f"{cache.graph_digest(g)}.json")
+    with open(path, "w") as f:
+        f.write("{not json")
+    assert cache.cached_exact_mwc(g) == exact_mwc(g)
+    assert cache.counters["misses"] == 2
+    # An entry recorded under a different key (digest-scheme change) is
+    # also treated as a miss rather than served.
+    with open(path, "w") as f:
+        json.dump({"schema": 1, "key": "stale", "value": 0}, f)
+    assert cache.cached_exact_mwc(g) == exact_mwc(g)
+    assert cache.counters["misses"] == 3
+
+
+def test_info_and_clear():
+    cache.cached_exact_mwc(cycle_graph(4))
+    cache.cached_exact_girth(erdos_renyi(10, 0.4, seed=1))
+    stats = cache.info()
+    assert stats["enabled"]
+    assert stats["kinds"]["mwc"]["entries"] == 1
+    assert stats["kinds"]["girth"]["entries"] == 1
+    assert stats["total_bytes"] > 0
+    assert cache.clear() == 2
+    assert cache.info()["kinds"] == {}

@@ -6,7 +6,13 @@ import os
 
 import pytest
 
-from repro.harness import ExperimentReport, SweepRow, persist, run_sweep
+from repro.harness import (
+    ExperimentReport,
+    SweepRow,
+    default_jobs,
+    persist,
+    run_sweep,
+)
 
 
 def quadratic_runner(n):
@@ -53,6 +59,46 @@ class TestRunSweep:
         report = run_sweep("UNKNOWN-ID", [4, 8], quadratic_runner)
         assert "UNKNOWN-ID" in report.summary()
         assert report.claimed_exponent is None
+
+
+class TestParallelSweep:
+    def test_jobs_matches_serial(self):
+        serial = run_sweep("TEST-PAR", [4, 8, 16, 32], quadratic_runner, jobs=1)
+        parallel = run_sweep("TEST-PAR", [4, 8, 16, 32], quadratic_runner, jobs=2)
+        assert [r.__dict__ for r in parallel.rows] == \
+            [r.__dict__ for r in serial.rows]
+        assert parallel.fit.exponent == serial.fit.exponent
+
+    def test_row_order_follows_sizes_not_completion(self):
+        # Descending sizes: with a pool the small (fast) points would finish
+        # first; the merged rows must still follow the requested order.
+        sizes = [32, 4, 16, 8]
+        report = run_sweep("TEST-ORDER", sizes, quadratic_runner, jobs=2)
+        assert [r.n for r in report.rows] == sizes
+
+    def test_unpicklable_runner_falls_back_to_serial(self):
+        # A closure can't cross a process boundary; the sweep must degrade
+        # to in-process execution rather than fail.
+        offset = 7
+        runner = lambda n: SweepRow(n=n, rounds=n + offset)  # noqa: E731
+        report = run_sweep("TEST-FALLBACK", [4, 8], runner, jobs=2)
+        assert [r.rounds for r in report.rows] == [11, 15]
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1  # clamped
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert default_jobs() == 1  # invalid degrades to serial
+
+    def test_env_drives_run_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        report = run_sweep("TEST-ENV", [4, 8, 16], quadratic_runner)
+        assert [r.n for r in report.rows] == [4, 8, 16]
+        assert [r.rounds for r in report.rows] == [16, 64, 256]
 
 
 class TestPersistence:
