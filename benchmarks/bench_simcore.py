@@ -1,14 +1,18 @@
 """EXP BENCH_SIMCORE — batched-exchange fast path: parity and speedup.
 
-Every point runs the same algorithm twice — once with the columnar batched
-exchange disabled (the dict reference path) and once enabled — and asserts
-the simulation is observationally identical: same rounds, same message and
-word totals. Wall times of both paths are recorded in the persisted JSON,
-which doubles as the performance log behind docs/performance.md.
+Every point runs the same algorithm three times — with the columnar batched
+exchange disabled (the dict reference path), with it enabled, and with
+phase-scoped metrics on — and asserts the simulation is observationally
+identical: same rounds, same message and word totals. Wall times of all
+paths are recorded in the persisted JSON, which doubles as the performance
+log behind docs/performance.md and docs/observability.md; the traced run's
+phase breakdown is attached to each row.
 
 The checked-in ``benchmarks/results/BENCH_SIMCORE.json`` is a golden
 baseline: CI re-runs this sweep (with ``--jobs 2``) and fails if any round
-count drifts from it, fencing the simulator core and the fast path at once.
+count drifts from it, fencing the simulator core and the fast path at once;
+``benchmarks/check_regression.py`` applies the same file as a standalone
+regression gate (rounds within 20%, wall clock within 2x).
 """
 
 import json
@@ -20,7 +24,8 @@ from repro.congest.batch import batching
 from repro.core.exact_mwc import exact_mwc_congest
 from repro.core.ksource import k_source_bfs
 from repro.graphs import cycle_with_chords
-from repro.harness import SweepRow, emit, results_dir, run_sweep
+from repro.harness import SweepRow, emit, results_dir, row_phases, run_sweep
+from repro.obs import observing
 
 EXP_ID = "BENCH_SIMCORE"
 
@@ -55,12 +60,24 @@ def _point(idx: int) -> SweepRow:
             timings[label] = time.perf_counter() - start
         observed[label] = (res.rounds, res.stats.messages, res.stats.words)
     assert observed["batch"] == observed["dict"], (kind, size, observed)
+    # Third run with phase metrics on: the observed simulation must be
+    # bit-identical (observability never perturbs the workload), and the
+    # phase breakdown rides along in the persisted row.
+    with batching(True), observing():
+        start = time.perf_counter()
+        traced = _run(kind, size)
+        timings["traced"] = time.perf_counter() - start
+    observed["traced"] = (traced.rounds, traced.stats.messages,
+                          traced.stats.words)
+    assert observed["traced"] == observed["dict"], (kind, size, observed)
     rounds, messages, words = observed["dict"]
     return SweepRow(
         n=size, rounds=rounds,
         extra={"workload": kind, "messages": messages, "words": words,
                "dict_seconds": round(timings["dict"], 4),
-               "batch_seconds": round(timings["batch"], 4)})
+               "batch_seconds": round(timings["batch"], 4),
+               "traced_seconds": round(timings["traced"], 4)},
+        phases=row_phases(traced))
 
 
 def _baseline_rounds():

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Regression gate for the simulator core benchmark (BENCH_SIMCORE).
+
+Compares per-point round counts and total wall clock of a *fresh* sweep
+against the committed golden baseline ``benchmarks/results/BENCH_SIMCORE.json``
+and exits non-zero on drift:
+
+* any point's round count drifting more than ``--max-round-drift`` (default
+  20%) from the baseline — rounds are deterministic, so any drift at all
+  means the simulator's accounting changed;
+* total wall clock exceeding ``--max-wall-ratio`` (default 2x) times the
+  baseline's — a coarse fence against accidental slowdowns that survives
+  CI-runner noise.
+
+Modes
+-----
+Default: run the BENCH_SIMCORE sweep in-process and compare it against the
+committed baseline. With ``--fresh FILE`` the sweep is skipped and FILE
+(a previously persisted report JSON) is compared instead — this file-vs-file
+mode is what the test suite uses to prove the gate actually fails on an
+injected regression.
+
+Run the gate BEFORE re-running ``bench_simcore.py`` in CI: the benchmark's
+``emit()`` overwrites the committed baseline file in the working tree.
+
+Exit codes: 0 pass, 1 regression detected, 2 usage / missing files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, "results", "BENCH_SIMCORE.json")
+
+RowKey = Tuple[str, int]
+
+
+def _ensure_importable() -> None:
+    """Make ``repro`` and the benchmark modules importable as a script."""
+    src = os.path.join(os.path.dirname(HERE), "src")
+    for path in (src, HERE):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)
+
+
+def rows_by_key(payload: Dict[str, Any]) -> Dict[RowKey, Dict[str, Any]]:
+    """Index report rows by (workload, n)."""
+    out: Dict[RowKey, Dict[str, Any]] = {}
+    for row in payload.get("rows", []):
+        key = (row.get("extra", {}).get("workload", "?"), row["n"])
+        out[key] = row
+    return out
+
+
+def wall_seconds(payload: Dict[str, Any]) -> float:
+    """Total recorded wall clock: every ``*_seconds`` field of every row."""
+    total = 0.0
+    for row in payload.get("rows", []):
+        for field, value in row.get("extra", {}).items():
+            if field.endswith("_seconds"):
+                total += float(value)
+    return total
+
+
+def run_fresh_sweep() -> Dict[str, Any]:
+    """Run the BENCH_SIMCORE sweep in-process; returns a report payload."""
+    _ensure_importable()
+    from dataclasses import asdict
+
+    import bench_simcore
+    from repro.harness import run_sweep
+
+    report = run_sweep(
+        bench_simcore.EXP_ID,
+        list(range(len(bench_simcore.POINTS))),
+        bench_simcore._point,
+        fit=False,
+    )
+    return {"exp_id": report.exp_id, "rows": [asdict(r) for r in report.rows]}
+
+
+def compare(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, Any],
+    max_round_drift: float,
+    max_wall_ratio: float,
+) -> int:
+    """Print a verdict per check; return the number of failures."""
+    failures = 0
+    base_rows = rows_by_key(baseline)
+    fresh_rows = rows_by_key(fresh)
+
+    missing = sorted(set(base_rows) - set(fresh_rows))
+    extra = sorted(set(fresh_rows) - set(base_rows))
+    if missing:
+        failures += 1
+        print(f"FAIL: fresh run is missing baseline points: {missing}")
+    if extra:
+        print(f"note: fresh run has points absent from the baseline: {extra}")
+
+    for key in sorted(set(base_rows) & set(fresh_rows)):
+        base_r = float(base_rows[key]["rounds"])
+        fresh_r = float(fresh_rows[key]["rounds"])
+        if base_r <= 0:
+            continue
+        drift = abs(fresh_r - base_r) / base_r
+        verdict = "ok" if drift <= max_round_drift else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(f"{verdict}: rounds[{key[0]}, n={key[1]}] "
+              f"baseline={base_r:g} fresh={fresh_r:g} drift={drift:.1%} "
+              f"(limit {max_round_drift:.0%})")
+
+    base_wall = wall_seconds(baseline)
+    fresh_wall = wall_seconds(fresh)
+    if base_wall > 0:
+        ratio = fresh_wall / base_wall
+        verdict = "ok" if ratio <= max_wall_ratio else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(f"{verdict}: wall clock baseline={base_wall:.3f}s "
+              f"fresh={fresh_wall:.3f}s ratio={ratio:.2f}x "
+              f"(limit {max_wall_ratio:g}x)")
+    else:
+        print("note: baseline records no wall clock; skipping the wall check")
+    return failures
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on BENCH_SIMCORE round-count or wall-clock drift")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="golden report JSON (default: the committed "
+                             "benchmarks/results/BENCH_SIMCORE.json)")
+    parser.add_argument("--fresh", default=None,
+                        help="compare this report JSON instead of running "
+                             "the sweep in-process")
+    parser.add_argument("--max-round-drift", type=float, default=0.20,
+                        metavar="FRAC",
+                        help="per-point relative round drift limit "
+                             "(default 0.20)")
+    parser.add_argument("--max-wall-ratio", type=float, default=2.0,
+                        metavar="X",
+                        help="total wall clock limit as a multiple of the "
+                             "baseline's (default 2.0)")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline not found: {args.baseline}", file=sys.stderr)
+        return 2
+    baseline = load_report(args.baseline)
+
+    if args.fresh is not None:
+        if not os.path.exists(args.fresh):
+            print(f"error: fresh report not found: {args.fresh}",
+                  file=sys.stderr)
+            return 2
+        fresh = load_report(args.fresh)
+        print(f"comparing {args.fresh} against {args.baseline}")
+    else:
+        print(f"running fresh BENCH_SIMCORE sweep against {args.baseline}")
+        fresh = run_fresh_sweep()
+
+    failures = compare(baseline, fresh,
+                       max_round_drift=args.max_round_drift,
+                       max_wall_ratio=args.max_wall_ratio)
+    if failures:
+        print(f"regression gate: {failures} check(s) failed")
+        return 1
+    print("regression gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,11 @@ Commands
 ``table``     render Table 1 with any persisted benchmark results
 ``verify-lb`` build + verify a lower-bound reduction instance
 ``cache``     inspect or clear the graph / ground-truth disk cache
+``metrics``   summarize observability JSONL records (see repro.obs)
+
+``mwc`` and ``apsp`` accept ``--metrics`` (print a per-phase round
+breakdown) and ``--metrics-out FILE`` (append the run's observability
+record as one JSON line); both imply phase tracking for the run.
 """
 
 from __future__ import annotations
@@ -41,6 +46,17 @@ def _add_max_rounds(p: argparse.ArgumentParser) -> None:
              "exceeds R CONGEST rounds (default: unbounded)")
 
 
+def _add_metrics(p: argparse.ArgumentParser) -> None:
+    """Attach the standard --metrics / --metrics-out options."""
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="enable phase-scoped metrics and print a per-phase breakdown")
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="append the run's observability record to FILE as JSONL "
+             "(implies --metrics)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -61,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also construct a witness cycle (exact only)")
     _add_seed(p)
     _add_max_rounds(p)
+    _add_metrics(p)
 
     p = sub.add_parser("apsp", help="distributed APSP")
     p.add_argument("graph")
@@ -69,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.5)
     _add_seed(p)
     _add_max_rounds(p)
+    _add_metrics(p)
 
     p = sub.add_parser("generate", help="generate a workload graph")
     p.add_argument("out", help="output edge-list path")
@@ -109,12 +127,60 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["stats", "clear"],
                    help="'stats' (default) prints entry counts; 'clear' "
                         "deletes every cached entry")
+
+    p = sub.add_parser("metrics",
+                       help="summarize observability JSONL records")
+    p.add_argument("file", help="JSONL file written via --metrics-out or "
+                                "repro.obs.emit_jsonl")
+    p.add_argument("--json", action="store_true",
+                   help="print the aggregated per-phase totals as JSON "
+                        "instead of a table")
     return parser
 
 
 def _load(path: str):
     from repro.graphs.io import load_edgelist
     return load_edgelist(path)
+
+
+def _metrics_wanted(args) -> bool:
+    return bool(getattr(args, "metrics", False)
+                or getattr(args, "metrics_out", None))
+
+
+def _metrics_scope(args):
+    """Ambient phase-tracking scope: active iff --metrics/--metrics-out."""
+    import contextlib
+
+    from repro.obs import observing
+
+    return observing() if _metrics_wanted(args) else contextlib.nullcontext()
+
+
+def _finish_metrics(args, label: str, res) -> None:
+    """Print the per-phase table and/or append the JSONL record."""
+    if not _metrics_wanted(args):
+        return
+    from repro.obs import emit_jsonl, get_registry, summarize_phases
+
+    stats = res.stats
+    record = {
+        "label": label,
+        "rounds": res.rounds,
+        "stats": {"steps": stats.steps, "messages": stats.messages,
+                  "words": stats.words,
+                  "local_messages": stats.local_messages,
+                  "max_link_load": stats.max_link_load},
+        "phases": res.details.get("phases", {}),
+    }
+    snapshot = get_registry().snapshot()
+    if snapshot:
+        record["metrics"] = snapshot
+    print()
+    print(summarize_phases([record]))
+    if args.metrics_out:
+        path = emit_jsonl(record, args.metrics_out)
+        print(f"metrics record appended to {path}")
 
 
 def cmd_mwc(args) -> int:
@@ -137,22 +203,25 @@ def cmd_mwc(args) -> int:
             algorithm = "girth-approx"
         else:
             algorithm = "weighted-approx"
-    if algorithm == "exact":
-        res = exact_mwc_congest(g, seed=args.seed,
-                                construct_witness=args.witness)
-    elif algorithm == "2approx":
-        res = directed_mwc_2approx(g, seed=args.seed)
-    elif algorithm == "girth-approx":
-        res = girth_2approx(g, seed=args.seed)
-    elif algorithm == "weighted-approx":
-        if g.directed:
-            res = directed_weighted_mwc_approx(g, eps=args.eps, seed=args.seed)
-        else:
-            res = undirected_weighted_mwc_approx(g, eps=args.eps, seed=args.seed)
-    elif algorithm == "apsp-approx":
-        res = mwc_via_approx_apsp(g, eps=args.eps, seed=args.seed)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(algorithm)
+    with _metrics_scope(args):
+        if algorithm == "exact":
+            res = exact_mwc_congest(g, seed=args.seed,
+                                    construct_witness=args.witness)
+        elif algorithm == "2approx":
+            res = directed_mwc_2approx(g, seed=args.seed)
+        elif algorithm == "girth-approx":
+            res = girth_2approx(g, seed=args.seed)
+        elif algorithm == "weighted-approx":
+            if g.directed:
+                res = directed_weighted_mwc_approx(g, eps=args.eps,
+                                                   seed=args.seed)
+            else:
+                res = undirected_weighted_mwc_approx(g, eps=args.eps,
+                                                     seed=args.seed)
+        elif algorithm == "apsp-approx":
+            res = mwc_via_approx_apsp(g, eps=args.eps, seed=args.seed)
+        else:  # pragma: no cover - argparse restricts choices
+            raise ValueError(algorithm)
     value = "inf (acyclic)" if res.value == INF else f"{res.value:g}"
     print(f"graph: {g}")
     print(f"algorithm: {algorithm}")
@@ -161,6 +230,7 @@ def cmd_mwc(args) -> int:
     witness = res.details.get("witness")
     if witness:
         print(f"witness cycle: {' -> '.join(map(str, witness))}")
+    _finish_metrics(args, f"mwc/{algorithm}", res)
     return 0
 
 
@@ -172,16 +242,18 @@ def cmd_apsp(args) -> int:
     mode = args.mode
     if mode == "auto":
         mode = "approx" if g.weighted else "exact"
-    if mode == "exact":
-        res = apsp_weighted_exact(g, seed=args.seed) if g.weighted \
-            else apsp_unweighted(g, seed=args.seed)
-    else:
-        res = apsp_approx(g, eps=args.eps, seed=args.seed)
+    with _metrics_scope(args):
+        if mode == "exact":
+            res = apsp_weighted_exact(g, seed=args.seed) if g.weighted \
+                else apsp_unweighted(g, seed=args.seed)
+        else:
+            res = apsp_approx(g, eps=args.eps, seed=args.seed)
     reachable = sum(len(d) for d in res.dist)
     print(f"graph: {g}")
     print(f"mode: {res.details['mode']}")
     print(f"congest rounds: {res.rounds}")
     print(f"reachable pairs: {reachable} / {g.n * g.n}")
+    _finish_metrics(args, f"apsp/{mode}", res)
     return 0
 
 
@@ -314,6 +386,19 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Handle `repro metrics`: summarize an observability JSONL file."""
+    from repro.obs import aggregate_phases, read_jsonl, summarize_phases
+
+    records = read_jsonl(args.file)
+    if args.json:
+        print(json.dumps(aggregate_phases(records), indent=2, sort_keys=True))
+        return 0
+    print(f"{len(records)} record(s) in {args.file}")
+    print(summarize_phases(records))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro.congest.network import RoundBudgetExceeded, round_budget
@@ -327,6 +412,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "verify-lb": cmd_verify_lb,
         "cache": cmd_cache,
+        "metrics": cmd_metrics,
     }
     try:
         # Commands that simulate CONGEST executions honor --max-rounds by

@@ -247,9 +247,10 @@ class FaultyNetwork(CongestNetwork):
         seed: Optional[int] = None,
         strict: bool = False,
         max_rounds: Optional[int] = None,
+        metrics: Optional[bool] = None,
     ):
         super().__init__(graph, bandwidth=bandwidth, host=host, seed=seed,
-                         strict=strict, max_rounds=max_rounds)
+                         strict=strict, max_rounds=max_rounds, metrics=metrics)
         self.plan = plan if plan is not None else FaultPlan()
         for outage in self.plan.link_outages:
             if not (0 <= outage.u < graph.n and 0 <= outage.v < graph.n):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -12,6 +13,8 @@ import numpy as np
 
 from repro.congest.batch import BatchedInbox
 from repro.graphs.graph import Graph, GraphError
+from repro.obs.phases import NULL_PHASE, PhaseAccumulator
+from repro.obs.registry import metrics_enabled
 
 #: An outbox maps each destination vertex to a list of (payload, words) pairs.
 Outbox = Dict[int, List[Tuple[Any, int]]]
@@ -112,6 +115,13 @@ class CongestNetwork:
         :meth:`charge_rounds`) pushes ``rounds`` past this limit,
         :class:`RoundBudgetExceeded` is raised. Defaults to the ambient
         budget installed by :func:`round_budget` (``None`` = unbounded).
+    metrics:
+        Whether to track per-phase round/traffic attribution (see
+        :meth:`phase` and :mod:`repro.obs`). Defaults to the ambient
+        observability setting (``REPRO_METRICS`` /
+        :func:`repro.obs.observing`). Tracking works by differencing the
+        counters this class maintains anyway, so it never perturbs rounds,
+        stats, or algorithm results.
     """
 
     def __init__(
@@ -122,6 +132,7 @@ class CongestNetwork:
         seed: Optional[int] = None,
         strict: bool = False,
         max_rounds: Optional[int] = None,
+        metrics: Optional[bool] = None,
     ):
         if graph.n == 0:
             raise GraphError("cannot build a network on an empty graph")
@@ -158,6 +169,14 @@ class CongestNetwork:
         self._node_rngs: Dict[int, Tuple[np.random.Generator, dict]] = {}
         self._batch_index: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._pair_link_map: Dict[int, int] = {}
+        # Phase-scoped observability (repro.obs): None while disabled, so
+        # the only cost a metrics-off run pays is this attribute check in
+        # phase() — the exchange hot path is untouched either way.
+        if metrics is None:
+            metrics = metrics_enabled()
+        self._phases: Optional[PhaseAccumulator] = (
+            PhaseAccumulator(self._phase_snapshot()) if metrics else None
+        )
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -461,6 +480,57 @@ class CongestNetwork:
         self._check_round_budget()
 
     # ------------------------------------------------------------------
+    # Phase-scoped observability (see repro.obs)
+    # ------------------------------------------------------------------
+    def _phase_snapshot(self):
+        """Current counter values: (rounds, steps, messages, words, now)."""
+        s = self.stats
+        return (self.rounds, s.steps, s.messages, s.words, time.perf_counter())
+
+    @property
+    def metrics_active(self) -> bool:
+        """Whether phase attribution is being tracked on this network."""
+        return self._phases is not None
+
+    def enable_metrics(self) -> None:
+        """Start phase tracking now (idempotent).
+
+        Attribution starts from the current counter values: traffic before
+        this call is never attributed, and from here on the buckets sum
+        exactly to the counters' growth since enabling.
+        """
+        if self._phases is None:
+            self._phases = PhaseAccumulator(self._phase_snapshot())
+
+    def phase(self, name: str):
+        """Scope for attributing rounds/messages/words to ``name``.
+
+        Usage::
+
+            with net.phase("restricted-bfs"):
+                ...   # every exchange in here is billed to the phase
+
+        Scopes nest hierarchically (``"outer/inner"`` buckets); traffic is
+        billed to the innermost open phase. When metrics are disabled this
+        returns a shared no-op context manager, making instrumentation
+        free to leave in library code.
+        """
+        if self._phases is None:
+            return NULL_PHASE
+        return _PhaseScope(self, name)
+
+    def phase_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase counter buckets (empty dict while metrics are off).
+
+        Buckets — including ``(unscoped)`` for traffic outside any phase —
+        partition the flat counters exactly: their ``rounds`` / ``steps`` /
+        ``messages`` / ``words`` sum to ``self.rounds`` / ``self.stats``.
+        """
+        if self._phases is None:
+            return {}
+        return self._phases.report(self._phase_snapshot())
+
+    # ------------------------------------------------------------------
     # Fault-model hooks (overridden by repro.congest.faults.FaultyNetwork)
     # ------------------------------------------------------------------
     def is_crashed(self, v: int) -> bool:
@@ -514,9 +584,41 @@ class CongestNetwork:
         """Zero the round counter and statistics (state is kept)."""
         self.rounds = 0
         self.stats = NetworkStats()
+        if self._phases is not None:
+            # Phase buckets describe the counters just discarded; restart
+            # attribution from the zeroed snapshot (open scopes, if any,
+            # keep accumulating under their names).
+            stack = self._phases.stack
+            self._phases = PhaseAccumulator(self._phase_snapshot())
+            self._phases.stack = stack
 
     def __repr__(self) -> str:
         return (
             f"CongestNetwork(n={self.n}, bandwidth={self.bandwidth}, "
             f"rounds={self.rounds})"
         )
+
+
+class _PhaseScope:
+    """Live phase context manager handed out by :meth:`CongestNetwork.phase`.
+
+    A tiny dedicated class (rather than ``contextlib.contextmanager``) so
+    entering a phase costs one allocation and two snapshot calls, and so
+    exceptions still close the scope (``__exit__`` always pops).
+    """
+
+    __slots__ = ("_net", "_name")
+
+    def __init__(self, net: CongestNetwork, name: str):
+        self._net = net
+        self._name = name
+
+    def __enter__(self) -> "_PhaseScope":
+        net = self._net
+        net._phases.enter(self._name, net._phase_snapshot())
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        net = self._net
+        net._phases.exit(net._phase_snapshot())
+        return False

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import INF
+from repro.obs import registry as obs
 
 
 def bfs(
@@ -26,7 +27,21 @@ def bfs(
     ``dist[v]`` is the hop distance (``INF`` beyond ``h`` or unreachable).
     ``parent[v]`` is the tree predecessor if ``record_parents`` else ``None``.
     One exchange step per BFS level; one word per edge per step.
+    Rounds/messages are attributed to the ``"bfs"`` phase bucket when the
+    network has metrics enabled.
     """
+    obs.counter("primitives.bfs.calls").inc()
+    with net.phase("bfs"):
+        return _bfs_impl(net, source, h, reverse, record_parents)
+
+
+def _bfs_impl(
+    net: CongestNetwork,
+    source: int,
+    h: Optional[int],
+    reverse: bool,
+    record_parents: bool,
+):
     g = net.graph
     dist: List[float] = [INF] * g.n
     parent: List[int] = [-1] * g.n

@@ -16,6 +16,7 @@ from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.flood import BfsTree, build_bfs_tree
 from repro.congest.primitives.convergecast import converge_sum
+from repro.obs import registry as obs
 
 
 def broadcast(
@@ -30,8 +31,23 @@ def broadcast(
     Returns ``received`` where ``received[v]`` lists all payloads in a
     deterministic (origin, sequence) order; also stored under state key
     ``"broadcast"``. Termination is locally decidable because the total
-    message count is convergecast first (O(D) rounds).
+    message count is convergecast first (O(D) rounds). Attributed to the
+    ``"broadcast"`` phase bucket (with a nested ``"broadcast/convergecast"``
+    bucket for the count aggregation) under metrics.
     """
+    obs.counter("primitives.broadcast.calls").inc()
+    with net.phase("broadcast"):
+        return _broadcast_impl(net, messages, tree, words_per_message,
+                               max_steps)
+
+
+def _broadcast_impl(
+    net: CongestNetwork,
+    messages: Dict[int, Sequence[Any]],
+    tree: Optional[BfsTree],
+    words_per_message: int,
+    max_steps: Optional[int],
+) -> List[List[Any]]:
     if tree is None:
         tree = build_bfs_tree(net)
     n = net.n

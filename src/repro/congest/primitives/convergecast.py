@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.flood import BfsTree, build_bfs_tree
+from repro.obs import registry as obs
 
 
 def convergecast(
@@ -24,8 +25,20 @@ def convergecast(
     """Aggregate ``values[v]`` over all v with associative ``op``; O(D).
 
     Returns the aggregate; also stores it at every node under state key
-    ``"convergecast_result"``.
+    ``"convergecast_result"``. Attributed to the ``"convergecast"`` phase
+    bucket under metrics.
     """
+    obs.counter("primitives.convergecast.calls").inc()
+    with net.phase("convergecast"):
+        return _convergecast_impl(net, values, op, tree)
+
+
+def _convergecast_impl(
+    net: CongestNetwork,
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+    tree: Optional[BfsTree],
+) -> Any:
     if len(values) != net.n:
         raise ValueError("need exactly one value per vertex")
     if tree is None:

@@ -12,6 +12,7 @@ from typing import Dict, List
 
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
+from repro.obs import registry as obs
 
 
 @dataclass
@@ -33,8 +34,15 @@ def build_bfs_tree(net: CongestNetwork, root: int = 0) -> BfsTree:
 
     Each vertex adopts as parent the smallest-id neighbor from which it first
     receives the wave, then acknowledges so parents learn their children
-    (one extra round per level, interleaved with the wave).
+    (one extra round per level, interleaved with the wave). Attributed to
+    the ``"bfs-tree"`` phase bucket under metrics.
     """
+    obs.counter("primitives.bfs_tree.calls").inc()
+    with net.phase("bfs-tree"):
+        return _build_bfs_tree_impl(net, root)
+
+
+def _build_bfs_tree_impl(net: CongestNetwork, root: int) -> BfsTree:
     n = net.n
     parent = [-1] * n
     depth = [-1] * n

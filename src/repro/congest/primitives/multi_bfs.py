@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import INF
+from repro.obs import registry as obs
 
 
 def multi_source_bfs(
@@ -35,7 +36,23 @@ def multi_source_bfs(
     ``parent[v]`` maps source -> BFS-tree predecessor of ``v``.
 
     ``reverse=True`` runs the wave along in-edges, computing ``d(v, s)``.
+    Attributed to the ``"multi-bfs"`` phase bucket under metrics.
     """
+    obs.counter("primitives.multi_bfs.calls").inc()
+    obs.histogram("primitives.multi_bfs.sources").observe(len(sources))
+    with net.phase("multi-bfs"):
+        return _multi_source_bfs_impl(
+            net, sources, h, reverse, record_parents, max_steps)
+
+
+def _multi_source_bfs_impl(
+    net: CongestNetwork,
+    sources: Sequence[int],
+    h: Optional[int],
+    reverse: bool,
+    record_parents: bool,
+    max_steps: Optional[int],
+) -> Tuple[List[Dict[int, int]], Optional[List[Dict[int, int]]]]:
     g = net.graph
     n = g.n
     k = len(sources)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import Graph, GraphError, INF
+from repro.obs import registry as obs
 
 
 def _edge_weight(weight_graph: Optional[Graph], net: CongestNetwork,
@@ -53,7 +54,25 @@ def multi_source_wave(
     topology (the scaled graphs ``G^i`` of §5); weights must be >= 1 so the
     unit-speed wave model applies. Returns ``(dist, parent)`` shaped like
     :func:`~repro.congest.primitives.multi_bfs.multi_source_bfs`.
+    Attributed to the ``"wave"`` phase bucket under metrics.
     """
+    obs.counter("primitives.wave.calls").inc()
+    obs.histogram("primitives.wave.budget").observe(budget)
+    with net.phase("wave"):
+        return _multi_source_wave_impl(
+            net, sources, budget, reverse, weight_graph, record_parents,
+            max_steps)
+
+
+def _multi_source_wave_impl(
+    net: CongestNetwork,
+    sources: Sequence[int],
+    budget: int,
+    reverse: bool,
+    weight_graph: Optional[Graph],
+    record_parents: bool,
+    max_steps: Optional[int],
+) -> Tuple[List[Dict[int, int]], Optional[List[Dict[int, int]]]]:
     g = _check_weight_graph(net, weight_graph)
     n = net.n
     k = len(sources)
@@ -146,8 +165,27 @@ def source_detection(
     With ``record_parents`` each node also stores, per detected source, the
     neighbor its best pair arrived from, under state key
     ``"detection_parent"`` (used by the girth algorithm to exclude
-    degenerate backtracking cycle candidates).
+    degenerate backtracking cycle candidates). Attributed to the
+    ``"detect"`` phase bucket under metrics.
     """
+    obs.counter("primitives.detect.calls").inc()
+    obs.histogram("primitives.detect.sigma").observe(sigma)
+    with net.phase("detect"):
+        return _source_detection_impl(
+            net, sigma, budget, sources, reverse, weight_graph, max_steps,
+            record_parents)
+
+
+def _source_detection_impl(
+    net: CongestNetwork,
+    sigma: int,
+    budget: int,
+    sources: Optional[Sequence[int]],
+    reverse: bool,
+    weight_graph: Optional[Graph],
+    max_steps: Optional[int],
+    record_parents: bool,
+) -> List[List[Tuple[int, int]]]:
     g = _check_weight_graph(net, weight_graph)
     n = net.n
     srcs = list(range(n)) if sources is None else list(sources)

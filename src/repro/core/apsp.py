@@ -34,9 +34,14 @@ def apsp_unweighted(g: Graph, seed: Optional[int] = None) -> KSourceResult:
     if g.weighted:
         raise GraphError("use apsp_weighted_exact or apsp_approx for weights")
     net = CongestNetwork(g, seed=seed)
-    known, _ = apsp_unweighted_on(net)
+    with net.phase("apsp"):
+        known, _ = apsp_unweighted_on(net)
     dist = [{s: float(d) for s, d in known[v].items()} for v in range(g.n)]
-    return KSourceResult(dist, net.rounds, net.stats, {"mode": "unweighted"})
+    details = {"mode": "unweighted"}
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
+    return KSourceResult(dist, net.rounds, net.stats, details)
 
 
 def apsp_weighted_exact(g: Graph, seed: Optional[int] = None) -> KSourceResult:
@@ -44,9 +49,14 @@ def apsp_weighted_exact(g: Graph, seed: Optional[int] = None) -> KSourceResult:
     if not g.weighted:
         return apsp_unweighted(g, seed=seed)
     net = CongestNetwork(g, seed=seed)
-    known, _ = apsp_weighted_on(net)
+    with net.phase("apsp"):
+        known, _ = apsp_weighted_on(net)
     dist = [dict(known[v]) for v in range(g.n)]
-    return KSourceResult(dist, net.rounds, net.stats, {"mode": "exact"})
+    details = {"mode": "exact"}
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
+    return KSourceResult(dist, net.rounds, net.stats, details)
 
 
 def apsp_approx(g: Graph, eps: float = 0.5,
@@ -61,9 +71,14 @@ def apsp_approx(g: Graph, eps: float = 0.5,
     if any(w < 1 for _, _, w in g.edges()):
         raise GraphError("apsp_approx requires weights >= 1")
     net = CongestNetwork(g, seed=seed)
-    est, _ = approx_hop_sssp_with_pred(net, list(range(g.n)), h=g.n, eps=eps)
-    return KSourceResult(est, net.rounds, net.stats,
-                         {"mode": "approx", "eps": eps})
+    with net.phase("scaled-waves"):
+        est, _ = approx_hop_sssp_with_pred(net, list(range(g.n)), h=g.n,
+                                           eps=eps)
+    details = {"mode": "approx", "eps": eps}
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
+    return KSourceResult(est, net.rounds, net.stats, details)
 
 
 def mwc_via_approx_apsp(g: Graph, eps: float = 0.5,
@@ -78,7 +93,9 @@ def mwc_via_approx_apsp(g: Graph, eps: float = 0.5,
     n = g.n
     if g.weighted and any(w < 1 for _, _, w in g.edges()):
         raise GraphError("mwc_via_approx_apsp requires weights >= 1")
-    est, pred = approx_hop_sssp_with_pred(net, list(range(n)), h=n, eps=eps)
+    with net.phase("scaled-waves"):
+        est, pred = approx_hop_sssp_with_pred(net, list(range(n)), h=n,
+                                              eps=eps)
     mu = [INF] * n
     if g.directed:
         for v in range(n):
@@ -104,5 +121,9 @@ def mwc_via_approx_apsp(g: Graph, eps: float = 0.5,
                         continue
                     mu[x] = min(mu[x], d_sx + d_sy + w_xy)
     value = converge_min(net, mu)
+    details = {"eps": eps, "rounds_total": net.rounds}
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details={"eps": eps, "rounds_total": net.rounds})
+                           details=details)

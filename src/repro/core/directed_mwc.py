@@ -93,8 +93,9 @@ def directed_mwc_2approx_on(
 
     # Line 3: multiple-source exact BFS from S, both directions.
     rounds0 = net.rounds
-    fwd = k_source_bfs_on(net, S)           # fwd.dist[v][s] = d(s, v)
-    rev = k_source_bfs_on(net, S, reverse=True)  # rev.dist[v][s] = d(v, s)
+    with net.phase("ksource"):
+        fwd = k_source_bfs_on(net, S)           # fwd.dist[v][s] = d(s, v)
+        rev = k_source_bfs_on(net, S, reverse=True)  # rev.dist[v][s] = d(v, s)
     details["rounds_ksource"] = net.rounds - rounds0
 
     # Line 4: cycles through sampled vertices, locally at each v:
@@ -111,9 +112,10 @@ def directed_mwc_2approx_on(
 
     # Line 5: broadcast all-pairs sampled distances d(s, t).
     rounds1 = net.rounds
-    pair_msgs = {t: [(s, t, d) for s, d in fwd.dist[t].items()] for t in S}
-    pair_rows = broadcast(net, pair_msgs)[0]
-    pair_dist = {(s, t): float(d) for (s, t, d) in pair_rows}
+    with net.phase("pair-broadcast"):
+        pair_msgs = {t: [(s, t, d) for s, d in fwd.dist[t].items()] for t in S}
+        pair_rows = broadcast(net, pair_msgs)[0]
+        pair_dist = {(s, t): float(d) for (s, t, d) in pair_rows}
     details["rounds_pair_broadcast"] = net.rounds - rounds1
 
     # Line 6: short-cycle subroutine (Algorithm 3).
@@ -127,15 +129,16 @@ def directed_mwc_2approx_on(
     )
     if params.cap is not None:
         rb_params.cap = params.cap
-    outcome = restricted_bfs(
-        net,
-        S,
-        d_from_s=fwd.dist,
-        d_to_s=rev.dist,
-        pair_dist=pair_dist,
-        params=rb_params,
-        enforce_caps=params.enforce_caps,
-    )
+    with net.phase("restricted-bfs"):
+        outcome = restricted_bfs(
+            net,
+            S,
+            d_from_s=fwd.dist,
+            d_to_s=rev.dist,
+            pair_dist=pair_dist,
+            params=rb_params,
+            enforce_caps=params.enforce_caps,
+        )
     for v in range(n):
         if outcome.mu[v] < mu[v]:
             mu[v] = outcome.mu[v]
@@ -149,6 +152,9 @@ def directed_mwc_2approx_on(
         winner = min(range(n), key=lambda v: mu[v])
         details["witness"] = _extract_witness(net, winner, anchor[winner])
     details["rounds_total"] = net.rounds
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
                            details=details)
 

@@ -134,10 +134,11 @@ def exact_mwc_congest_on(
 
     g = net.graph
     n = g.n
-    if g.weighted:
-        known, parents = apsp_weighted_on(net)
-    else:
-        known, parents = apsp_unweighted_on(net)
+    with net.phase("apsp"):
+        if g.weighted:
+            known, parents = apsp_weighted_on(net)
+        else:
+            known, parents = apsp_unweighted_on(net)
     mu = [INF] * n
     arg: List[Optional[Tuple]] = [None] * n
     if g.directed:
@@ -183,6 +184,9 @@ def exact_mwc_congest_on(
             details["witness"] = assemble_undirected_witness(g, parents, s, x, y)
         net.charge_rounds(net.diameter_upper_bound())  # announce the triple
         details["rounds_total"] = net.rounds
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
                            details=details)
 

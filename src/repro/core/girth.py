@@ -62,20 +62,22 @@ def _exchange_vectors(
 
     One synchronous step; the simulator charges ceil(len/B) rounds per link,
     i.e. O(max vector length) — the paper's O(|W|) / O(sigma) exchange.
+    Attributed to the ``"sketch-exchange"`` phase bucket under metrics.
     """
-    batch = BatchedOutbox()
-    for v in range(net.n):
-        vec = vectors[v]
-        words = max(1, 2 * len(vec))
-        for u in net.comm_neighbors(v):
-            batch.send(v, u, vec, words)
-    result: List[Dict[int, Dict[int, Tuple[float, int]]]] = [dict() for _ in range(net.n)]
-    inboxes = (net.exchange_batched(batch) if fast_path(net)
-               else net.exchange(batch.to_outboxes()))
-    for v, by_sender in inboxes.items():
-        for u, payloads in by_sender.items():
-            result[v][u] = payloads[0]
-    return result
+    with net.phase("sketch-exchange"):
+        batch = BatchedOutbox()
+        for v in range(net.n):
+            vec = vectors[v]
+            words = max(1, 2 * len(vec))
+            for u in net.comm_neighbors(v):
+                batch.send(v, u, vec, words)
+        result: List[Dict[int, Dict[int, Tuple[float, int]]]] = [dict() for _ in range(net.n)]
+        inboxes = (net.exchange_batched(batch) if fast_path(net)
+                   else net.exchange(batch.to_outboxes()))
+        for v, by_sender in inboxes.items():
+            for u, payloads in by_sender.items():
+                result[v][u] = payloads[0]
+        return result
 
 
 def _edge_candidates(
@@ -263,6 +265,9 @@ def girth_2approx_on(
         winner = min(range(n), key=lambda v: best[v])
         details["witness"] = extract_undirected_witness(net, args[winner])
     details.update({"sigma": sigma, "rounds_total": net.rounds})
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
                            details=details)
 

@@ -118,9 +118,11 @@ def k_source_bfs_on(
 
     # Line 2: h-hop BFS from S, forward (with parents, for line 9's trees)
     # and in the reversed graph.
-    fwd_known, fwd_parent = multi_source_bfs(net, S, h=h, record_parents=True,
-                                             reverse=reverse)
-    rev_known, _ = multi_source_bfs(net, S, h=h, reverse=not reverse)
+    with net.phase("skeleton-bfs"):
+        fwd_known, fwd_parent = multi_source_bfs(net, S, h=h,
+                                                 record_parents=True,
+                                                 reverse=reverse)
+        rev_known, _ = multi_source_bfs(net, S, h=h, reverse=not reverse)
     details["rounds_sample_bfs"] = net.rounds - start_rounds
 
     # Lines 4-5: skeleton edges (s -> t, d(s, t)) known at s from the
@@ -129,7 +131,8 @@ def k_source_bfs_on(
         s: [(s, t, d) for t, d in rev_known[s].items() if t in S_set and t != s]
         for s in S
     }
-    received = broadcast(net, skeleton_msgs)
+    with net.phase("skeleton-broadcast"):
+        received = broadcast(net, skeleton_msgs)
     skeleton_edges = received[0]  # identical at every node
 
     # Line 6: local APSP on the skeleton.
@@ -137,9 +140,11 @@ def k_source_bfs_on(
 
     # Line 7: h-hop BFS from the k sources; sampled vertices broadcast the
     # seed distances d(u, s) they observed (<= k |S| values).
-    src_known, _ = multi_source_bfs(net, sources, h=h, reverse=reverse)
+    with net.phase("source-bfs"):
+        src_known, _ = multi_source_bfs(net, sources, h=h, reverse=reverse)
     seed_msgs = {s: [(u, s, d) for u, d in src_known[s].items()] for s in S}
-    received = broadcast(net, seed_msgs)
+    with net.phase("seed-broadcast"):
+        received = broadcast(net, seed_msgs)
     seeds = {(u, t): float(d) for (u, t, d) in received[0]}
 
     # Line 8: d(u, s) for every source u and sampled s — computable locally
@@ -159,7 +164,8 @@ def k_source_bfs_on(
         root_values = {
             s: [(u, dus[(u, s)]) for u in sources if (u, s) in dus] for s in S
         }
-        delivered = propagate_down_trees(net, fwd_parent, root_values)
+        with net.phase("tree-propagation"):
+            delivered = propagate_down_trees(net, fwd_parent, root_values)
         for v in range(n):
             own = fwd_known[v]
             for s, (u, d_us) in delivered[v]:
@@ -180,6 +186,9 @@ def k_source_bfs_on(
                     if cand < dist[v].get(u, INF):
                         dist[v][u] = cand
     details["rounds_total"] = net.rounds - start_rounds
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     for v in range(n):
         net.state[v]["ksource_dist"] = dict(dist[v])
     return KSourceResult(dist, net.rounds, net.stats, details)
@@ -268,19 +277,24 @@ def k_source_sssp_on(
     details["sample_size"] = len(S)
     S_set = set(S)
 
-    fwd = approx_hop_sssp(net, S, h=h, eps=eps_in)
-    rev = approx_hop_sssp(net, S, h=h, eps=eps_in, reverse=True)
+    with net.phase("skeleton-sssp"):
+        fwd = approx_hop_sssp(net, S, h=h, eps=eps_in)
+        rev = approx_hop_sssp(net, S, h=h, eps=eps_in, reverse=True)
 
     skeleton_msgs = {
         s: [(s, t, d) for t, d in rev[s].items() if t in S_set and t != s]
         for s in S
     }
-    skeleton_edges = broadcast(net, skeleton_msgs)[0]
+    with net.phase("skeleton-broadcast"):
+        skeleton_edges = broadcast(net, skeleton_msgs)[0]
     skel = skeleton_apsp(skeleton_edges, S)
 
-    src_dist = approx_hop_sssp(net, sources, h=h, eps=eps_in)
+    with net.phase("source-sssp"):
+        src_dist = approx_hop_sssp(net, sources, h=h, eps=eps_in)
     seed_msgs = {s: [(u, s, d) for u, d in src_dist[s].items()] for s in S}
-    seeds = {(u, t): float(d) for (u, t, d) in broadcast(net, seed_msgs)[0]}
+    with net.phase("seed-broadcast"):
+        seeds = {(u, t): float(d)
+                 for (u, t, d) in broadcast(net, seed_msgs)[0]}
     dus = _combine_seed_and_skeleton(seeds, skel, sources, S)
 
     dist: List[Dict[int, float]] = [dict() for _ in range(n)]
@@ -296,6 +310,9 @@ def k_source_sssp_on(
                 if cand < dist[v].get(u, INF):
                     dist[v][u] = cand
     details["rounds_total"] = net.rounds
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     for v in range(n):
         net.state[v]["ksource_dist"] = dict(dist[v])
     return KSourceResult(dist, net.rounds, net.stats, details)

@@ -147,12 +147,13 @@ def undirected_weighted_mwc_approx(
     rounds0 = net.rounds
     S = sample_vertices(net.rng, n, min(1.0, params.sample_constant / h))
     details["sample_size"] = len(S)
-    est, pred = _sampled_sssp_with_skeleton(net, S, eps_in)
-    vectors = [
-        {s: (d, pred[v].get(s, -1)) for s, d in est[v].items()}
-        for v in range(n)
-    ]
-    nbr = _exchange_vectors(net, vectors)
+    with net.phase("long-cycles"):
+        est, pred = _sampled_sssp_with_skeleton(net, S, eps_in)
+        vectors = [
+            {s: (d, pred[v].get(s, -1)) for s, d in est[v].items()}
+            for v in range(n)
+        ]
+        nbr = _exchange_vectors(net, vectors)
     long_best, long_arg = _edge_candidates(g, None, vectors, nbr)
     details["rounds_long"] = net.rounds - rounds0
 
@@ -162,16 +163,17 @@ def undirected_weighted_mwc_approx(
     short_arg = None
     budget = hop_budget(h, eps_in)
     num_scales = 0
-    for i, gi in scale_ladder(g, h, eps_in):
-        num_scales += 1
-        value_i, best_i, args_i = hop_limited_girth_on(
-            net, budget=budget, weight_graph=gi)
-        if value_i != INF:
-            est = unscale_value(value_i, i, h, eps_in)
-            if est < short_value:
-                short_value = est
-                scale_winner = min(range(n), key=lambda v: best_i[v])
-                short_arg = args_i[scale_winner]
+    with net.phase("short-cycles"):
+        for i, gi in scale_ladder(g, h, eps_in):
+            num_scales += 1
+            value_i, best_i, args_i = hop_limited_girth_on(
+                net, budget=budget, weight_graph=gi)
+            if value_i != INF:
+                est = unscale_value(value_i, i, h, eps_in)
+                if est < short_value:
+                    short_value = est
+                    scale_winner = min(range(n), key=lambda v: best_i[v])
+                    short_arg = args_i[scale_winner]
     details["rounds_short"] = net.rounds - rounds1
     details["num_scales"] = num_scales
 
@@ -190,6 +192,9 @@ def undirected_weighted_mwc_approx(
     details["rounds_total"] = net.rounds
     details["long_value"] = long_value
     details["short_value"] = short_value
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
                            details=details)
 
@@ -223,7 +228,8 @@ def directed_weighted_mwc_approx(
     S = sample_vertices(net.rng, n, min(1.0, params.sample_constant / h))
     S_set = set(S)
     details["sample_size"] = len(S)
-    est, _ = _sampled_sssp_with_skeleton(net, S, eps_in)
+    with net.phase("long-cycles"):
+        est, _ = _sampled_sssp_with_skeleton(net, S, eps_in)
     long_best = [INF] * n
     anchor: List[Optional[int]] = [None] * n
     for v in range(n):
@@ -246,41 +252,44 @@ def directed_weighted_mwc_approx(
         n, rho_exponent=params.rho_exponent, cap_constant=params.cap_constant
     )
     num_scales = 0
-    for i, gi in scale_ladder(g, h, eps_in, clamp=wave_budget + 1):
-        num_scales += 1
-        fwd_i, _ = multi_source_wave(net, S, budget=wave_budget, weight_graph=gi)
-        rev_i, _ = multi_source_wave(net, S, budget=wave_budget, weight_graph=gi,
-                                     reverse=True)
-        # Pair distances among samples (line 5 analogue), per scale.
-        pair_msgs = {t: [(s, t, d) for s, d in fwd_i[t].items() if s in S_set]
-                     for t in S}
-        pair_rows = broadcast(net, pair_msgs)[0]
-        pair_dist = {(s, t): float(d) for (s, t, d) in pair_rows}
-        rb_params = RestrictedBfsParams(
-            h=budget, rho=rb_params_base.rho, cap=rb_params_base.cap,
-            beta=rb_params_base.beta,
-        )
-        outcome = restricted_bfs(
-            net, S,
-            d_from_s=fwd_i, d_to_s=rev_i, pair_dist=pair_dist,
-            params=rb_params, weight_graph=gi, trunc=wave_budget,
-        )
-        for v in range(n):
-            # Sampled-vertex cycle candidate at this scale, local at v.
-            scale_v = outcome.mu[v]
-            scale_anchor = outcome.mu_anchor[v]
-            for s, w_vs in gi.out_items(v):
-                # Clamped (over-budget) scaled edges are never candidates.
-                if s in S_set and s in fwd_i[v] and w_vs <= budget:
-                    cand = w_vs + fwd_i[v][s]
-                    if cand < scale_v:
-                        scale_v = cand
-                        scale_anchor = s
-            if scale_v != INF:
-                est_v = unscale_value(scale_v, i, h, eps_in)
-                if est_v < short_best[v]:
-                    short_best[v] = est_v
-                    short_anchor[v] = scale_anchor
+    with net.phase("short-cycles"):
+        for i, gi in scale_ladder(g, h, eps_in, clamp=wave_budget + 1):
+            num_scales += 1
+            fwd_i, _ = multi_source_wave(net, S, budget=wave_budget,
+                                         weight_graph=gi)
+            rev_i, _ = multi_source_wave(net, S, budget=wave_budget,
+                                         weight_graph=gi, reverse=True)
+            # Pair distances among samples (line 5 analogue), per scale.
+            pair_msgs = {t: [(s, t, d) for s, d in fwd_i[t].items()
+                             if s in S_set]
+                         for t in S}
+            pair_rows = broadcast(net, pair_msgs)[0]
+            pair_dist = {(s, t): float(d) for (s, t, d) in pair_rows}
+            rb_params = RestrictedBfsParams(
+                h=budget, rho=rb_params_base.rho, cap=rb_params_base.cap,
+                beta=rb_params_base.beta,
+            )
+            outcome = restricted_bfs(
+                net, S,
+                d_from_s=fwd_i, d_to_s=rev_i, pair_dist=pair_dist,
+                params=rb_params, weight_graph=gi, trunc=wave_budget,
+            )
+            for v in range(n):
+                # Sampled-vertex cycle candidate at this scale, local at v.
+                scale_v = outcome.mu[v]
+                scale_anchor = outcome.mu_anchor[v]
+                for s, w_vs in gi.out_items(v):
+                    # Clamped (over-budget) scaled edges are never candidates.
+                    if s in S_set and s in fwd_i[v] and w_vs <= budget:
+                        cand = w_vs + fwd_i[v][s]
+                        if cand < scale_v:
+                            scale_v = cand
+                            scale_anchor = s
+                if scale_v != INF:
+                    est_v = unscale_value(scale_v, i, h, eps_in)
+                    if est_v < short_best[v]:
+                        short_best[v] = est_v
+                        short_anchor[v] = scale_anchor
     details["rounds_short"] = net.rounds - rounds1
     details["num_scales"] = num_scales
 
@@ -295,5 +304,8 @@ def directed_weighted_mwc_approx(
                       else short_anchor[winner])
         details["witness"] = extract_anchored_cycle(net, winner, win_anchor)
     details["rounds_total"] = net.rounds
+    phases = net.phase_report()
+    if phases:
+        details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
                            details=details)

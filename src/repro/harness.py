@@ -40,6 +40,9 @@ class SweepRow:
     value: Optional[float] = None
     true_value: Optional[float] = None
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Per-phase round/message breakdown (see repro.obs.phases), attached
+    #: by benchmarks that run their point under metrics; persisted verbatim.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def ratio(self) -> Optional[float]:
@@ -96,6 +99,16 @@ class ExperimentReport:
         if self.notes:
             lines.append(f"  note: {self.notes}")
         return "\n".join(lines)
+
+
+def row_phases(result: Any) -> Dict[str, Dict[str, float]]:
+    """Phase breakdown of an algorithm result (empty when metrics were off).
+
+    Accepts any result object with a ``details`` dict (AlgorithmResult,
+    KSourceResult); benchmarks use this to populate :attr:`SweepRow.phases`.
+    """
+    details = getattr(result, "details", None) or {}
+    return details.get("phases") or {}
 
 
 def default_jobs() -> int:

@@ -1,0 +1,78 @@
+"""repro.obs — phase-scoped observability for the CONGEST simulator.
+
+Three layers, documented in ``docs/observability.md``:
+
+* :mod:`repro.obs.registry` — a lightweight metrics registry (counters,
+  gauges, histograms, wall-clock timers) with near-zero overhead while
+  disabled. Gate: ``REPRO_METRICS=1`` or the :func:`observing` context
+  manager.
+* :mod:`repro.obs.phases` — per-phase attribution of the simulator's own
+  round/message/word counters via ``net.phase("restricted-bfs")`` scopes;
+  attribution is *exact* (buckets sum to the flat ``NetworkStats`` totals).
+* :mod:`repro.obs.emit` — JSONL emission plus the aggregation behind the
+  ``repro metrics`` CLI subcommand and the benchmark harness's per-row
+  phase breakdowns.
+
+Enabling metrics never changes simulated results or round counts: phase
+tracking reads counters the simulator already maintains and the registry
+touches nothing the algorithms observe (asserted by the differential and
+conformance test suites).
+"""
+
+from repro.obs.emit import (
+    METRICS_PATH_ENV,
+    aggregate_phases,
+    emit_jsonl,
+    metrics_record,
+    read_jsonl,
+    summarize_phases,
+)
+from repro.obs.phases import (
+    NULL_PHASE,
+    SEP,
+    UNSCOPED,
+    PhaseAccumulator,
+    PhaseStats,
+)
+from repro.obs.registry import (
+    METRICS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    metrics_enabled,
+    observing,
+    timer,
+)
+
+__all__ = [
+    "METRICS_ENV",
+    "METRICS_PATH_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_PHASE",
+    "PhaseAccumulator",
+    "PhaseStats",
+    "SEP",
+    "Timer",
+    "UNSCOPED",
+    "aggregate_phases",
+    "counter",
+    "emit_jsonl",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "metrics_enabled",
+    "metrics_record",
+    "observing",
+    "read_jsonl",
+    "summarize_phases",
+    "timer",
+]

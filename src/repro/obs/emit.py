@@ -1,0 +1,131 @@
+"""JSONL emission and summarization of observability records.
+
+One record per simulated run, one JSON object per line — the append-only
+format every log shipper understands. A record is self-describing::
+
+    {"label": "mwc/exact", "rounds": 412, "stats": {...},
+     "phases": {"multi-bfs": {"rounds": 361, ...}, ...},
+     "metrics": {"primitives.bfs.calls": {...}}, ...}
+
+``repro metrics <file>`` (see :mod:`repro.cli`) renders the per-phase
+breakdown of such a file; the benchmark harness embeds the same phase
+dicts into sweep rows so persisted experiment JSONs carry them too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: Environment variable supplying the default JSONL sink path.
+METRICS_PATH_ENV = "REPRO_METRICS_PATH"
+
+
+def metrics_record(
+    label: str,
+    net: Any = None,
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one observability record.
+
+    ``net`` may be any object with ``rounds``, ``stats`` and
+    ``phase_report()`` (a :class:`~repro.congest.network.CongestNetwork`
+    or a delegating wrapper). ``registry`` adds an instrument snapshot;
+    ``extra`` is merged in last, so callers can stamp workload parameters.
+    """
+    record: Dict[str, Any] = {"label": label}
+    if net is not None:
+        stats = net.stats
+        record["rounds"] = net.rounds
+        record["stats"] = {
+            "steps": stats.steps,
+            "messages": stats.messages,
+            "words": stats.words,
+            "local_messages": stats.local_messages,
+            "max_link_load": stats.max_link_load,
+        }
+        record["phases"] = net.phase_report()
+    if registry is not None:
+        record["metrics"] = registry.snapshot()
+    if extra:
+        record.update(extra)
+    return record
+
+
+def emit_jsonl(record: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Append ``record`` as one JSON line to ``path`` (or the env default).
+
+    Returns the path written to. Raises :class:`ValueError` when neither
+    ``path`` nor :data:`METRICS_PATH_ENV` names a sink — emission is an
+    explicit act, never a silent no-op.
+    """
+    target = path or os.environ.get(METRICS_PATH_ENV)
+    if not target:
+        raise ValueError(
+            f"no JSONL sink: pass a path or set {METRICS_PATH_ENV}")
+    parent = os.path.dirname(os.path.abspath(target))
+    os.makedirs(parent, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, default=str)
+    # A single write of one newline-terminated line keeps concurrent
+    # appenders (process-pool sweep workers) from interleaving records.
+    with open(target, "a") as f:
+        f.write(line + "\n")
+    return target
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL file (blank lines ignored)."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSONL: {exc}") from exc
+    return records
+
+
+def aggregate_phases(records: Iterable[Dict[str, Any]]
+                     ) -> Dict[str, Dict[str, float]]:
+    """Sum per-phase counters across records (same-named buckets merge)."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        for name, stats in (record.get("phases") or {}).items():
+            bucket = totals.setdefault(
+                name, {"rounds": 0, "steps": 0, "messages": 0, "words": 0,
+                       "seconds": 0.0, "entries": 0})
+            for key in bucket:
+                bucket[key] += stats.get(key, 0)
+    return totals
+
+
+def summarize_phases(records: List[Dict[str, Any]]) -> str:
+    """Human-readable per-phase table for a list of records."""
+    totals = aggregate_phases(records)
+    if not totals:
+        return "(no phase data)"
+    total_rounds = sum(b["rounds"] for b in totals.values()) or 1
+    header = (f"{'phase':<36} {'rounds':>8} {'%':>6} {'steps':>7} "
+              f"{'messages':>9} {'words':>9} {'seconds':>8}")
+    lines = [header, "-" * len(header)]
+    for name in sorted(totals, key=lambda k: -totals[k]["rounds"]):
+        b = totals[name]
+        lines.append(
+            f"{name:<36} {int(b['rounds']):>8} "
+            f"{100.0 * b['rounds'] / total_rounds:>5.1f}% "
+            f"{int(b['steps']):>7} {int(b['messages']):>9} "
+            f"{int(b['words']):>9} {b['seconds']:>8.3f}")
+    lines.append(
+        f"{'total':<36} {sum(int(b['rounds']) for b in totals.values()):>8} "
+        f"{'':>6} {sum(int(b['steps']) for b in totals.values()):>7} "
+        f"{sum(int(b['messages']) for b in totals.values()):>9} "
+        f"{sum(int(b['words']) for b in totals.values()):>9} "
+        f"{sum(b['seconds'] for b in totals.values()):>8.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""Lightweight metrics registry: counters, gauges, histograms, timers.
+
+Design goals, in order:
+
+1. **Near-zero overhead when disabled.** Observability defaults to off;
+   every accessor (:func:`counter`, :func:`timer`, ...) then returns a
+   shared null instrument whose methods are no-ops, so an instrumented hot
+   loop pays one flag check and one attribute call — no allocation, no
+   dict lookup, no branch in the caller.
+2. **Exactness when enabled.** Instruments are plain Python attribute
+   updates with no sampling; what you read in a snapshot is exactly what
+   the code recorded.
+3. **Determinism.** Nothing here draws randomness or perturbs the
+   simulator: enabling metrics never changes rounds, messages, or results
+   (asserted by ``tests/test_differential.py``).
+
+The registry complements — not replaces — the *phase* layer in
+:mod:`repro.obs.phases`: phases attribute the simulator's own counters
+(rounds/messages/words) to algorithm stages, while the registry holds
+free-form instrument values (invocation counts, level histograms, wall
+timers) that have no simulator counterpart.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+#: Environment variable enabling observability; unset or ``"0"`` means off.
+METRICS_ENV = "REPRO_METRICS"
+
+#: Programmatic override installed by :func:`observing`; ``None`` defers to
+#: the environment.
+_FORCED: Optional[bool] = None
+
+
+def metrics_enabled() -> bool:
+    """Whether observability is globally enabled (default: no)."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(METRICS_ENV, "0") not in ("", "0")
+
+
+@contextlib.contextmanager
+def observing(enabled: bool = True) -> Iterator[None]:
+    """Force observability on or off within a block (tests, CLI, benchmarks).
+
+    Networks built inside the block pick up the setting as their default
+    ``metrics`` flag, and registry accessors hand out live instruments.
+    """
+    global _FORCED
+    previous = _FORCED
+    _FORCED = enabled
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+class Counter:
+    """Monotonically increasing count (events, calls, items)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (frontier size, queue depth)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max.
+
+    Intentionally bucket-free: the simulator's own
+    ``NetworkStats.link_load_histogram`` covers the one distribution the
+    paper's analysis needs, and count/sum/min/max answer the benchmark
+    questions (means, extremes) without tuning bucket edges.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+
+class Timer:
+    """Accumulating wall-clock timer; use as a context manager.
+
+    Non-reentrant by design (one scope at a time), which keeps the hot
+    path to two ``perf_counter`` calls and two attribute writes.
+    """
+
+    __slots__ = ("name", "count", "seconds", "_started")
+    kind = "timer"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._started is not None:
+            self.seconds += time.perf_counter() - self._started
+            self.count += 1
+            self._started = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "count": self.count, "seconds": self.seconds}
+
+
+class NullInstrument:
+    """Shared do-nothing stand-in handed out while metrics are disabled.
+
+    Implements the union of the instrument interfaces so call sites never
+    branch on the enabled flag themselves.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "NullInstrument":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+#: The singleton null instrument (allocation-free disabled path).
+NULL = NullInstrument()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+          "timer": Timer}
+
+
+class MetricsRegistry:
+    """A named collection of instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = _KINDS[kind](name)
+        elif instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {kind}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, "histogram")
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, "timer")
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict view of every instrument, for JSONL persistence."""
+        return {name: inst.as_dict()
+                for name, inst in sorted(self._instruments.items())}
+
+    def reset(self) -> None:
+        """Forget every instrument (tests and fresh benchmark sweeps)."""
+        self._instruments.clear()
+
+
+#: Process-wide default registry used by the module-level accessors.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (live even while disabled)."""
+    return _REGISTRY
+
+
+def counter(name: str):
+    """A live counter when metrics are on, the null instrument otherwise."""
+    return _REGISTRY.counter(name) if metrics_enabled() else NULL
+
+
+def gauge(name: str):
+    """A live gauge when metrics are on, the null instrument otherwise."""
+    return _REGISTRY.gauge(name) if metrics_enabled() else NULL
+
+
+def histogram(name: str):
+    """A live histogram when metrics are on, the null instrument otherwise."""
+    return _REGISTRY.histogram(name) if metrics_enabled() else NULL
+
+
+def timer(name: str):
+    """A live timer when metrics are on, the null instrument otherwise."""
+    return _REGISTRY.timer(name) if metrics_enabled() else NULL

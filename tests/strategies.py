@@ -1,5 +1,6 @@
 """Shared hypothesis strategies for randomized graph/algorithm testing."""
 
+import numpy as np
 from hypothesis import strategies as st
 
 from repro.graphs import erdos_renyi
@@ -18,3 +19,51 @@ def connected_graphs(draw, min_n=6, max_n=24, directed=False, weighted=False,
 
 def algorithm_seeds():
     return st.integers(min_value=0, max_value=10_000)
+
+
+def outboxes_for(g, rng, max_words=3):
+    """One legal random outbox dict for an exchange step on graph ``g``.
+
+    Messages carry 1..max_words words so word totals genuinely exceed
+    message counts (the conformance suite asserts words >= messages).
+    """
+    outboxes = {}
+    for u in range(g.n):
+        neighbors = list(g.neighbors(u))
+        if not neighbors or rng.random() < 0.4:
+            continue
+        chosen = rng.choice(neighbors, size=min(2, len(neighbors)),
+                            replace=False)
+        outboxes[u] = {
+            int(v): [((u, int(v), i), int(rng.integers(1, max_words + 1)))
+                     for i in range(int(rng.integers(1, 4)))]
+            for v in chosen
+        }
+    return outboxes
+
+
+@st.composite
+def message_plans(draw, g, min_steps=1, max_steps=5):
+    """A multi-step exchange plan: one outbox dict per synchronous step."""
+    steps = draw(st.integers(min_value=min_steps, max_value=max_steps))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    return [outboxes_for(g, rng) for _ in range(steps)]
+
+
+@st.composite
+def phase_scripts(draw, g, min_steps=2, max_steps=6):
+    """A message plan where every step carries a random phase context.
+
+    Each entry is ``(phase_path, outboxes)`` with ``phase_path`` a (possibly
+    empty) tuple of phase names to nest the step under — exercising scoped,
+    unscoped, and hierarchically nested attribution in one plan.
+    """
+    names = st.sampled_from(["wave", "detect", "combine", "probe"])
+    steps = draw(st.integers(min_value=min_steps, max_value=max_steps))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    script = []
+    for _ in range(steps):
+        depth = draw(st.integers(min_value=0, max_value=2))
+        path = tuple(draw(names) for _ in range(depth))
+        script.append((path, outboxes_for(g, rng)))
+    return script

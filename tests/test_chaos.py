@@ -151,3 +151,58 @@ def _bfs_without(g, source, removed):
             dist[v] = dist[u] + 1
             q.append(v)
     return dist
+
+
+class TestChaosObservabilityInterplay:
+    """Metrics are pure observers of faulted, retransmitting traffic.
+
+    The stop-and-wait retransmission protocol re-sends lost messages, and
+    the fault layer duplicates others; the flat counters must count each
+    wire copy exactly once (``stats.messages == delivered_messages``) and
+    the phase buckets must still partition the flat totals exactly.
+    """
+
+    PLAN = FaultPlan(drop_rate=0.25, duplicate_rate=0.2)
+
+    def _run(self, metrics, seed=3):
+        g = chaos_graph(seed, weighted=False)
+        net = FaultyNetwork(g, self.PLAN, seed=seed, metrics=metrics)
+        dist, _ = reliable_bfs(net, 0)
+        return g, net, dist
+
+    def test_wire_stats_match_fault_bookkeeping_exactly(self):
+        g, net, dist = self._run(metrics=True)
+        assert dist == bfs_distances(g, 0)
+        fs = net.fault_stats
+        # Retransmissions genuinely happened and genuinely got faulted.
+        assert fs.dropped_messages > 0 and fs.duplicated_messages > 0
+        # The wire counters equal what the fault layer says it delivered:
+        # no retransmission or duplicate is ever counted twice (or missed).
+        assert net.stats.messages == fs.delivered_messages
+        assert net.stats.words == fs.delivered_words
+        # And the attempts partition into delivered-or-lost (duplicates are
+        # extra wire copies of a single attempt).
+        assert (fs.delivered_messages
+                == fs.attempted_messages - fs.lost_messages()
+                + fs.duplicated_messages)
+
+    def test_phase_buckets_stay_exact_under_retransmission(self):
+        g, net, _ = self._run(metrics=True)
+        report = net.phase_report()
+        assert "bfs" in report
+        for key in ("rounds", "steps", "messages", "words"):
+            total = {"rounds": net.rounds, "steps": net.stats.steps,
+                     "messages": net.stats.messages,
+                     "words": net.stats.words}[key]
+            assert sum(b[key] for b in report.values()) == total, key
+
+    def test_metrics_do_not_perturb_the_fault_sequence(self):
+        _, plain, dist_plain = self._run(metrics=False)
+        _, traced, dist_traced = self._run(metrics=True)
+        assert dist_plain == dist_traced
+        assert plain.rounds == traced.rounds
+        assert plain.stats.messages == traced.stats.messages
+        assert plain.stats.words == traced.stats.words
+        assert plain.fault_stats.as_dict() == traced.fault_stats.as_dict()
+        assert plain.phase_report() == {}
+        assert traced.phase_report() != {}

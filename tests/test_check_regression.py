@@ -1,0 +1,103 @@
+"""The benchmark regression gate actually gates.
+
+Exercises ``benchmarks/check_regression.py`` in its file-vs-file mode: a
+clean copy of the committed baseline passes, an injected 25% round-count
+regression (or a 3x wall-clock blowup, or a silently vanished sweep point)
+exits non-zero, and unusable inputs exit with the usage code.
+"""
+
+import copy
+import json
+import os
+import sys
+
+import pytest
+
+BENCHMARKS = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks")
+BASELINE = os.path.join(BENCHMARKS, "results", "BENCH_SIMCORE.json")
+
+if BENCHMARKS not in sys.path:
+    sys.path.insert(0, BENCHMARKS)
+
+import check_regression  # noqa: E402
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture()
+def baseline_payload():
+    with open(BASELINE) as f:
+        return json.load(f)
+
+
+def _write(tmp_path, name, payload):
+    path = str(tmp_path / name)
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    return path
+
+
+def test_committed_baseline_passes_against_itself(tmp_path, baseline_payload,
+                                                  capsys):
+    fresh = _write(tmp_path, "fresh.json", baseline_payload)
+    assert check_regression.main(["--fresh", fresh]) == 0
+    out = capsys.readouterr().out
+    assert "all checks passed" in out
+    assert "FAIL" not in out
+
+
+def test_injected_25pct_round_regression_fails(tmp_path, baseline_payload,
+                                               capsys):
+    regressed = copy.deepcopy(baseline_payload)
+    victim = regressed["rows"][0]
+    victim["rounds"] = int(round(victim["rounds"] * 1.25))
+    fresh = _write(tmp_path, "regressed.json", regressed)
+    assert check_regression.main(["--fresh", fresh]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL: rounds" in out
+
+
+def test_regression_within_tolerance_passes(tmp_path, baseline_payload):
+    drifted = copy.deepcopy(baseline_payload)
+    victim = drifted["rows"][0]
+    victim["rounds"] = int(round(victim["rounds"] * 1.25))
+    fresh = _write(tmp_path, "drifted.json", drifted)
+    assert check_regression.main(
+        ["--fresh", fresh, "--max-round-drift", "0.5"]) == 0
+
+
+def test_wall_clock_blowup_fails(tmp_path, baseline_payload, capsys):
+    slow = copy.deepcopy(baseline_payload)
+    for row in slow["rows"]:
+        for field in list(row.get("extra", {})):
+            if field.endswith("_seconds"):
+                row["extra"][field] = float(row["extra"][field]) * 3.0
+    fresh = _write(tmp_path, "slow.json", slow)
+    assert check_regression.main(["--fresh", fresh]) == 1
+    assert "FAIL: wall clock" in capsys.readouterr().out
+
+
+def test_missing_sweep_point_fails(tmp_path, baseline_payload, capsys):
+    truncated = copy.deepcopy(baseline_payload)
+    truncated["rows"] = truncated["rows"][1:]
+    fresh = _write(tmp_path, "truncated.json", truncated)
+    assert check_regression.main(["--fresh", fresh]) == 1
+    assert "missing baseline points" in capsys.readouterr().out
+
+
+def test_missing_files_exit_with_usage_code(tmp_path, baseline_payload):
+    fresh = _write(tmp_path, "fresh.json", baseline_payload)
+    assert check_regression.main(
+        ["--baseline", str(tmp_path / "nope.json"), "--fresh", fresh]) == 2
+    assert check_regression.main(
+        ["--fresh", str(tmp_path / "nope.json")]) == 2
+
+
+def test_row_indexing_and_wall_totals(baseline_payload):
+    rows = check_regression.rows_by_key(baseline_payload)
+    assert rows, "committed baseline has no rows"
+    for (workload, n), row in rows.items():
+        assert row["n"] == n
+        assert row["extra"]["workload"] == workload
+    assert check_regression.wall_seconds(baseline_payload) > 0.0

@@ -1,0 +1,155 @@
+"""Property-based simulator conformance suite (hypothesis).
+
+Invariants of the accounting core under random multi-step workloads, on
+both the dict and the batched exchange paths:
+
+* the link-load histogram partitions the steps counter exactly;
+* word totals dominate message totals (every message is >= 1 word);
+* round counts compose additively across plans (accounting is memoryless);
+* phase-scoped attribution partitions the flat counters exactly — for
+  arbitrary nesting scripts, under faults, and with identical flat totals
+  whether metrics are on or off.
+"""
+
+import contextlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import CongestNetwork
+from repro.congest.batch import BatchedOutbox
+from repro.congest.faults import FaultPlan, FaultyNetwork
+from repro.obs import UNSCOPED
+
+from tests.strategies import connected_graphs, message_plans, phase_scripts
+
+pytestmark = pytest.mark.fast
+
+FLAT_KEYS = ("rounds", "steps", "messages", "words")
+
+
+def _flat(net):
+    s = net.stats
+    return {"rounds": net.rounds, "steps": s.steps,
+            "messages": s.messages, "words": s.words}
+
+
+def _run_step(net, outboxes, batched):
+    if not outboxes:
+        return
+    if batched:
+        batch = BatchedOutbox()
+        for u in sorted(outboxes):
+            for v in sorted(outboxes[u]):
+                for payload, words in outboxes[u][v]:
+                    batch.send(u, v, payload, words)
+        net.exchange_batched(batch)
+    else:
+        net.exchange(outboxes)
+
+
+def _run_plan(net, plan, batched=False):
+    for outboxes in plan:
+        _run_step(net, outboxes, batched)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_histogram_partitions_steps_and_words_dominate_messages(data):
+    g = data.draw(connected_graphs(min_n=6, max_n=16))
+    plan = data.draw(message_plans(g))
+    for batched in (False, True):
+        net = CongestNetwork(g)
+        _run_plan(net, plan, batched=batched)
+        hist = net.stats.link_load_histogram
+        assert sum(hist.values()) == net.stats.steps
+        assert all(load >= 1 for load in hist)
+        assert net.stats.words >= net.stats.messages
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_rounds_compose_additively_across_plans(data):
+    g = data.draw(connected_graphs(min_n=6, max_n=14))
+    plan_a = data.draw(message_plans(g, max_steps=3))
+    plan_b = data.draw(message_plans(g, max_steps=3))
+    whole = CongestNetwork(g)
+    _run_plan(whole, plan_a)
+    _run_plan(whole, plan_b)
+    part_a = CongestNetwork(g)
+    _run_plan(part_a, plan_a)
+    part_b = CongestNetwork(g)
+    _run_plan(part_b, plan_b)
+    assert whole.rounds == part_a.rounds + part_b.rounds
+    assert whole.stats.steps == part_a.stats.steps + part_b.stats.steps
+    assert whole.stats.words == part_a.stats.words + part_b.stats.words
+
+
+def _run_script(net, script, batched=False):
+    for path, outboxes in script:
+        with contextlib.ExitStack() as stack:
+            for name in path:
+                stack.enter_context(net.phase(name))
+            _run_step(net, outboxes, batched)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_phase_attribution_partitions_flat_totals_exactly(data):
+    """The tentpole exactness contract: buckets sum to the flat counters."""
+    g = data.draw(connected_graphs(min_n=6, max_n=14))
+    script = data.draw(phase_scripts(g))
+    for batched in (False, True):
+        net = CongestNetwork(g, metrics=True)
+        _run_script(net, script, batched=batched)
+        report = net.phase_report()
+        flat = _flat(net)
+        for key in FLAT_KEYS:
+            assert sum(b[key] for b in report.values()) == flat[key], key
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_phase_attribution_exact_under_faults(data):
+    """Drops and duplicates change wire traffic; attribution stays exact."""
+    g = data.draw(connected_graphs(min_n=6, max_n=12))
+    script = data.draw(phase_scripts(g))
+    plan = FaultPlan(drop_rate=0.3, duplicate_rate=0.3)
+    net = FaultyNetwork(g, plan=plan, seed=data.draw(st.integers(0, 1000)),
+                        metrics=True)
+    _run_script(net, script)
+    report = net.phase_report()
+    flat = _flat(net)
+    for key in FLAT_KEYS:
+        assert sum(b[key] for b in report.values()) == flat[key], key
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_metrics_never_change_the_flat_accounting(data):
+    g = data.draw(connected_graphs(min_n=6, max_n=14))
+    script = data.draw(phase_scripts(g))
+    plain = CongestNetwork(g, metrics=False)
+    _run_plan(plain, [outboxes for _, outboxes in script])
+    traced = CongestNetwork(g, metrics=True)
+    _run_script(traced, script)
+    assert _flat(plain) == _flat(traced)
+    assert plain.stats.link_load_histogram == traced.stats.link_load_histogram
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_unscoped_bucket_collects_exactly_the_bare_steps(data):
+    g = data.draw(connected_graphs(min_n=6, max_n=12))
+    script = data.draw(phase_scripts(g))
+    net = CongestNetwork(g, metrics=True)
+    _run_script(net, script)
+    bare = CongestNetwork(g)
+    for path, outboxes in script:
+        if not path:
+            _run_step(bare, outboxes, batched=False)
+    report = net.phase_report()
+    unscoped = report.get(UNSCOPED, {"rounds": 0, "words": 0})
+    assert unscoped["rounds"] == bare.rounds
+    assert unscoped["words"] == bare.stats.words

@@ -1,0 +1,243 @@
+"""Differential testing: every distributed algorithm vs sequential truth.
+
+Each algorithm runs on seeded graph families under six simulator
+configurations — scalar dict exchange, batched exchange, both again with
+metrics instrumentation enabled, under a TraceRecorder, and on a zero-plan
+FaultyNetwork. All configurations must be bit-for-bit identical in results
+AND round counts, and must match the sequential ground truth. This pins
+down the core contract of the observability layer: instrumentation, trace
+capture, and the fault harness are pure observers.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.congest.batch import batching
+from repro.congest.faults import FaultPlan, FaultyNetwork
+from repro.congest.trace import TraceRecorder
+from repro.core.directed_mwc import directed_mwc_2approx_on
+from repro.core.exact_mwc import (
+    apsp_unweighted_on,
+    apsp_weighted_on,
+    exact_mwc_congest_on,
+)
+from repro.core.girth import girth_2approx_on
+from repro.core.ksource import k_source_bfs_on, k_source_sssp_on
+from repro.core.weighted_mwc import (
+    directed_weighted_mwc_approx,
+    undirected_weighted_mwc_approx,
+)
+from repro.graphs import (
+    cycle_with_chords,
+    erdos_renyi,
+    grid_graph,
+    random_weighted,
+)
+from repro.obs import observing
+from repro.sequential import (
+    all_pairs_shortest_paths,
+    exact_girth,
+    exact_mwc,
+    k_source_distances,
+)
+
+pytestmark = pytest.mark.fast
+
+INF = float("inf")
+
+CONFIGS = ("scalar", "batched", "scalar-metrics", "batched-metrics",
+           "traced", "faulty")
+
+
+@contextlib.contextmanager
+def configured_network(g, config, seed=0):
+    """A network plus ambient simulator state for one matrix cell."""
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(batching(config.startswith("batched")))
+        if config.endswith("metrics"):
+            stack.enter_context(observing())
+        if config == "faulty":
+            net = FaultyNetwork(g, plan=FaultPlan(), seed=seed)
+        else:
+            net = CongestNetwork(g, seed=seed)
+        if config == "traced":
+            stack.enter_context(TraceRecorder(net))
+        yield net
+
+
+def _dist_table(dist, n, sources):
+    return tuple(tuple(dist[v].get(u, INF) for u in sources)
+                 for v in range(n))
+
+
+def _run_exact_mwc(net):
+    return exact_mwc_congest_on(net).value
+
+
+def _check_exact_mwc(g, value):
+    assert value == exact_mwc(g)
+
+
+def _run_girth(net):
+    return girth_2approx_on(net).value
+
+
+def _check_girth(g, value):
+    gt = exact_girth(g)
+    assert gt <= value <= 2 * gt
+
+
+def _run_directed_mwc(net):
+    return directed_mwc_2approx_on(net).value
+
+
+def _check_directed_mwc(g, value):
+    gt = exact_mwc(g)
+    assert gt <= value <= 2 * gt
+
+
+KSOURCE_SOURCES = (0, 3, 7)
+
+
+def _run_ksource(net):
+    res = k_source_bfs_on(net, list(KSOURCE_SOURCES))
+    return _dist_table(res.dist, net.n, KSOURCE_SOURCES)
+
+
+def _check_ksource(g, table):
+    ref = k_source_distances(g, list(KSOURCE_SOURCES))
+    for v in range(g.n):
+        for j, u in enumerate(KSOURCE_SOURCES):
+            assert table[v][j] == ref[u][v], (u, v)
+
+
+SSSP_EPS = 0.5
+
+
+def _run_ksource_sssp(net):
+    res = k_source_sssp_on(net, list(KSOURCE_SOURCES), eps=SSSP_EPS)
+    return _dist_table(res.dist, net.n, KSOURCE_SOURCES)
+
+
+def _check_ksource_sssp(g, table):
+    ref = k_source_distances(g, list(KSOURCE_SOURCES))
+    for v in range(g.n):
+        for j, u in enumerate(KSOURCE_SOURCES):
+            assert ref[u][v] <= table[v][j] <= (1 + SSSP_EPS) * ref[u][v], (u, v)
+
+
+def _run_apsp_unweighted(net):
+    dist, _ = apsp_unweighted_on(net)
+    return _dist_table(dist, net.n, range(net.n))
+
+
+def _run_apsp_weighted(net):
+    dist, _ = apsp_weighted_on(net)
+    return _dist_table(dist, net.n, range(net.n))
+
+
+def _check_apsp(g, table):
+    ref = all_pairs_shortest_paths(g)
+    for u in range(g.n):
+        for v in range(g.n):
+            assert table[v][u] == ref[u][v], (u, v)
+
+
+CASES = {
+    "exact-mwc/weighted":
+        (lambda: random_weighted(12, 0.3, 6, seed=3),
+         _run_exact_mwc, _check_exact_mwc),
+    "exact-mwc/chords":
+        (lambda: cycle_with_chords(12, 3, seed=1),
+         _run_exact_mwc, _check_exact_mwc),
+    "exact-mwc/grid":
+        (lambda: grid_graph(3, 4),
+         _run_exact_mwc, _check_exact_mwc),
+    "exact-mwc/directed":
+        (lambda: random_weighted(10, 0.35, 5, directed=True, seed=5),
+         _run_exact_mwc, _check_exact_mwc),
+    "girth-2approx":
+        (lambda: erdos_renyi(14, 0.2, seed=2),
+         _run_girth, _check_girth),
+    "directed-mwc-2approx":
+        (lambda: erdos_renyi(12, 0.2, directed=True, seed=7),
+         _run_directed_mwc, _check_directed_mwc),
+    "ksource-bfs":
+        (lambda: erdos_renyi(16, 0.18, directed=True, seed=4),
+         _run_ksource, _check_ksource),
+    "ksource-sssp":
+        (lambda: random_weighted(14, 0.22, 7, seed=9),
+         _run_ksource_sssp, _check_ksource_sssp),
+    "apsp-unweighted":
+        (lambda: erdos_renyi(12, 0.2, directed=True, seed=6),
+         _run_apsp_unweighted, _check_apsp),
+    "apsp-weighted":
+        (lambda: random_weighted(10, 0.3, 6, seed=8),
+         _run_apsp_weighted, _check_apsp),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_all_configs_agree_and_match_ground_truth(case):
+    factory, run, check = CASES[case]
+    g = factory()
+    outcomes = {}
+    for config in CONFIGS:
+        with configured_network(g, config) as net:
+            outcome = run(net)
+            outcomes[config] = (outcome, net.rounds, net.stats.messages,
+                                net.stats.words)
+            if net.metrics_active:
+                report = net.phase_report()
+                assert sum(b["rounds"] for b in report.values()) == net.rounds
+        check(g, outcome)
+    baseline = outcomes["scalar"]
+    for config, observed in outcomes.items():
+        assert observed == baseline, config
+
+
+AMBIENT_CONFIGS = ("scalar", "batched", "scalar-metrics", "batched-metrics")
+
+WEIGHTED_APPROX = {
+    "undirected": (lambda: random_weighted(16, 0.2, 8, seed=11),
+                   undirected_weighted_mwc_approx),
+    "directed": (lambda: random_weighted(14, 0.25, 8, directed=True, seed=12),
+                 directed_weighted_mwc_approx),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(WEIGHTED_APPROX))
+def test_weighted_approx_mwc_agrees_across_ambient_configs(kind):
+    """The (2+eps) solvers build their own network, so the matrix axis is
+    the ambient state: exchange path x metrics instrumentation."""
+    factory, solve = WEIGHTED_APPROX[kind]
+    g = factory()
+    gt = exact_mwc(g)
+    outcomes = {}
+    for config in AMBIENT_CONFIGS:
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(batching(config.startswith("batched")))
+            if config.endswith("metrics"):
+                stack.enter_context(observing())
+            res = solve(g, seed=0)
+        outcomes[config] = (res.value, res.rounds, res.stats.messages,
+                            res.stats.words)
+        assert gt <= res.value <= (2 + 0.5) * gt or (gt == INF
+                                                     and res.value == INF)
+    baseline = outcomes["scalar"]
+    for config, observed in outcomes.items():
+        assert observed == baseline, config
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_faulty_zero_plan_is_fully_transparent(config):
+    """A second axis on one workload: fault bookkeeping under every config
+    still records that nothing was dropped or duplicated."""
+    g = cycle_with_chords(12, 3, seed=1)
+    with configured_network(g, config) as net:
+        exact_mwc_congest_on(net)
+        if isinstance(net, FaultyNetwork):
+            assert net.fault_stats.dropped_messages == 0
+            assert net.fault_stats.duplicated_messages == 0

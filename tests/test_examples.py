@@ -23,7 +23,7 @@ def run_example(name):
     "deadlock_detection.py",
     "network_cycle_monitor.py",
     "landmark_routing.py",
-    "paper_table.py",
+    pytest.param("paper_table.py", marks=pytest.mark.slow),
     "lower_bound_tour.py",
 ])
 def test_example_runs(name, capsys):

@@ -101,6 +101,7 @@ class TestGirthApproximation:
 
 
 class TestGirthRounds:
+    @pytest.mark.slow
     def test_rounds_scale_like_sqrt_n_on_bounded_diameter(self):
         """Measured rounds grow ~sqrt(n) on constant-diameter graphs."""
         rounds = []

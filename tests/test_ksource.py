@@ -119,6 +119,7 @@ class TestMethodSelection:
         assert default_h(1, 0) == 1
 
 
+@pytest.mark.slow
 class TestRoundScaling:
     def test_rounds_sublinear_for_many_sources_on_cycle(self):
         """On an n-cycle with k sources, Algorithm 1 beats k * ecc.

@@ -1,0 +1,251 @@
+"""Unit tests for the repro.obs observability layer.
+
+Registry instruments, the gating contextmanager, phase-accumulator
+arithmetic, the network integration surface, and JSONL emission. The
+statistical invariants (exact attribution under random workloads) live in
+test_conformance.py; these are the direct behavioural contracts.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.graphs import cycle_graph
+from repro.obs import (
+    METRICS_ENV,
+    MetricsRegistry,
+    NULL_PHASE,
+    PhaseAccumulator,
+    UNSCOPED,
+    aggregate_phases,
+    counter,
+    emit_jsonl,
+    get_registry,
+    histogram,
+    metrics_enabled,
+    metrics_record,
+    observing,
+    read_jsonl,
+    summarize_phases,
+    timer,
+)
+from repro.obs.registry import NULL
+
+
+pytestmark = pytest.mark.fast
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_timer(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(4)
+        g = reg.gauge("g")
+        g.set(7)
+        h = reg.histogram("h")
+        for v in (1, 2, 3):
+            h.observe(v)
+        with reg.timer("t"):
+            pass
+        snap = reg.snapshot()
+        assert snap["c"]["value"] == 5
+        assert snap["g"]["value"] == 7
+        assert snap["h"]["count"] == 3
+        assert snap["h"]["min"] == 1 and snap["h"]["max"] == 3
+        assert snap["h"]["mean"] == pytest.approx(2.0)
+        assert snap["t"]["count"] == 1
+        assert snap["t"]["seconds"] >= 0.0
+
+    def test_get_or_create_is_idempotent_but_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_reset_clears_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert len(reg) == 1 and "x" in reg
+        reg.reset()
+        assert len(reg) == 0 and "x" not in reg
+
+    def test_module_accessors_return_null_when_disabled(self, monkeypatch):
+        monkeypatch.delenv(METRICS_ENV, raising=False)
+        assert not metrics_enabled()
+        assert counter("nope") is NULL
+        assert histogram("nope") is NULL
+        # NULL swallows every instrument operation, including timing scopes.
+        NULL.inc()
+        NULL.set(3)
+        NULL.observe(1)
+        with NULL:
+            pass
+
+    def test_observing_enables_and_restores(self, monkeypatch):
+        monkeypatch.delenv(METRICS_ENV, raising=False)
+        assert not metrics_enabled()
+        with observing():
+            assert metrics_enabled()
+            c = counter("obs.test.counter")
+            assert c is not NULL
+            c.inc()
+            assert get_registry().snapshot()["obs.test.counter"]["value"] == 1
+        assert not metrics_enabled()
+
+    def test_observing_false_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(METRICS_ENV, "1")
+        assert metrics_enabled()
+        with observing(False):
+            assert not metrics_enabled()
+        assert metrics_enabled()
+
+    def test_timer_accumulates_across_scopes(self):
+        reg = MetricsRegistry()
+        t = reg.timer("t")
+        with t:
+            pass
+        with t:
+            pass
+        assert reg.snapshot()["t"]["count"] == 2
+
+
+class TestPhaseAccumulator:
+    def test_attribution_and_nesting(self):
+        acc = PhaseAccumulator((0, 0, 0, 0, 0.0))
+        acc.enter("a", (0, 0, 0, 0, 0.0))
+        acc.enter("b", (2, 1, 5, 5, 0.0))      # 2 rounds inside "a"
+        acc.exit((5, 2, 8, 9, 0.0))            # 3 rounds inside "a/b"
+        acc.exit((6, 3, 9, 10, 0.0))           # 1 round in "a" tail
+        report = acc.report((8, 4, 10, 12, 0.0))  # 2 unscoped rounds
+        assert report["a"]["rounds"] == 3
+        assert report["a/b"]["rounds"] == 3
+        assert report[UNSCOPED]["rounds"] == 2
+        assert sum(b["rounds"] for b in report.values()) == 8
+        assert sum(b["words"] for b in report.values()) == 12
+        assert report["a"]["entries"] == 1
+        assert report["a/b"]["entries"] == 1
+
+    def test_idle_time_outside_phases_is_not_attributed(self):
+        acc = PhaseAccumulator((0, 0, 0, 0, 0.0))
+        # Wall clock advances but no counters move and no phase is open:
+        # nothing should be recorded anywhere.
+        report = acc.report((0, 0, 0, 0, 5.0))
+        assert report == {}
+
+    def test_pure_wall_time_inside_phase_is_attributed(self):
+        acc = PhaseAccumulator((0, 0, 0, 0, 0.0))
+        acc.enter("think", (0, 0, 0, 0, 0.0))
+        acc.exit((0, 0, 0, 0, 2.5))
+        report = acc.report((0, 0, 0, 0, 2.5))
+        assert report["think"]["seconds"] == pytest.approx(2.5)
+        assert report["think"]["rounds"] == 0
+
+
+class TestNetworkIntegration:
+    def test_disabled_network_returns_null_phase_and_empty_report(self):
+        net = CongestNetwork(cycle_graph(6), metrics=False)
+        assert not net.metrics_active
+        assert net.phase("anything") is NULL_PHASE
+        assert net.phase_report() == {}
+
+    def test_ambient_gate_controls_new_networks(self):
+        with observing():
+            net = CongestNetwork(cycle_graph(6))
+            assert net.metrics_active
+        net2 = CongestNetwork(cycle_graph(6))
+        assert not net2.metrics_active
+
+    def test_enable_metrics_is_idempotent_and_starts_fresh(self):
+        net = CongestNetwork(cycle_graph(6), metrics=False)
+        net.exchange({0: {1: [("pre", 1)]}})
+        net.enable_metrics()
+        acc = net._phases
+        net.enable_metrics()
+        assert net._phases is acc  # second call is a no-op
+        with net.phase("p"):
+            net.exchange({1: {2: [("in", 1)]}})
+        report = net.phase_report()
+        # Pre-enable traffic is invisible; only the scoped step shows up.
+        assert sum(b["rounds"] for b in report.values()) == 1
+        assert report["p"]["messages"] == 1
+
+    def test_reset_accounting_resets_phase_baseline(self):
+        net = CongestNetwork(cycle_graph(6), metrics=True)
+        net.exchange({0: {1: [("x", 1)]}})
+        net.reset_accounting()
+        with net.phase("after"):
+            net.exchange({0: {1: [("y", 1)]}})
+        report = net.phase_report()
+        assert sum(b["rounds"] for b in report.values()) == net.rounds == 1
+        assert report["after"]["rounds"] == 1
+
+    def test_exception_inside_phase_still_closes_scope(self):
+        net = CongestNetwork(cycle_graph(6), metrics=True)
+        with pytest.raises(RuntimeError):
+            with net.phase("boom"):
+                net.exchange({0: {1: [("x", 1)]}})
+                raise RuntimeError("boom")
+        net.exchange({1: {2: [("y", 1)]}})
+        report = net.phase_report()
+        assert report["boom"]["rounds"] == 1
+        assert report[UNSCOPED]["rounds"] == 1
+
+
+class TestEmission:
+    def test_emit_and_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        emit_jsonl({"label": "a", "rounds": 3}, path)
+        emit_jsonl({"label": "b", "rounds": 4}, path)
+        records = read_jsonl(path)
+        assert [r["label"] for r in records] == ["a", "b"]
+
+    def test_emit_requires_a_sink(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS_PATH", raising=False)
+        with pytest.raises(ValueError):
+            emit_jsonl({"label": "x"})
+
+    def test_emit_uses_env_sink(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv("REPRO_METRICS_PATH", path)
+        assert emit_jsonl({"label": "x"}) == path
+        assert read_jsonl(path)[0]["label"] == "x"
+
+    def test_read_rejects_invalid_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError):
+            read_jsonl(str(path))
+
+    def test_metrics_record_from_network(self):
+        net = CongestNetwork(cycle_graph(6), metrics=True)
+        with net.phase("p"):
+            net.exchange({0: {1: [("x", 1)]}})
+        reg = MetricsRegistry()
+        reg.counter("calls").inc()
+        record = metrics_record("lbl", net=net, registry=reg,
+                                extra={"n": 6})
+        assert record["label"] == "lbl"
+        assert record["rounds"] == 1
+        assert record["stats"]["messages"] == 1
+        assert record["phases"]["p"]["rounds"] == 1
+        assert record["metrics"]["calls"]["value"] == 1
+        assert record["n"] == 6
+        # Records are JSON-serializable as-is (the JSONL contract).
+        json.loads(json.dumps(record))
+
+    def test_aggregate_and_summarize(self):
+        records = [
+            {"phases": {"a": {"rounds": 2, "steps": 1, "messages": 3,
+                              "words": 3, "seconds": 0.1, "entries": 1}}},
+            {"phases": {"a": {"rounds": 1, "steps": 1, "messages": 1,
+                              "words": 1, "seconds": 0.1, "entries": 1}},
+             "label": "x"},
+        ]
+        totals = aggregate_phases(records)
+        assert totals["a"]["rounds"] == 3
+        text = summarize_phases(records)
+        assert "a" in text and "rounds" in text
+        assert summarize_phases([]) == "(no phase data)"

@@ -49,6 +49,7 @@ class TestExactSolver:
         assert outcome["k_bits"] == 36
 
 
+@pytest.mark.slow
 class TestApproximateSolverOnAlphaFamily:
     """A 2-approximation decides the alpha = 8 family (gap ratio > 8 > 2):
     exactly the inapproximability direction of Theorem 1.2.B."""
