@@ -1,18 +1,20 @@
-"""EXP BENCH_SIMCORE — batched-exchange fast path: parity and speedup.
+"""EXP BENCH_SIMCORE — exchange fast paths: parity and speedup.
 
-Every point runs the same algorithm three times — with the columnar batched
-exchange disabled (the dict reference path), with it enabled, and with
-phase-scoped metrics on — and asserts the simulation is observationally
-identical: same rounds, same message and word totals. Wall times of all
-paths are recorded in the persisted JSON, which doubles as the performance
-log behind docs/performance.md and docs/observability.md; the traced run's
-phase breakdown is attached to each row.
+Every point runs the same algorithm four times — with the columnar batched
+exchange disabled (the dict reference path), with it enabled (kernel engine
+off), with the vectorized kernel engine on top of it, and with phase-scoped
+metrics on — and asserts the simulation is observationally identical: same
+rounds, same message and word totals. Wall times of all paths are recorded
+in the persisted JSON, which doubles as the performance log behind
+docs/performance.md and docs/observability.md; the traced run's phase
+breakdown is attached to each row.
 
 The checked-in ``benchmarks/results/BENCH_SIMCORE.json`` is a golden
 baseline: CI re-runs this sweep (with ``--jobs 2``) and fails if any round
-count drifts from it, fencing the simulator core and the fast path at once;
-``benchmarks/check_regression.py`` applies the same file as a standalone
-regression gate (rounds within 20%, wall clock within 2x).
+count drifts from it, fencing the simulator core and the fast paths at
+once; ``benchmarks/check_regression.py`` applies the same file as a
+standalone regression gate (rounds within 20%, wall clock within 2x over
+the fields both reports record).
 """
 
 import json
@@ -21,6 +23,7 @@ import time
 
 from conftest import sparse_weighted
 from repro.congest.batch import batching
+from repro.congest.kernels import engaged_runs, kernels
 from repro.core.exact_mwc import exact_mwc_congest
 from repro.core.ksource import k_source_bfs
 from repro.graphs import cycle_with_chords
@@ -36,6 +39,7 @@ POINTS = [
     ("mwc", 96),
     ("ksource", 24),
     ("ksource", 40),
+    ("ksource", 96),
 ]
 
 
@@ -53,17 +57,28 @@ def _point(idx: int) -> SweepRow:
     kind, size = POINTS[idx]
     timings = {}
     observed = {}
-    for label, enabled in (("dict", False), ("batch", True)):
-        with batching(enabled):
+    for label, batch_on, kernel_on in (
+        ("dict", False, False),
+        ("batch", True, False),
+        ("kernel", True, True),
+    ):
+        engaged_before = engaged_runs()
+        with batching(batch_on), kernels(kernel_on):
             start = time.perf_counter()
             res = _run(kind, size)
             timings[label] = time.perf_counter() - start
+        if label == "kernel":
+            # A silently-fallen-back kernel run would record a meaningless
+            # timing; fail loudly instead (CI asserts this too).
+            assert engaged_runs() > engaged_before, (
+                "kernel engine never engaged", kind, size)
         observed[label] = (res.rounds, res.stats.messages, res.stats.words)
     assert observed["batch"] == observed["dict"], (kind, size, observed)
-    # Third run with phase metrics on: the observed simulation must be
+    assert observed["kernel"] == observed["dict"], (kind, size, observed)
+    # Final run with phase metrics on: the observed simulation must be
     # bit-identical (observability never perturbs the workload), and the
     # phase breakdown rides along in the persisted row.
-    with batching(True), observing():
+    with batching(True), kernels(True), observing():
         start = time.perf_counter()
         traced = _run(kind, size)
         timings["traced"] = time.perf_counter() - start
@@ -76,6 +91,7 @@ def _point(idx: int) -> SweepRow:
         extra={"workload": kind, "messages": messages, "words": words,
                "dict_seconds": round(timings["dict"], 4),
                "batch_seconds": round(timings["batch"], 4),
+               "kernel_seconds": round(timings["kernel"], 4),
                "traced_seconds": round(timings["traced"], 4)},
         phases=row_phases(traced))
 

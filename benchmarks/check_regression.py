@@ -72,6 +72,34 @@ def wall_seconds(payload: Dict[str, Any]) -> float:
     return total
 
 
+def common_wall_seconds(
+    base_rows: Dict[RowKey, Dict[str, Any]],
+    fresh_rows: Dict[RowKey, Dict[str, Any]],
+) -> Tuple[float, float, list]:
+    """Wall totals over the rows *and* ``*_seconds`` fields both sides record.
+
+    A fresh report that adds sweep points or timing columns (e.g. a new
+    ``kernel_seconds`` lane) must not be penalized for the extra
+    measurements; only like-for-like time is compared. Returns
+    ``(base_total, fresh_total, fresh_only_fields)``.
+    """
+    base_total = 0.0
+    fresh_total = 0.0
+    fresh_only = set()
+    for key in set(base_rows) & set(fresh_rows):
+        base_extra = base_rows[key].get("extra", {})
+        fresh_extra = fresh_rows[key].get("extra", {})
+        for field, value in fresh_extra.items():
+            if not field.endswith("_seconds"):
+                continue
+            if field in base_extra:
+                base_total += float(base_extra[field])
+                fresh_total += float(value)
+            else:
+                fresh_only.add(field)
+    return base_total, fresh_total, sorted(fresh_only)
+
+
 def run_fresh_sweep() -> Dict[str, Any]:
     """Run the BENCH_SIMCORE sweep in-process; returns a report payload."""
     _ensure_importable()
@@ -121,16 +149,22 @@ def compare(
               f"baseline={base_r:g} fresh={fresh_r:g} drift={drift:.1%} "
               f"(limit {max_round_drift:.0%})")
 
-    base_wall = wall_seconds(baseline)
-    fresh_wall = wall_seconds(fresh)
+    base_wall, fresh_wall, fresh_only = common_wall_seconds(
+        base_rows, fresh_rows)
+    if fresh_only:
+        print(f"note: fresh-only timing fields excluded from the wall "
+              f"check: {fresh_only}")
     if base_wall > 0:
+        # Only slowdowns fail; a ratio below 1 is an improvement and always
+        # passes (it is the point of a perf PR, not drift).
         ratio = fresh_wall / base_wall
         verdict = "ok" if ratio <= max_wall_ratio else "FAIL"
         if verdict == "FAIL":
             failures += 1
+        label = " (improvement)" if ratio < 1.0 else ""
         print(f"{verdict}: wall clock baseline={base_wall:.3f}s "
               f"fresh={fresh_wall:.3f}s ratio={ratio:.2f}x "
-              f"(limit {max_wall_ratio:g}x)")
+              f"(limit {max_wall_ratio:g}x){label}")
     else:
         print("note: baseline records no wall clock; skipping the wall check")
     return failures

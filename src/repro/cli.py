@@ -46,6 +46,33 @@ def _add_max_rounds(p: argparse.ArgumentParser) -> None:
              "exceeds R CONGEST rounds (default: unbounded)")
 
 
+def _add_engine(p: argparse.ArgumentParser) -> None:
+    """Attach the standard --engine exchange-path selector."""
+    p.add_argument(
+        "--engine", default="auto",
+        choices=("auto", "kernel", "batch", "dict"),
+        help="simulator execution engine: 'kernel' forces the vectorized "
+             "multi-wave kernel (implies batching), 'batch' the columnar "
+             "exchange without kernels, 'dict' the scalar reference path, "
+             "'auto' (default) honors REPRO_KERNELS/REPRO_BATCH")
+
+
+def _engine_scope(args):
+    """Ambient batching/kernels overrides for the selected --engine."""
+    import contextlib
+
+    from repro.congest.batch import batching
+    from repro.congest.kernels import kernels
+
+    engine = getattr(args, "engine", "auto")
+    if engine == "auto":
+        return contextlib.nullcontext()
+    stack = contextlib.ExitStack()
+    stack.enter_context(batching(engine in ("kernel", "batch")))
+    stack.enter_context(kernels(engine == "kernel"))
+    return stack
+
+
 def _add_metrics(p: argparse.ArgumentParser) -> None:
     """Attach the standard --metrics / --metrics-out options."""
     p.add_argument(
@@ -77,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also construct a witness cycle (exact only)")
     _add_seed(p)
     _add_max_rounds(p)
+    _add_engine(p)
     _add_metrics(p)
 
     p = sub.add_parser("apsp", help="distributed APSP")
@@ -86,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.5)
     _add_seed(p)
     _add_max_rounds(p)
+    _add_engine(p)
     _add_metrics(p)
 
     p = sub.add_parser("generate", help="generate a workload graph")
@@ -417,7 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         # Commands that simulate CONGEST executions honor --max-rounds by
         # installing an ambient round budget on every network they build.
-        with round_budget(getattr(args, "max_rounds", None)):
+        with round_budget(getattr(args, "max_rounds", None)), \
+                _engine_scope(args):
             return handlers[args.command](args)
     except RoundBudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -44,6 +44,7 @@ from repro.congest.faults import (
     LinkOutage,
     NodeCrash,
 )
+from repro.congest.kernels import kernel_path, kernels, kernels_enabled
 from repro.congest.network import (
     BandwidthExceeded,
     CongestNetwork,
@@ -60,6 +61,9 @@ __all__ = [
     "NetworkStats",
     "RoundBudgetExceeded",
     "round_budget",
+    "kernel_path",
+    "kernels",
+    "kernels_enabled",
     "Corrupted",
     "FaultPlan",
     "FaultStats",

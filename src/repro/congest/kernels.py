@@ -1,0 +1,402 @@
+"""Vectorized multi-wave kernel engine for the CONGEST simulator.
+
+Every headline algorithm of the paper runs *many* simultaneous BFS/SSSP
+waves — n-source APSP, k-source skeleton BFS, weight-limited waves on the
+scaled graphs of §5 — and the scalar implementations of those primitives
+spend their time in Python loops over (source, frontier-vertex, neighbor)
+triples. This module advances *all* waves of a sweep per round with numpy
+array operations over a cached CSR adjacency
+(:meth:`repro.graphs.graph.Graph.csr`), computing the full columnar outbox
+directly from dense frontier arrays and feeding it to
+:meth:`~repro.congest.network.CongestNetwork.exchange_batched`.
+
+Parity contract
+---------------
+The kernel changes how outboxes are *constructed*, never how they are
+*accounted*: per round it emits the exact message multiset of the scalar
+path in the exact sender-major order, so rounds, messages, words,
+``NetworkStats``, and phase buckets are bit-identical, and the returned
+``known``/``parent`` dicts match the scalar path's bit for bit *including
+key insertion order* (downstream code iterates these dicts, so even
+iteration order must agree). The correspondence:
+
+* the per-node heap pop of the smallest fresh ``(d, s)`` pair equals a
+  masked row-argmin over a dense pending matrix keyed ``d * K + col`` with
+  columns sorted by ascending source id;
+* the sequential strict-improvement relaxation of the delivered stream
+  equals a stable lexsort by ``(cell, d)``: the winner per cell is the
+  first stream message attaining the overall minimum (the scalar path's
+  final value and parent), while the *first improving* message's stream
+  position fixes the dict insertion order;
+* termination, step caps, and error messages mirror each caller exactly.
+
+``tests/test_kernels.py`` enforces all of this property-based.
+
+Gating mirrors :mod:`repro.congest.batch`: the engine engages only when
+:func:`kernel_path` answers True — ``REPRO_KERNELS`` not disabled (or a
+:func:`kernels` override installed) *and* the batched exchange is safe on
+the network. Fault plans, trace recorders, reliable-delivery wrappers, and
+``REPRO_BATCH=0`` therefore all silently force the scalar path. A workload
+that does not fit the dense representation (too many sources, distances
+that could overflow the selection key, duplicate sources) makes
+:func:`run_wave_kernel` return ``None`` and the caller falls back.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.congest.batch import fast_path
+from repro.graphs.graph import Graph, GraphError
+from repro.obs import registry as obs
+
+#: Environment variable gating the kernel engine; set to ``"0"`` to force
+#: every ported primitive back onto the scalar (heap-based) path.
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: Programmatic override installed by :func:`kernels`; ``None`` defers to
+#: the environment.
+_FORCED: Optional[bool] = None
+
+#: Distance sentinel for "unknown"; any representable distance must stay
+#: strictly below it so that ``key = d * K + col`` never wraps int64
+#: (``INF_SENT * K <= 2**60`` under the source-count guard below).
+INF_SENT = 1 << 40
+
+#: Fit guards: workloads past these fall back to the scalar path.
+_MAX_SOURCES = 1 << 20
+_MAX_CELLS = 1 << 23
+
+#: Rounds selecting at most this many rows run the sequential (Python int)
+#: emission/relaxation instead of the dense array one: numpy's fixed
+#: per-call dispatch cost dominates when the frontier is a handful of nodes,
+#: which is the common regime late in a sweep on high-diameter graphs. Both
+#: round flavours produce identical message streams and state updates. On
+#: low-degree graphs (few emissions per selected row) the crossover sits
+#: higher, so the limit doubles there.
+_SPARSE_ROWS = 32
+_SPARSE_ROWS_LOW_DEG = 64
+
+#: Number of kernel runs that actually engaged (post-guard), for benches
+#: and the fallback tests.
+_ENGAGED = 0
+
+
+def kernels_enabled() -> bool:
+    """Whether the kernel engine is globally enabled (default: yes)."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(KERNELS_ENV, "1") != "0"
+
+
+@contextlib.contextmanager
+def kernels(enabled: bool) -> Iterator[None]:
+    """Force the kernel engine on or off within a block (tests, A/B timing)."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = enabled
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+def kernel_path(net) -> bool:
+    """Whether ``net`` should take the vectorized kernel path right now.
+
+    The kernel rides on ``exchange_batched``, so every batched-exchange
+    gate (fault plans, trace recorders, monkey-patched ``exchange``,
+    ``REPRO_BATCH=0``) automatically disables it too.
+    """
+    return kernels_enabled() and fast_path(net)
+
+
+def engaged_runs() -> int:
+    """How many kernel runs engaged (passed all guards) so far."""
+    return _ENGAGED
+
+
+class _LazyPayloads:
+    """Columnar ``(source, dist)`` payload view, materialized on demand.
+
+    The kernel consumes its own columns directly and never reads the
+    payload objects back out of the inbox, but ``exchange_batched``'s
+    contract hands payload sequences to grouped consumers — so honour it
+    lazily instead of allocating one tuple per message up front.
+    """
+
+    __slots__ = ("_col", "_d", "_src_of_col")
+
+    def __init__(self, col: np.ndarray, d: np.ndarray, src_of_col: List[int]):
+        self._col = col
+        self._d = d
+        self._src_of_col = src_of_col
+
+    def __len__(self) -> int:
+        return len(self._col)
+
+    def __getitem__(self, i: int) -> Tuple[int, int]:
+        return (self._src_of_col[self._col[i]], int(self._d[i]))
+
+    def __iter__(self):
+        src_of_col = self._src_of_col
+        for c, d in zip(self._col, self._d):
+            yield (src_of_col[c], int(d))
+
+
+class _ColumnBatch:
+    """Duck-typed :class:`~repro.congest.batch.BatchedOutbox` over arrays."""
+
+    __slots__ = ("src", "dst", "payloads", "words")
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray,
+                 payloads: _LazyPayloads):
+        self.src = src
+        self.dst = dst
+        self.payloads = payloads
+        self.words = None  # every wave message is one O(log n)-bit word
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+
+def run_wave_kernel(
+    net,
+    sources: Sequence[int],
+    *,
+    cap: int,
+    timeout: str,
+    unit_weight: bool = False,
+    hop_limit: Optional[int] = None,
+    budget: Optional[int] = None,
+    reverse: bool = False,
+    weight_graph: Optional[Graph] = None,
+    check_weights: bool = False,
+) -> Optional[Tuple[List[Dict[int, int]], List[Dict[int, int]]]]:
+    """Run a full pipelined multi-wave sweep with dense array rounds.
+
+    Parameters mirror the scalar primitives: ``unit_weight`` advances
+    distances by one hop per edge (BFS) regardless of weights;
+    ``hop_limit`` masks entries at or past the limit from selection
+    (``multi_source_bfs``'s discard rule); ``budget`` filters emissions to
+    ``d + w <= budget`` (``multi_source_wave``); ``check_weights`` raises
+    the wave primitives' ``GraphError`` on a scanned edge of weight < 1.
+    ``cap``/``timeout`` reproduce the caller's step budget and its exact
+    ``RuntimeError`` message.
+
+    Returns ``(known, parent)`` exactly as the scalar path would build
+    them, or ``None`` when the workload does not fit the dense
+    representation (caller falls back to the scalar loop).
+    """
+    global _ENGAGED
+    g = weight_graph if weight_graph is not None else net.graph
+    n = net.n
+    src_of_col: List[int] = sorted({int(s) for s in sources})
+    K = len(src_of_col)
+    if K != len(sources):
+        # Duplicate sources re-emit in the scalar path (duplicate heap
+        # entries); the dense representation cannot reproduce that.
+        return None
+    if K > _MAX_SOURCES or n * K > _MAX_CELLS:
+        return None
+    indptr, indices, weights, wmax = g.csr(reverse)
+    if unit_weight:
+        ceiling = n + 1
+    elif budget is not None:
+        ceiling = budget
+    else:
+        ceiling = n * max(1, wmax)
+    if ceiling >= INF_SENT:
+        return None
+
+    _ENGAGED += 1
+    obs.counter("kernels.engaged").inc()
+
+    col_of = {s: c for c, s in enumerate(src_of_col)}
+    col_ids = np.arange(K, dtype=np.int64)
+    inf_key = INF_SENT * K
+    D = np.full((n, K), INF_SENT, dtype=np.int64)
+    # Selection keys, maintained incrementally: ``d * K + col`` while the
+    # cell is pending and selectable (below the hop limit), ``inf_key + col``
+    # otherwise. The per-row argmin over this matrix is the heap pop; keys
+    # are updated in place at improvement/selection time, so no masked key
+    # matrix is rebuilt per round.
+    keyed = np.empty((n, K), dtype=np.int64)
+    keyed[:] = inf_key + col_ids
+    d_flat = D.reshape(-1)
+    keyed_flat = keyed.reshape(-1)
+    known: List[Dict[int, int]] = [dict() for _ in range(n)]
+    parent: List[Dict[int, int]] = [dict() for _ in range(n)]
+    # Sources at hop_limit == 0 are popped-and-discarded by the scalar path;
+    # seeding them masked reproduces the immediate quiescence.
+    selectable0 = hop_limit is None or hop_limit > 0
+    for s in sources:
+        known[s][s] = 0
+        c = col_of[s]
+        D[s, c] = 0
+        if selectable0:
+            keyed[s, c] = c
+
+    row_ids = np.arange(n)
+    # Python-list twins of the CSR for sparse rounds: when only a handful of
+    # rows are selected (the common late-sweep regime on high-diameter
+    # graphs), plain int loops beat the fixed dispatch cost of the ~30 numpy
+    # calls a dense round issues. Both round flavours emit the identical
+    # message stream and perform the identical state updates, so they can be
+    # mixed freely round by round.
+    indptr_l = indptr.tolist()
+    indices_l = indices.tolist()
+    weights_l = None if (unit_weight or weights is None) else weights.tolist()
+    sparse_limit = (_SPARSE_ROWS_LOW_DEG if len(indices_l) <= 2 * n
+                    else _SPARSE_ROWS)
+    steps = 0
+    while True:
+        if steps >= cap:
+            raise RuntimeError(timeout)
+        # Selection: per node, the smallest fresh (d, source) pair — the
+        # heap pop. Masked cells key to inf_key + col, above every
+        # selectable key, so argmin lands on a real entry iff one exists.
+        sel_col_all = np.argmin(keyed, axis=1)
+        sel_key = keyed[row_ids, sel_col_all]
+        sel_rows = np.flatnonzero(sel_key < inf_key)
+        if sel_rows.size == 0:
+            break
+        if sel_rows.size <= sparse_limit:
+            # Sparse round: sequential emission and relaxation over Python
+            # ints — literally the scalar algorithm on the selected cells,
+            # so parity is by construction.
+            rows = sel_rows.tolist()
+            keys = sel_key[sel_rows].tolist()
+            bsrc: List[int] = []
+            bdst: List[int] = []
+            bcol: List[int] = []
+            bd: List[int] = []
+            for i in range(len(rows)):
+                r = rows[i]
+                c = keys[i] % K
+                d0 = keys[i] // K
+                keyed_flat[r * K + c] = inf_key + c
+                for e in range(indptr_l[r], indptr_l[r + 1]):
+                    if weights_l is None:
+                        nd = d0 + 1
+                    else:
+                        w = weights_l[e]
+                        if check_weights and w < 1:
+                            raise GraphError(
+                                "wave primitives require weights >= 1")
+                        nd = d0 + w
+                    if budget is not None and nd > budget:
+                        continue
+                    bsrc.append(r)
+                    bdst.append(indices_l[e])
+                    bcol.append(c)
+                    bd.append(nd)
+            if not bsrc:
+                # No out-edges / everything over budget: the heap entries
+                # were consumed and the loop breaks before any exchange.
+                break
+            net.exchange_batched(
+                _ColumnBatch(bsrc, bdst, _LazyPayloads(bcol, bd, src_of_col)),
+                grouped=False,
+            )
+            steps += 1
+            for i in range(len(bdst)):
+                nd = bd[i]
+                c = bcol[i]
+                v = bdst[i]
+                cell = v * K + c
+                if nd < d_flat[cell]:
+                    d_flat[cell] = nd
+                    if hop_limit is None or nd < hop_limit:
+                        keyed_flat[cell] = nd * K + c
+                    else:
+                        # Popped-and-discarded at the limit: pending but
+                        # masked, exactly the scalar discard rule.
+                        keyed_flat[cell] = inf_key + c
+                    s = src_of_col[c]
+                    known[v][s] = nd
+                    parent[v][s] = bsrc[i]
+            continue
+        sel_cols = sel_col_all[sel_rows]
+        sel_d = sel_key[sel_rows] // K
+        keyed[sel_rows, sel_cols] = inf_key + sel_cols
+        # Emission: every selected node broadcasts its pair on its
+        # (out-)edges, in CSR order == adjacency iteration order, rows
+        # ascending == the scalar path's sender-major order.
+        counts = indptr[sel_rows + 1] - indptr[sel_rows]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        seg_end = np.cumsum(counts)
+        edge_idx = (np.arange(total, dtype=np.int64)
+                    + np.repeat(indptr[sel_rows] - (seg_end - counts), counts))
+        msg_src = np.repeat(sel_rows, counts)
+        msg_dst = indices[edge_idx]
+        msg_col = np.repeat(sel_cols, counts)
+        base_d = np.repeat(sel_d, counts)
+        if unit_weight or weights is None:
+            msg_d = base_d + 1
+        else:
+            msg_w = weights[edge_idx]
+            if check_weights and int(msg_w.min()) < 1:
+                raise GraphError("wave primitives require weights >= 1")
+            msg_d = base_d + msg_w
+        if budget is not None:
+            keep = msg_d <= budget
+            if not keep.all():
+                msg_src = msg_src[keep]
+                msg_dst = msg_dst[keep]
+                msg_col = msg_col[keep]
+                msg_d = msg_d[keep]
+                if msg_src.size == 0:
+                    # Scalar parity: the heap entries were consumed, the
+                    # batch came out empty, and the loop breaks before any
+                    # exchange.
+                    break
+        net.exchange_batched(
+            _ColumnBatch(msg_src, msg_dst,
+                         _LazyPayloads(msg_col, msg_d, src_of_col)),
+            grouped=False,
+        )
+        steps += 1
+        # Relaxation. flat cell id = dst * K + col; stable lexsort by
+        # (cell, d) makes the first row of each cell group the scalar
+        # path's final (value, parent); np.unique's first-occurrence index
+        # recovers the first *improving* message, whose stream position is
+        # the scalar path's dict-insertion point.
+        flat = msg_dst * K + msg_col
+        improving = msg_d < d_flat[flat]
+        if not improving.any():
+            continue
+        ff = flat[improving]
+        dd = msg_d[improving]
+        su = msg_src[improving]
+        order = np.lexsort((dd, ff))
+        off = ff[order]
+        first = np.empty(off.size, dtype=bool)
+        first[0] = True
+        np.not_equal(off[1:], off[:-1], out=first[1:])
+        winners = order[first]
+        win_flat = ff[winners]  # unique cells, ascending (== np.unique(ff))
+        win_d = dd[winners]
+        win_src = su[winners]
+        _uf, first_pos = np.unique(ff, return_index=True)
+        for j in np.argsort(first_pos, kind="stable"):
+            cell = int(win_flat[j])
+            s = src_of_col[cell % K]
+            v = cell // K
+            known[v][s] = int(win_d[j])
+            parent[v][s] = int(win_src[j])
+        d_flat[win_flat] = win_d
+        win_col = win_flat % K
+        new_key = win_d * K + win_col
+        if hop_limit is not None:
+            limited = win_d >= hop_limit
+            if limited.any():
+                new_key[limited] = inf_key + win_col[limited]
+        keyed_flat[win_flat] = new_key
+    return known, parent

@@ -151,10 +151,12 @@ class CongestNetwork:
         self.max_rounds = max_rounds
         if host is None:
             self._host = list(range(graph.n))
+            self._identity_host = True
         else:
             if len(host) != graph.n:
                 raise GraphError("host map must cover every vertex")
             self._host = [int(h) for h in host]
+            self._identity_host = self._host == list(range(graph.n))
         # Communication neighbors per vertex (underlying undirected).
         self._comm: List[frozenset] = [frozenset(graph.neighbors(v)) for v in range(graph.n)]
         self.rounds = 0
@@ -313,9 +315,23 @@ class CongestNetwork:
         host-pair link id of that pair, or ``-1`` when the endpoints are
         co-hosted (free local delivery); ``link_hosts[lid]`` is the
         ``(host_u, host_v)`` pair of link ``lid`` for error reporting.
+
+        With the default identity host map the index depends only on the
+        topology, so it is cached on the graph object and shared by every
+        network built on it.
         """
         if self._batch_index is not None:
             return self._batch_index
+        if self._identity_host:
+            index, pair_map = self.graph.cached(
+                "link_index", self._build_link_index)
+        else:
+            index, pair_map = self._build_link_index()
+        self._batch_index = index
+        self._pair_link_map = pair_map
+        return index
+
+    def _build_link_index(self):
         n = self.n
         host = self._host
         pair_keys: List[int] = []
@@ -339,9 +355,8 @@ class CongestNetwork:
             hosts[lid] = (host_u, host_v)
         # Scalar twin of the columnar index, for batches too small to
         # amortize numpy call overhead.
-        self._pair_link_map = dict(zip(pair_keys, pair_link))
-        self._batch_index = (keys[order], links[order], hosts)
-        return self._batch_index
+        pair_map = dict(zip(pair_keys, pair_link))
+        return (keys[order], links[order], hosts), pair_map
 
     def exchange_batched(self, batch, grouped: bool = True):
         """Run one synchronous step delivering a ``BatchedOutbox``.
@@ -375,23 +390,38 @@ class CongestNetwork:
             pair_map = self._pair_link_map
             word_col = batch.words
             loads: Dict[int, int] = {}
+            loads_get = loads.get
             n = self.n
             n_remote = 0
-            n_words = 0
-            for i in range(count):
-                u = src_col[i]
-                lid = pair_map.get(u * n + dst_col[i], -2)
-                if lid == -2:
-                    raise LocalityViolation(
-                        f"vertex {u} attempted to send to non-neighbor {dst_col[i]}"
-                    )
-                w = 1 if word_col is None else word_col[i]
-                if w < 0:
-                    raise ValueError("message word size must be non-negative")
-                n_words += w
-                if lid >= 0:
-                    n_remote += 1
-                    loads[lid] = loads.get(lid, 0) + w
+            if word_col is None:
+                # Unit-word batch (the common case): zip iteration, no
+                # per-message word checks.
+                n_words = count
+                for u, v in zip(src_col, dst_col):
+                    lid = pair_map.get(u * n + v, -2)
+                    if lid == -2:
+                        raise LocalityViolation(
+                            f"vertex {u} attempted to send to non-neighbor {v}"
+                        )
+                    if lid >= 0:
+                        n_remote += 1
+                        loads[lid] = loads_get(lid, 0) + 1
+            else:
+                n_words = 0
+                for i in range(count):
+                    u = src_col[i]
+                    lid = pair_map.get(u * n + dst_col[i], -2)
+                    if lid == -2:
+                        raise LocalityViolation(
+                            f"vertex {u} attempted to send to non-neighbor {dst_col[i]}"
+                        )
+                    w = word_col[i]
+                    if w < 0:
+                        raise ValueError("message word size must be non-negative")
+                    n_words += w
+                    if lid >= 0:
+                        n_remote += 1
+                        loads[lid] = loads_get(lid, 0) + w
             max_load = max(loads.values(), default=0)
             if self.strict and max_load > self.bandwidth:
                 lid = next(k for k, v in loads.items() if v == max_load)
@@ -424,11 +454,17 @@ class CongestNetwork:
             remote = link_of_msg >= 0
             n_remote = int(remote.sum())
             if n_remote:
-                loads_arr = np.zeros(len(link_hosts), dtype=np.int64)
+                # bincount beats np.add.at by an order of magnitude here;
+                # with the identity host map every message is remote, so the
+                # boolean gather is skipped too. Weighted bincount returns
+                # float64 — exact for any realistic word total.
+                links = link_of_msg if n_remote == count else link_of_msg[remote]
                 if words is None:
-                    np.add.at(loads_arr, link_of_msg[remote], 1)
+                    loads_arr = np.bincount(links, minlength=len(link_hosts))
                 else:
-                    np.add.at(loads_arr, link_of_msg[remote], words[remote])
+                    w = words if n_remote == count else words[remote]
+                    loads_arr = np.bincount(links, weights=w,
+                                            minlength=len(link_hosts))
                 max_load = int(loads_arr.max())
             else:
                 max_load = 0

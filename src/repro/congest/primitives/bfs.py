@@ -52,14 +52,19 @@ def _bfs_impl(
     level = 0
     use_batch = fast_path(net)
     while frontier and level < limit:
+        # Every frontier vertex sits at dist == level, so the whole level
+        # shares one interned (source, level + 1) payload tuple.
+        pair = (source, level + 1)
         if use_batch:
-            # Fast path: one columnar batch per BFS level; the grouped
-            # inboxes are bit-identical to the dict path's, so the
-            # min-sender parent choice below is unchanged.
+            # Fast path: one columnar batch per BFS level, consumed as the
+            # flat delivered stream (grouped=False). Stream order is
+            # sender-major and ascending per receiver, so taking the
+            # minimum sender per newly reached vertex and discovering
+            # vertices in first-message order reproduces the dict path's
+            # inbox iteration bit for bit.
             batch = BatchedOutbox()
             bsrc, bdst, bpay = batch.src, batch.dst, batch.payloads
             for u in frontier:
-                pair = (source, dist[u] + 1)
                 for v in neigh(u):
                     if dist[v] == INF:
                         bsrc.append(u)
@@ -67,16 +72,29 @@ def _bfs_impl(
                         bpay.append(pair)
             if not batch:
                 break
-            inboxes = net.exchange_batched(batch)
-        else:
-            outboxes = {}
-            for u in frontier:
-                targets = [v for v in neigh(u) if dist[v] == INF]
-                if targets:
-                    outboxes[u] = {v: [((source, dist[u] + 1), 1)] for v in targets}
-            if not outboxes:
-                break
-            inboxes = net.exchange(outboxes)
+            inbox = net.exchange_batched(batch, grouped=False)
+            best: Dict[int, int] = {}
+            for i, v in enumerate(inbox.dst):
+                u = inbox.src[i]
+                b = best.get(v)
+                if b is None or u < b:
+                    best[v] = u
+            frontier = []
+            for v, best_sender in best.items():
+                dist[v] = level + 1
+                if record_parents:
+                    parent[v] = best_sender
+                frontier.append(v)
+            level += 1
+            continue
+        outboxes = {}
+        for u in frontier:
+            targets = [v for v in neigh(u) if dist[v] == INF]
+            if targets:
+                outboxes[u] = {v: [(pair, 1)] for v in targets}
+        if not outboxes:
+            break
+        inboxes = net.exchange(outboxes)
         frontier = []
         for v, by_sender in inboxes.items():
             if dist[v] != INF:

@@ -66,10 +66,14 @@ def _broadcast_impl(
     # are idle most rounds, so skipping them is pure win, not a reordering.
     active: set = set()
 
+    root = tree.root
+    parent_of = tree.parent
+    children_of = tree.children
+
     def enqueue_down(v: int, item, skip: Optional[int]) -> None:
         # Children are distinct, so >1 of them guarantees one differs from
         # skip; this avoids a generator expression on the hottest call site.
-        cs = tree.children[v]
+        cs = children_of[v]
         if cs and (skip is None or len(cs) > 1 or cs[0] != skip):
             down_q[v].append((item, skip))
             active.add(v)
@@ -91,25 +95,57 @@ def _broadcast_impl(
         # inboxes would flatten to — per-receiver processing order, and
         # hence queue contents and round counts, are bit-identical.
         batch = BatchedOutbox()
-        send = batch.send
-        for v in sorted(active):
-            uq = up_q[v]
-            if uq and v != tree.root:
-                parent_v = tree.parent[v]
-                for _ in range(min(per_step, len(uq))):
-                    send(v, parent_v, ("up", uq.popleft()), words_per_message)
-            dq = down_q[v]
-            if dq:
-                children_v = tree.children[v]
-                for _ in range(min(per_step, len(dq))):
+        # Direct column appends: send()'s per-call overhead is measurable at
+        # this loop's message rates. The uniform word size is attached as a
+        # column afterwards, exactly as send() would have built it.
+        bsrc, bdst, bpay = batch.src, batch.dst, batch.payloads
+        if per_step == 1:
+            # Unit-bandwidth rounds (the overwhelmingly common case) move at
+            # most one item per queue: the min()/range() machinery of the
+            # general loop collapses to straight-line code.
+            for v in sorted(active):
+                uq = up_q[v]
+                if uq and v != root:
+                    bsrc.append(v)
+                    bdst.append(parent_of[v])
+                    bpay.append(("up", uq.popleft()))
+                dq = down_q[v]
+                if dq:
                     item, skip = dq.popleft()
-                    for c in children_v:
+                    msg = ("down", item)
+                    for c in children_of[v]:
                         if c != skip:
-                            send(v, c, ("down", item), words_per_message)
-            if not uq and not dq:
-                active.discard(v)
+                            bsrc.append(v)
+                            bdst.append(c)
+                            bpay.append(msg)
+                if not uq and not dq:
+                    active.discard(v)
+        else:
+            for v in sorted(active):
+                uq = up_q[v]
+                if uq and v != root:
+                    parent_v = parent_of[v]
+                    for _ in range(min(per_step, len(uq))):
+                        bsrc.append(v)
+                        bdst.append(parent_v)
+                        bpay.append(("up", uq.popleft()))
+                dq = down_q[v]
+                if dq:
+                    children_v = children_of[v]
+                    for _ in range(min(per_step, len(dq))):
+                        item, skip = dq.popleft()
+                        msg = ("down", item)
+                        for c in children_v:
+                            if c != skip:
+                                bsrc.append(v)
+                                bdst.append(c)
+                                bpay.append(msg)
+                if not uq and not dq:
+                    active.discard(v)
         if not batch:
             break
+        if words_per_message != 1:
+            batch.words = [words_per_message] * len(bsrc)
         if use_batch:
             inbox = net.exchange_batched(batch, grouped=False)
             deliveries = zip(inbox.src, inbox.dst, inbox.payloads)
@@ -121,18 +157,25 @@ def _broadcast_impl(
                 for sender, payloads in by_sender.items()
                 for payload in payloads
             )
+        # enqueue_down is inlined below (cs truthiness / skip checks): the
+        # delivery loop runs once per message and the call overhead shows.
         for sender, v, (direction, item) in deliveries:
-            item_id, payload = item
-            if item_id in known[v]:
+            known_v = known[v]
+            item_id = item[0]
+            if item_id in known_v:
                 continue
-            known[v][item_id] = payload
+            known_v[item_id] = item[1]
+            cs = children_of[v]
             if direction == "up":
-                if v != tree.root:
+                if v != root:
                     up_q[v].append(item)
                     active.add(v)
-                enqueue_down(v, item, sender)
-            else:
-                enqueue_down(v, item, None)
+                if cs and (len(cs) > 1 or cs[0] != sender):
+                    down_q[v].append((item, sender))
+                    active.add(v)
+            elif cs:
+                down_q[v].append((item, None))
+                active.add(v)
     if any(len(known[v]) != total for v in range(n)):
         raise RuntimeError("broadcast did not complete within the step budget")
     received = [[known[v][k] for k in sorted(known[v])] for v in range(n)]

@@ -16,6 +16,7 @@ import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
+from repro.congest.kernels import kernels_enabled, run_wave_kernel
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import INF
 from repro.obs import registry as obs
@@ -68,8 +69,24 @@ def _multi_source_bfs_impl(
         known[s][s] = 0
         heapq.heappush(pq[s], (0, s))
     budget = max_steps if max_steps is not None else limit + k + 8
-    steps = 0
     use_batch = fast_path(net)
+    if use_batch and kernels_enabled():
+        result = run_wave_kernel(
+            net, sources, cap=budget, unit_weight=True, hop_limit=limit,
+            reverse=reverse,
+            timeout=(f"multi_source_bfs did not quiesce within {budget} "
+                     f"steps (k={k}, h={limit})"),
+        )
+        if result is not None:
+            known, parent = result
+            key = "mbfs_rev" if reverse else "mbfs"
+            for v in range(n):
+                net.state[v][key] = dict(known[v])
+            return known, (parent if record_parents else None)
+    steps = 0
+    # One payload tuple per (source, level) instead of one per selected
+    # node: every node forwarding the pair appends the same interned tuple.
+    interned: Dict[Tuple[int, int], Tuple[int, int]] = {}
     heappop, heappush = heapq.heappop, heapq.heappush
     while steps < budget:
         if use_batch:
@@ -93,6 +110,7 @@ def _multi_source_bfs_impl(
                     continue
                 d, s = entry
                 pair = (s, d + 1)
+                pair = interned.setdefault(pair, pair)
                 for v in neigh(u):
                     src.append(u)
                     dst.append(v)
@@ -124,9 +142,11 @@ def _multi_source_bfs_impl(
             if entry is None:
                 continue
             d, s = entry
+            pair = (s, d + 1)
+            pair = interned.setdefault(pair, pair)
             # A node cannot know its neighbors' knowledge; it broadcasts the
             # pair on every (out-)edge, one O(log n)-bit message per edge.
-            targets = {v: [((s, d + 1), 1)] for v in neigh(u)}
+            targets = {v: [(pair, 1)] for v in neigh(u)}
             if targets:
                 outboxes[u] = targets
         if not outboxes:

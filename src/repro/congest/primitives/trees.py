@@ -65,24 +65,23 @@ def propagate_down_trees(
     # ascending order, matching the full range(n) scan message-for-message.
     active: set = set()
 
-    def enqueue(v: int, s: int, payload: Any) -> None:
-        cs = children[v].get(s)
-        if not cs:
-            return
-        qs = queues[v]
-        item = (s, payload)
-        for c in cs:
-            q = qs.get(c)
-            if q is None:
-                q = qs[c] = deque()
-            q.append(item)
-        active.add(v)
-
+    # Seeding and the delivery loop below share one inlined enqueue: the
+    # received (s, payload) pair is appended as-is to every child queue
+    # (per-tree fan-out), creating no new tuples on the hot path.
     total = 0
     for s, payloads in root_values.items():
+        cs = children[s].get(s)
+        qs = queues[s]
         for payload in payloads:
-            delivered[s].append((s, payload))
-            enqueue(s, s, payload)
+            pair = (s, payload)
+            delivered[s].append(pair)
+            if cs:
+                for c in cs:
+                    q = qs.get(c)
+                    if q is None:
+                        q = qs[c] = deque()
+                    q.append(pair)
+                active.add(s)
             total += 1
     bandwidth = net.bandwidth
     cap = max_steps if max_steps is not None else 4 * (total * max(1, len(root_values)) + n) + 16
@@ -90,18 +89,35 @@ def propagate_down_trees(
     while steps < cap:
         wave = BatchedOutbox()
         wsrc, wdst, wpay = wave.src, wave.dst, wave.payloads
-        for v in sorted(active):
-            pending = 0
-            for u, q in queues[v].items():
-                lq = len(q)
-                if lq:
-                    for _ in range(min(bandwidth, lq)):
+        if bandwidth == 1:
+            # Unit bandwidth (the common case) moves exactly one item per
+            # queue: straight-line code instead of the len()/range() dance.
+            for v in sorted(active):
+                pending = False
+                for u, q in queues[v].items():
+                    if q:
                         wsrc.append(v)
                         wdst.append(u)
                         wpay.append(q.popleft())
-                    pending += lq - bandwidth if lq > bandwidth else 0
-            if not pending:
-                active.discard(v)
+                        if q:
+                            pending = True
+                if not pending:
+                    active.discard(v)
+        else:
+            for v in sorted(active):
+                pending = False
+                for u, q in queues[v].items():
+                    lq = len(q)
+                    if not lq:
+                        continue
+                    for _ in range(bandwidth if bandwidth < lq else lq):
+                        wsrc.append(v)
+                        wdst.append(u)
+                        wpay.append(q.popleft())
+                    if lq > bandwidth:
+                        pending = True
+                if not pending:
+                    active.discard(v)
         if not wave:
             break
         if use_batch:
@@ -115,9 +131,17 @@ def propagate_down_trees(
                 for payload in payloads
             )
         steps += 1
-        for v, (s, payload) in msgs:
-            delivered[v].append((s, payload))
-            enqueue(v, s, payload)
+        for v, pair in msgs:
+            delivered[v].append(pair)
+            cs = children[v].get(pair[0])
+            if cs:
+                qs = queues[v]
+                for c in cs:
+                    q = qs.get(c)
+                    if q is None:
+                        q = qs[c] = deque()
+                    q.append(pair)
+                active.add(v)
     else:
         raise RuntimeError(f"tree propagation did not finish within {cap} steps")
     for v in range(n):

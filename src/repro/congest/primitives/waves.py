@@ -20,6 +20,7 @@ import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
+from repro.congest.kernels import kernels_enabled, run_wave_kernel
 from repro.congest.network import CongestNetwork
 from repro.graphs.graph import Graph, GraphError, INF
 from repro.obs import registry as obs
@@ -87,8 +88,21 @@ def _multi_source_wave_impl(
         known[s][s] = 0
         heapq.heappush(pq[s], (0, s))
     cap = max_steps if max_steps is not None else 2 * (budget + k) + 16
-    steps = 0
     use_batch = fast_path(net)
+    if use_batch and kernels_enabled():
+        result = run_wave_kernel(
+            net, sources, cap=cap, budget=budget, reverse=reverse,
+            weight_graph=g, check_weights=True,
+            timeout=(f"multi_source_wave did not quiesce within {cap} "
+                     f"steps (k={k}, budget={budget})"),
+        )
+        if result is not None:
+            known, parent = result
+            key = "wave_rev" if reverse else "wave"
+            for v in range(n):
+                net.state[v][key] = dict(known[v])
+            return known, (parent if record_parents else None)
+    steps = 0
     heappop, heappush = heapq.heappop, heapq.heappush
     while steps < cap:
         # Fast path and dict path emit identical messages in identical

@@ -29,6 +29,7 @@ import heapq
 from typing import Dict, List, Optional, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
+from repro.congest.kernels import kernels_enabled, run_wave_kernel
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.multi_bfs import multi_source_bfs
@@ -66,8 +67,15 @@ def apsp_weighted_on(
         known[s][s] = 0
         heapq.heappush(pq[s], (0, s))
     cap = max_steps if max_steps is not None else 40 * n + 200
-    steps = 0
     use_batch = fast_path(net)
+    if use_batch and kernels_enabled():
+        result = run_wave_kernel(
+            net, list(range(n)), cap=cap, reverse=reverse,
+            timeout=f"weighted APSP did not quiesce within {cap} steps",
+        )
+        if result is not None:
+            return result
+    steps = 0
     heappop, heappush = heapq.heappop, heapq.heappush
     while steps < cap:
         # Batched fast path: identical messages in identical (sender-major)

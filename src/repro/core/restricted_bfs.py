@@ -28,10 +28,30 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.multi_bfs import multi_source_bfs
 from repro.congest.primitives.waves import multi_source_wave
 from repro.graphs.graph import INF
+
+
+def _deliver(net: CongestNetwork, outboxes) -> Dict[int, Dict[int, list]]:
+    """One exchange step, via the batched fast path when it is safe.
+
+    Flattening the nested outboxes in their iteration order (sender-major,
+    targets in insertion order) makes the grouped batched inboxes
+    bit-for-bit equal to ``net.exchange``'s, so the phase loop's per-sender
+    cap checks see identical payload lists either way.
+    """
+    if fast_path(net):
+        batch = BatchedOutbox()
+        send = batch.send
+        for u, out in outboxes.items():
+            for v, msgs in out.items():
+                for payload, w in msgs:
+                    send(u, v, payload, w)
+        return net.exchange_batched(batch)
+    return net.exchange(outboxes)
 
 
 @dataclass
@@ -227,7 +247,7 @@ def restricted_bfs(
     nbr_dist: List[Dict[int, Tuple[Dict[int, float], Dict[int, float]]]] = [
         dict() for _ in range(n)
     ]
-    for v, by_sender in net.exchange(outboxes).items():
+    for v, by_sender in _deliver(net, outboxes).items():
         for u, payloads in by_sender.items():
             nbr_dist[v][u] = payloads[0]
 
@@ -268,7 +288,7 @@ def restricted_bfs(
                 break  # all BFS started and drained
             net.charge_rounds(1)  # idle phase (delayed starts / crawling)
             continue
-        inboxes = net.exchange(outboxes)
+        inboxes = _deliver(net, outboxes)
         for v, by_sender in inboxes.items():
             if v in Z:
                 continue

@@ -10,7 +10,9 @@ when the input graph is directed (paper §1.1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 Edge = Tuple[int, int]
 WeightedEdge = Tuple[int, int, int]
@@ -41,7 +43,7 @@ class Graph:
         weight 1 on every edge so that distance code is uniform.
     """
 
-    __slots__ = ("n", "directed", "weighted", "_adj", "_radj", "_m")
+    __slots__ = ("n", "directed", "weighted", "_adj", "_radj", "_m", "_cache")
 
     def __init__(self, n: int, directed: bool = False, weighted: bool = False):
         if n < 0:
@@ -56,6 +58,10 @@ class Graph:
             [dict() for _ in range(n)] if directed else None
         )
         self._m = 0
+        # Derived-structure cache (CSR adjacency, link index, eccentricities).
+        # Invalidated on any mutation; shared by every network built on this
+        # graph object.
+        self._cache: Dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -80,6 +86,7 @@ class Graph:
             weight = min(weight, self._adj[u][v])
         else:
             self._m += 1
+        self._cache.clear()
         self._adj[u][v] = weight
         if self.directed:
             assert self._radj is not None
@@ -93,6 +100,7 @@ class Graph:
         self._check_vertex(v)
         if v not in self._adj[u]:
             raise GraphError(f"edge ({u}, {v}) not present")
+        self._cache.clear()
         del self._adj[u][v]
         self._m -= 1
         if self.directed:
@@ -176,6 +184,56 @@ class Graph:
     def max_weight(self) -> int:
         """Maximum edge weight (0 for edgeless graphs)."""
         return max((w for _, _, w in self.edges()), default=0)
+
+    # ------------------------------------------------------------------
+    # Derived-structure cache
+    # ------------------------------------------------------------------
+    def cached(self, key: Any, build) -> Any:
+        """Memoize ``build()`` under ``key`` until the graph next mutates.
+
+        Networks store per-topology structures (link index, eccentricity)
+        here so that every :class:`~repro.congest.network.CongestNetwork`
+        built on the same graph object shares them.
+        """
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = self._cache[key] = build()
+            return value
+
+    def csr(self, reverse: bool = False) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], int]:
+        """Cached CSR view of the (out- or in-) adjacency.
+
+        Returns ``(indptr, indices, weights, wmax)`` where ``indptr`` has
+        length ``n + 1``, ``indices[indptr[u]:indptr[u+1]]`` lists the
+        neighbors of ``u`` *in adjacency-dict iteration order* (the order
+        scalar code scans them in, which the kernel engine relies on for
+        bit-identical message streams), ``weights`` is ``None`` for
+        unweighted graphs, and ``wmax`` is the maximum edge weight.
+        """
+        return self.cached(("csr", reverse), lambda: self._build_csr(reverse))
+
+    def _build_csr(self, reverse: bool):
+        adj = self._adj
+        if reverse and self.directed:
+            assert self._radj is not None
+            adj = self._radj
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        for u in range(self.n):
+            indptr[u + 1] = indptr[u] + len(adj[u])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        weights = np.empty(total, dtype=np.int64) if self.weighted else None
+        pos = 0
+        for u in range(self.n):
+            for v, w in adj[u].items():
+                indices[pos] = v
+                if weights is not None:
+                    weights[pos] = w
+                pos += 1
+        wmax = int(weights.max()) if weights is not None and total else (
+            UNIT_WEIGHT if total else 0)
+        return indptr, indices, weights, wmax
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -262,7 +320,10 @@ class Graph:
         return best
 
     def undirected_eccentricity(self, s: int) -> int:
-        """Eccentricity of ``s`` in the underlying undirected graph."""
+        """Eccentricity of ``s`` in the underlying undirected graph (cached)."""
+        return self.cached(("ecc", s), lambda: self._eccentricity(s))
+
+    def _eccentricity(self, s: int) -> int:
         dist = self._undirected_bfs(s)
         ecc = max(dist)
         if ecc == INF:

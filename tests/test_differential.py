@@ -1,12 +1,14 @@
 """Differential testing: every distributed algorithm vs sequential truth.
 
-Each algorithm runs on seeded graph families under six simulator
-configurations — scalar dict exchange, batched exchange, both again with
-metrics instrumentation enabled, under a TraceRecorder, and on a zero-plan
+Each algorithm runs on seeded graph families under eight simulator
+configurations — scalar dict exchange, batched exchange, the vectorized
+kernel engine on top of batching, the first three again with metrics
+instrumentation enabled, under a TraceRecorder, and on a zero-plan
 FaultyNetwork. All configurations must be bit-for-bit identical in results
 AND round counts, and must match the sequential ground truth. This pins
-down the core contract of the observability layer: instrumentation, trace
-capture, and the fault harness are pure observers.
+down the core contract of the observability layer and the fast paths:
+instrumentation, trace capture, the fault harness, and both exchange fast
+paths are pure observers/accelerators.
 """
 
 import contextlib
@@ -15,6 +17,7 @@ import pytest
 
 from repro.congest import CongestNetwork
 from repro.congest.batch import batching
+from repro.congest.kernels import kernels
 from repro.congest.faults import FaultPlan, FaultyNetwork
 from repro.congest.trace import TraceRecorder
 from repro.core.directed_mwc import directed_mwc_2approx_on
@@ -47,15 +50,22 @@ pytestmark = pytest.mark.fast
 
 INF = float("inf")
 
-CONFIGS = ("scalar", "batched", "scalar-metrics", "batched-metrics",
-           "traced", "faulty")
+CONFIGS = ("scalar", "batched", "kernels", "scalar-metrics",
+           "batched-metrics", "kernels-metrics", "traced", "faulty")
 
 
 @contextlib.contextmanager
 def configured_network(g, config, seed=0):
-    """A network plus ambient simulator state for one matrix cell."""
+    """A network plus ambient simulator state for one matrix cell.
+
+    The kernel gate is pinned in every cell: off unless the cell is a
+    ``kernels`` one, so the ``batched`` cells exercise the batch-only path
+    rather than silently riding the (default-on) kernel engine.
+    """
     with contextlib.ExitStack() as stack:
-        stack.enter_context(batching(config.startswith("batched")))
+        stack.enter_context(
+            batching(config.startswith(("batched", "kernels"))))
+        stack.enter_context(kernels(config.startswith("kernels")))
         if config.endswith("metrics"):
             stack.enter_context(observing())
         if config == "faulty":
@@ -198,7 +208,8 @@ def test_all_configs_agree_and_match_ground_truth(case):
         assert observed == baseline, config
 
 
-AMBIENT_CONFIGS = ("scalar", "batched", "scalar-metrics", "batched-metrics")
+AMBIENT_CONFIGS = ("scalar", "batched", "kernels", "scalar-metrics",
+                   "batched-metrics", "kernels-metrics")
 
 WEIGHTED_APPROX = {
     "undirected": (lambda: random_weighted(16, 0.2, 8, seed=11),
@@ -218,7 +229,9 @@ def test_weighted_approx_mwc_agrees_across_ambient_configs(kind):
     outcomes = {}
     for config in AMBIENT_CONFIGS:
         with contextlib.ExitStack() as stack:
-            stack.enter_context(batching(config.startswith("batched")))
+            stack.enter_context(
+                batching(config.startswith(("batched", "kernels"))))
+            stack.enter_context(kernels(config.startswith("kernels")))
             if config.endswith("metrics"):
                 stack.enter_context(observing())
             res = solve(g, seed=0)

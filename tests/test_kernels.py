@@ -1,0 +1,247 @@
+"""Parity and fallback tests for the vectorized multi-wave kernel engine.
+
+The contract under test (repro.congest.kernels): for any workload the
+kernel accepts, the ported primitives must return dist/parent tables that
+match the scalar path bit for bit — same values, same dict *insertion
+order* (downstream phases iterate these dicts) — while rounds, messages,
+words, NetworkStats, and phase buckets move identically. And the engine
+must silently fall back to the scalar path whenever the batched exchange
+is unsafe (fault plans, trace recorders, ``REPRO_BATCH=0``) or the
+workload does not fit the dense representation (duplicate sources).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import CongestNetwork, FaultPlan, FaultyNetwork
+from repro.congest.batch import batching
+from repro.congest.faults import LinkOutage
+from repro.congest.kernels import (
+    engaged_runs,
+    kernel_path,
+    kernels,
+    kernels_enabled,
+    run_wave_kernel,
+)
+from repro.congest.primitives.multi_bfs import multi_source_bfs
+from repro.congest.primitives.waves import multi_source_wave
+from repro.congest.trace import TraceRecorder
+from repro.core.exact_mwc import apsp_weighted_on
+from repro.graphs import cycle_with_chords
+from repro.obs import observing
+from tests.strategies import connected_graphs
+
+pytestmark = pytest.mark.fast
+
+
+def tables_snapshot(tables):
+    """Dist/parent tables as ordered item lists: values AND insertion order."""
+    known, parent = tables
+    return ([list(d.items()) for d in known],
+            None if parent is None else [list(d.items()) for d in parent])
+
+
+def net_snapshot(net):
+    s = net.stats
+    return (net.rounds, s.steps, s.messages, s.words, s.local_messages,
+            s.max_link_load, dict(s.link_load_histogram))
+
+
+def phase_buckets(net):
+    """Phase report minus the wall-clock field (the only nondeterminism)."""
+    return {name: {k: v for k, v in bucket.items() if k != "seconds"}
+            for name, bucket in net.phase_report().items()}
+
+
+def run_both(g, fn):
+    """Run ``fn(net)`` with the kernel on and off; return both observations.
+
+    Both runs happen under metrics so phase buckets are compared too.
+    """
+    out = []
+    for kernel_on in (False, True):
+        with batching(True), kernels(kernel_on), observing():
+            net = CongestNetwork(g, seed=0)
+            before = engaged_runs()
+            tables = fn(net)
+            out.append((tables_snapshot(tables), net_snapshot(net),
+                        phase_buckets(net), engaged_runs() - before))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_multi_bfs_kernel_parity(data):
+    """Property: hop-limited multi-source BFS is bit-identical under the
+    kernel, on random directed graphs, source sets, limits, and directions."""
+    g = data.draw(connected_graphs(min_n=4, max_n=16, directed=True))
+    k = data.draw(st.integers(min_value=1, max_value=min(6, g.n)))
+    sources = data.draw(st.lists(
+        st.integers(min_value=0, max_value=g.n - 1),
+        min_size=k, max_size=k, unique=True))
+    h = data.draw(st.one_of(st.none(), st.integers(min_value=0, max_value=5)))
+    reverse = data.draw(st.booleans())
+    scalar, kernel = run_both(
+        g, lambda net: multi_source_bfs(net, sources, h=h, reverse=reverse,
+                                        record_parents=True))
+    assert kernel[0] == scalar[0]   # dist/parent values + insertion order
+    assert kernel[1] == scalar[1]   # rounds and every NetworkStats field
+    assert kernel[2] == scalar[2]   # phase buckets
+    assert scalar[3] == 0 and kernel[3] == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_wave_kernel_parity(data):
+    """Property: weight-limited waves are bit-identical under the kernel."""
+    g = data.draw(connected_graphs(min_n=4, max_n=14, weighted=True,
+                                   max_weight=5))
+    k = data.draw(st.integers(min_value=1, max_value=min(5, g.n)))
+    sources = data.draw(st.lists(
+        st.integers(min_value=0, max_value=g.n - 1),
+        min_size=k, max_size=k, unique=True))
+    budget = data.draw(st.integers(min_value=1, max_value=3 * g.n))
+    scalar, kernel = run_both(
+        g, lambda net: multi_source_wave(net, sources, budget,
+                                         record_parents=True))
+    assert kernel[0] == scalar[0]
+    assert kernel[1] == scalar[1]
+    assert kernel[2] == scalar[2]
+    assert scalar[3] == 0 and kernel[3] == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(connected_graphs(min_n=4, max_n=12, weighted=True, max_weight=6))
+def test_apsp_weighted_kernel_parity(g):
+    """Property: the n-source weighted APSP driver is bit-identical."""
+    scalar, kernel = run_both(g, apsp_weighted_on)
+    assert kernel[0] == scalar[0]
+    assert kernel[1] == scalar[1]
+    assert kernel[2] == scalar[2]
+    assert scalar[3] == 0 and kernel[3] == 1
+
+
+# ---------------------------------------------------------------------------
+# Fallback: unsafe networks silently take the scalar path, same results.
+# ---------------------------------------------------------------------------
+
+def _reference(g, sources):
+    with batching(True), kernels(False):
+        net = CongestNetwork(g, seed=0)
+        tables = multi_source_bfs(net, sources, record_parents=True)
+        return tables_snapshot(tables), net_snapshot(net)
+
+
+def test_faulty_network_falls_back_silently():
+    """A non-zero fault plan (even one that never fires) disables the
+    kernel; results are unchanged and no engagement is recorded."""
+    g = cycle_with_chords(12, 3, seed=1)
+    sources = [0, 4, 7]
+    ref = _reference(g, sources)
+    plan = FaultPlan(link_outages=(LinkOutage(0, 1, start=10**9),))
+    with batching(True), kernels(True):
+        net = FaultyNetwork(g, plan=plan, seed=0)
+        assert not kernel_path(net)
+        before = engaged_runs()
+        tables = multi_source_bfs(net, sources, record_parents=True)
+        assert engaged_runs() == before
+    assert (tables_snapshot(tables), net_snapshot(net)) == ref
+
+
+def test_trace_recorder_falls_back_silently():
+    """A TraceRecorder monkey-patches ``exchange``; the kernel (and the
+    batched path under it) must defer to the hook."""
+    g = cycle_with_chords(12, 3, seed=1)
+    sources = [0, 4, 7]
+    ref = _reference(g, sources)
+    with batching(True), kernels(True):
+        net = CongestNetwork(g, seed=0)
+        with TraceRecorder(net) as trace:
+            assert not kernel_path(net)
+            before = engaged_runs()
+            tables = multi_source_bfs(net, sources, record_parents=True)
+            assert engaged_runs() == before
+    assert (tables_snapshot(tables), net_snapshot(net)) == ref
+    assert len(trace.events) > 0
+
+
+def test_zero_plan_faulty_network_engages():
+    """A zero plan is fully transparent, so the kernel may (and does) run."""
+    g = cycle_with_chords(12, 3, seed=1)
+    with batching(True), kernels(True):
+        net = FaultyNetwork(g, plan=FaultPlan(), seed=0)
+        assert kernel_path(net)
+        before = engaged_runs()
+        tables = multi_source_bfs(net, [0, 4, 7], record_parents=True)
+        assert engaged_runs() == before + 1
+    assert (tables_snapshot(tables),
+            net_snapshot(net)) == _reference(g, [0, 4, 7])
+
+
+def test_duplicate_sources_guard_falls_back():
+    """Duplicate sources re-emit in the scalar path; the dense kernel
+    cannot represent that and must decline, with identical results."""
+    g = cycle_with_chords(12, 3, seed=1)
+    sources = [0, 4, 4]
+    with batching(True), kernels(True):
+        net = CongestNetwork(g, seed=0)
+        assert run_wave_kernel(net, sources, cap=100, unit_weight=True,
+                               timeout="unused") is None
+        before = engaged_runs()
+        tables = multi_source_bfs(net, sources, record_parents=True)
+        assert engaged_runs() == before
+    with batching(True), kernels(False):
+        ref_net = CongestNetwork(g, seed=0)
+        ref = multi_source_bfs(ref_net, sources, record_parents=True)
+    assert tables_snapshot(tables) == tables_snapshot(ref)
+    assert net_snapshot(net) == net_snapshot(ref_net)
+
+
+# ---------------------------------------------------------------------------
+# Gates: environment variable, context manager, batching dependency.
+# ---------------------------------------------------------------------------
+
+def test_env_var_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "0")
+    assert not kernels_enabled()
+    monkeypatch.setenv("REPRO_KERNELS", "1")
+    assert kernels_enabled()
+    monkeypatch.delenv("REPRO_KERNELS")
+    assert kernels_enabled()  # default on
+
+
+def test_context_manager_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "0")
+    with kernels(True):
+        assert kernels_enabled()
+        with kernels(False):
+            assert not kernels_enabled()
+        assert kernels_enabled()
+    assert not kernels_enabled()
+
+
+def test_kernel_path_requires_batching():
+    g = cycle_with_chords(8, 2, seed=0)
+    net = CongestNetwork(g, seed=0)
+    with batching(False), kernels(True):
+        assert not kernel_path(net)
+    with batching(True), kernels(False):
+        assert not kernel_path(net)
+    with batching(True), kernels(True):
+        assert kernel_path(net)
+
+
+def test_kernels_off_still_correct_end_to_end():
+    """REPRO_KERNELS=0 semantics: the engine off is pure fallback, not a
+    different algorithm — spot-check one workload end to end."""
+    g = cycle_with_chords(16, 4, seed=2)
+    sources = [0, 5, 9]
+    outs = []
+    for on in (False, True):
+        with batching(True), kernels(on):
+            net = CongestNetwork(g, seed=0)
+            outs.append((tables_snapshot(
+                multi_source_bfs(net, sources, record_parents=True)),
+                net_snapshot(net)))
+    assert outs[0] == outs[1]
