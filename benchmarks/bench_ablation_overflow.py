@@ -10,7 +10,7 @@ load stays bounded while the uncapped variant's grows with n.
 
 from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
 from repro.graphs import Graph
-from repro.harness import SweepRow, emit, run_sweep
+from repro.harness import SweepRow
 from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [32, 64, 128]

@@ -11,7 +11,7 @@ guarantee). The sweep documents both observations.
 
 from repro.graphs import cycle_with_chords
 from repro.core.weighted_mwc import undirected_weighted_mwc_approx
-from repro.harness import SweepRow, emit
+from repro.harness import SweepRow
 from repro.cache import cached_exact_mwc as exact_mwc
 
 N = 96

@@ -12,7 +12,7 @@ import math
 from repro.congest import CongestNetwork
 from repro.core.ksource import k_source_bfs_on
 from repro.graphs import cycle_with_chords
-from repro.harness import SweepRow, emit
+from repro.harness import SweepRow
 from repro.cache import cached_k_source_distances as k_source_distances
 
 N, K = 192, 6

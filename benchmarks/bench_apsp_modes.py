@@ -11,7 +11,7 @@ derived MWC values must bracket correctly.
 
 from conftest import sparse_weighted
 from repro.core.apsp import apsp_approx, apsp_weighted_exact, mwc_via_approx_apsp
-from repro.harness import SweepRow, emit, run_sweep
+from repro.harness import SweepRow
 from repro.cache import cached_exact_mwc as exact_mwc
 
 SIZES = [32, 64, 128, 256]

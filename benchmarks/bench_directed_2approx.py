@@ -6,7 +6,6 @@ within [MWC, 2 MWC], and compares against the exact Õ(n)-round APSP
 algorithm on the largest instance to show the sublinear win.
 """
 
-import pytest
 
 from conftest import sparse_digraph
 from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx

@@ -7,7 +7,7 @@ bound growing ~ sqrt(n).
 
 import math
 
-from repro.harness import SweepRow, emit, run_sweep
+from repro.harness import SweepRow
 from repro.lowerbounds import (
     alpha_approx_directed_family,
     implied_round_bound,

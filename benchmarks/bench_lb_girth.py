@@ -17,7 +17,7 @@ Two parts, split by what is checkable at which scale:
 import math
 
 from repro.analysis.complexity import fit_exponent
-from repro.harness import SweepRow, emit, run_sweep
+from repro.harness import SweepRow
 from repro.lowerbounds import (
     girth_alpha_family,
     implied_round_bound,

@@ -11,7 +11,7 @@ Run:  python examples/landmark_routing.py
 import numpy as np
 
 from repro.core.ksource import k_source_bfs, k_source_sssp
-from repro.graphs import cycle_with_chords, erdos_renyi
+from repro.graphs import cycle_with_chords
 from repro.graphs.graph import INF
 from repro.sequential import k_source_distances, distances
 

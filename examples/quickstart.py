@@ -7,7 +7,6 @@ measured rounds, and a witness cycle.
 Run:  python examples/quickstart.py
 """
 
-from repro import Graph
 from repro.core.directed_mwc import directed_mwc_2approx
 from repro.core.exact_mwc import exact_mwc_congest
 from repro.graphs import planted_mwc

@@ -9,6 +9,8 @@ Commands
 ``verify-lb`` build + verify a lower-bound reduction instance
 ``cache``     inspect or clear the graph / ground-truth disk cache
 ``metrics``   summarize observability JSONL records (see repro.obs)
+``lint``      run congestlint, the CONGEST conformance analyzer
+              (see repro.lint and docs/static_analysis.md)
 
 ``mwc`` and ``apsp`` accept ``--metrics`` (print a per-phase round
 breakdown) and ``--metrics-out FILE`` (append the run's observability
@@ -164,6 +166,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the aggregated per-phase totals as JSON "
                         "instead of a table")
+
+    p = sub.add_parser("lint",
+                       help="run congestlint (CONGEST conformance rules)")
+    p.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                   help="files or directories to lint (default: src/repro "
+                        "resolved against the repository root)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format (default: text)")
+    p.add_argument("--rules", default=None, metavar="CL001,CL003",
+                   help="comma-separated subset of rule ids to run")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file (default: .congestlint.json at the "
+                        "repository root)")
+    p.add_argument("--fail-on-new", action="store_true",
+                   help="exit 0 when every finding is in the baseline, "
+                        "1 only for findings not baselined (the CI gate)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline to accept the current "
+                        "findings, then exit 0")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
     return parser
 
 
@@ -428,6 +451,87 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _repo_root() -> str:
+    """Repository root guess: the directory holding ``src/repro``."""
+    here = os.path.dirname(os.path.abspath(__file__))   # .../src/repro
+    return os.path.dirname(os.path.dirname(here))
+
+
+def cmd_lint(args) -> int:
+    """Handle `repro lint`: run congestlint over the given paths.
+
+    Exit codes: 0 clean (or all findings baselined under ``--fail-on-new``),
+    1 findings (or new findings), 2 usage/internal errors (argparse and
+    unreadable-baseline failures).
+    """
+    from repro.lint import (
+        BASELINE_FILENAME,
+        RULES,
+        all_rules,
+        diff_baseline,
+        load_baseline,
+        run_lint,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for spec in all_rules():
+            print(f"{spec.rule_id}  {spec.description}")
+        return 0
+
+    root = _repo_root()
+    paths = args.paths or [os.path.join(root, "src", "repro")]
+    rules = None
+    if args.rules:
+        rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    report = run_lint(paths, root=root, rules=rules)
+    baseline_path = args.baseline or os.path.join(root, BASELINE_FILENAME)
+
+    if args.update_baseline:
+        save_baseline(baseline_path, report.findings)
+        print(f"baseline updated: {len(report.findings)} finding(s) "
+              f"recorded in {baseline_path}")
+        return 0
+
+    if args.fail_on_new:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: unreadable baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        new, stale = diff_baseline(report.findings, baseline)
+        if args.format == "json":
+            print(json.dumps({
+                "new": [f.as_dict() for f in new],
+                "baselined": len(report.findings) - len(new),
+                "stale_baseline": [list(k) for k in stale],
+                "suppressed": len(report.suppressed),
+                "errors": report.errors,
+                "files_checked": report.files_checked,
+            }, indent=2, sort_keys=True))
+        else:
+            for f in new:
+                print(f.render())
+            for key in stale:
+                print(f"stale baseline entry (no longer occurs): "
+                      f"{key[0]}: {key[1]} {key[2]}")
+            print(f"{len(new)} new finding(s), "
+                  f"{len(report.findings) - len(new)} baselined, "
+                  f"{len(report.suppressed)} suppressed, "
+                  f"{report.files_checked} file(s) checked")
+        return 1 if (new or report.errors) else 0
+
+    print(report.render_json() if args.format == "json"
+          else report.render_text())
+    return 1 if (report.findings or report.errors) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro.congest.network import RoundBudgetExceeded, round_budget
@@ -442,6 +546,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify-lb": cmd_verify_lb,
         "cache": cmd_cache,
         "metrics": cmd_metrics,
+        "lint": cmd_lint,
     }
     try:
         # Commands that simulate CONGEST executions honor --max-rounds by

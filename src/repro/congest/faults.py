@@ -40,7 +40,7 @@ algorithm. See ``docs/fault_model.md`` for the taxonomy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 

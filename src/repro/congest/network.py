@@ -7,11 +7,16 @@ import contextvars
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.congest.batch import BatchedInbox
+from repro.congest.sanitize import (
+    sanitize_enabled,
+    verify_phase_partition,
+    verify_step,
+)
 from repro.graphs.graph import Graph, GraphError
 from repro.obs.phases import NULL_PHASE, PhaseAccumulator
 from repro.obs.registry import metrics_enabled
@@ -159,6 +164,10 @@ class CongestNetwork:
             self._identity_host = self._host == list(range(graph.n))
         # Communication neighbors per vertex (underlying undirected).
         self._comm: List[frozenset] = [frozenset(graph.neighbors(v)) for v in range(graph.n)]
+        # Ascending-order views of _comm, built lazily: emission loops must
+        # iterate deterministically (frozenset order is a hash-layout
+        # accident), and sorting once here beats sorting per round.
+        self._comm_sorted: List[Optional[Tuple[int, ...]]] = [None] * graph.n
         self.rounds = 0
         self.stats = NetworkStats()
         #: Per-node private key/value storage; algorithm code must only read
@@ -186,6 +195,20 @@ class CongestNetwork:
     def comm_neighbors(self, v: int) -> frozenset:
         """Communication (bidirectional) neighbors of vertex ``v``."""
         return self._comm[v]
+
+    def comm_neighbors_sorted(self, v: int) -> Tuple[int, ...]:
+        """Communication neighbors of ``v`` in ascending vertex order.
+
+        Emission loops must use this (or ``sorted``) rather than iterating
+        the raw frozenset: set iteration order depends on hash-table
+        layout, and any order leak into the message stream breaks replay
+        determinism and scalar/kernel bit-parity (congestlint CL003).
+        """
+        cached = self._comm_sorted[v]
+        if cached is None:
+            cached = tuple(sorted(self._comm[v]))
+            self._comm_sorted[v] = cached
+        return cached
 
     def host_of(self, v: int) -> int:
         """Physical node id that simulates vertex ``v``."""
@@ -291,6 +314,15 @@ class CongestNetwork:
         self.stats.words += n_words
         self.stats.local_messages += n_local
         self._check_round_budget()
+        if sanitize_enabled():
+            verify_step(
+                self,
+                ((u, v, payload, w)
+                 for u, outbox in outboxes.items()
+                 for v, msgs in outbox.items()
+                 for payload, w in msgs),
+                max_load, n_msgs, n_words, engine="dict")
+            verify_phase_partition(self)
         return inboxes
 
     # ------------------------------------------------------------------
@@ -381,6 +413,8 @@ class CongestNetwork:
             self.rounds += 1
             self.stats.record_step(0)
             self._check_round_budget()
+            if sanitize_enabled():
+                verify_phase_partition(self)
             return {} if grouped else BatchedInbox([], [], [])
         pair_keys, pair_link, link_hosts = self._link_index()
         if count <= _SCALAR_BATCH_LIMIT:
@@ -482,6 +516,15 @@ class CongestNetwork:
         self.stats.words += n_words
         self.stats.local_messages += count - n_remote
         self._check_round_budget()
+        if sanitize_enabled():
+            word_col_all = batch.words
+            verify_step(
+                self,
+                ((src_col[i], dst_col[i], payloads[i],
+                  1 if word_col_all is None else word_col_all[i])
+                 for i in range(count)),
+                max_load, count, n_words, engine="batch")
+            verify_phase_partition(self)
         if not grouped:
             return BatchedInbox(src_col, dst_col, payloads)
         inboxes: Dict[int, Inbox] = {}

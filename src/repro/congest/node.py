@@ -15,8 +15,8 @@ users who prefer writing genuinely distributed code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.network import CongestNetwork, Inbox, RoundBudgetExceeded
 

@@ -28,7 +28,12 @@ times O(1 / (1 - p)^2). See :mod:`repro.congest.primitives.reliable`.
 """
 
 from repro.congest.primitives.flood import BfsTree, build_bfs_tree
-from repro.congest.primitives.convergecast import converge_max, converge_min, converge_sum, convergecast
+from repro.congest.primitives.convergecast import (
+    converge_max,
+    converge_min,
+    converge_sum,
+    convergecast,
+)
 from repro.congest.primitives.broadcast import broadcast
 from repro.congest.primitives.bfs import bfs
 from repro.congest.primitives.multi_bfs import multi_source_bfs

@@ -8,7 +8,7 @@ convention: "after which all nodes know the result").
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork

@@ -58,7 +58,7 @@ def _build_bfs_tree_impl(net: CongestNetwork, root: int) -> BfsTree:
         wave = BatchedOutbox()
         for u in frontier:
             pair = (u, depth[u])
-            for v in net.comm_neighbors(u):
+            for v in net.comm_neighbors_sorted(u):
                 if depth[v] == -1:
                     wave.send(u, v, pair)
         if not wave:

@@ -13,7 +13,7 @@ forwarding, and tests assert the h + k + O(1) round bound).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.kernels import kernels_enabled, run_wave_kernel

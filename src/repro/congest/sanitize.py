@@ -1,0 +1,193 @@
+"""Opt-in runtime sanitizer for the CONGEST model contracts.
+
+``REPRO_SANITIZE=1`` (or the :func:`sanitizing` scope) arms cheap
+cross-checks inside ``CongestNetwork.exchange`` / ``exchange_batched``
+that re-derive, with independent scalar code, what the engines computed
+vectorized — the dynamic counterpart of congestlint's static rules:
+
+* **bandwidth**: per-physical-link word loads are recomputed from
+  ``_host``/``_comm`` with a plain dict walk and compared against the
+  engine's ``max_load``; in strict mode no load may exceed the bandwidth.
+* **word width**: every payload's information content must fit the words
+  declared for it, with a word worth ``8 * max(8, ceil(log2 n))`` bits —
+  a generous Θ(log n) so only genuine unbounded-payload bugs trip it.
+  Protocol tag strings count O(1) bits (finite alphabet); see
+  :func:`payload_bits`.
+* **traffic totals**: message and word counts recomputed scalar-side must
+  match what the engine charged to :class:`NetworkStats`.
+* **phase partition**: with metrics on, bucket sums must equal the flat
+  counters exactly (the repro.obs exactness contract).
+
+The sanitizer never changes accounting: it runs after the engine has
+charged the step and raises :class:`SanitizeViolation` on mismatch, so a
+sanitized run is bit-identical to an unsanitized one whenever it passes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+#: Environment switch, mirroring REPRO_BATCH / REPRO_KERNELS / REPRO_METRICS.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Programmatic override installed by :func:`sanitizing` (None = env decides).
+_FORCED: Optional[bool] = None
+
+
+class SanitizeViolation(RuntimeError):
+    """A runtime CONGEST-model contract check failed."""
+
+
+def sanitize_enabled() -> bool:
+    """Whether the runtime sanitizer is armed."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in _TRUTHY
+
+
+@contextmanager
+def sanitizing(enabled: bool = True) -> Iterator[None]:
+    """Scope forcing the sanitizer on (or off) regardless of environment."""
+    global _FORCED
+    prev = _FORCED
+    _FORCED = enabled
+    try:
+        yield
+    finally:
+        _FORCED = prev
+
+
+def word_bits(n: int) -> int:
+    """Bits one O(log n)-bit word may carry on an n-vertex network.
+
+    The constant (8×, floor 64) is deliberately loose: the check exists to
+    catch payloads whose size *grows* with the data (a dict of k entries
+    squeezed into one word), not to police constant factors.
+    """
+    return 8 * max(8, max(1, n).bit_length())
+
+
+def payload_bits(payload: object) -> int:
+    """Lower-bound information content of ``payload`` in bits.
+
+    Modeling choices (all lower bounds, to avoid false positives):
+    integers cost their bit length + sign; integer-valued floats cost the
+    integer's bits; non-integer floats cost 32 (truncatable mantissa);
+    ``inf``/``nan`` are O(1) sentinels; strings cost O(1) because message
+    tags come from a fixed protocol alphabet; containers add 2 bits of
+    structure per element.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, np.integer)):
+        return max(1, int(payload).bit_length()) + 1
+    if isinstance(payload, (float, np.floating)):
+        value = float(payload)
+        if math.isinf(value) or math.isnan(value):
+            return 2
+        if value == int(value) and abs(value) < 2 ** 53:
+            return max(1, int(value).bit_length()) + 1
+        return 32
+    if isinstance(payload, str):
+        return 8
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return max(2, sum(1 + payload_bits(item) for item in payload))
+    if isinstance(payload, dict):
+        return max(2, sum(2 + payload_bits(k) + payload_bits(v)
+                          for k, v in payload.items()))
+    if isinstance(payload, np.ndarray):
+        return max(2, 32 * int(payload.size))
+    return 64  # opaque object: charge one generous word
+
+
+def check_payload_width(payload: object, words: int, n: int) -> None:
+    """Raise if ``payload`` cannot fit in ``words`` O(log n)-bit words."""
+    budget = max(1, words) * word_bits(n)
+    need = payload_bits(payload)
+    if need > budget:
+        raise SanitizeViolation(
+            f"payload needs >= {need} bits but is charged {words} word(s) "
+            f"= {budget} bits on an n={n} network; congestlint CL004 class "
+            f"violation (payload: {type(payload).__name__})")
+
+
+def verify_step(
+    net,
+    messages: Iterable[Tuple[int, int, object, int]],
+    reported_max_load: int,
+    reported_messages: int,
+    reported_words: int,
+    engine: str,
+) -> None:
+    """Re-derive one exchange step scalar-side and compare to the engine.
+
+    ``messages`` yields ``(u, v, payload, words)`` in emission order. The
+    recompute uses only ``_host``/``_comm`` — none of the link-index
+    machinery the batched engines rely on — so an indexing bug cannot hide
+    from its own checker.
+    """
+    n = net.n
+    host = net._host
+    comm = net._comm
+    loads: Dict[Tuple[int, int], int] = {}
+    n_msgs = 0
+    n_words = 0
+    for u, v, payload, words in messages:
+        if v not in comm[u]:
+            raise SanitizeViolation(
+                f"[{engine}] message {u}->{v} crosses a non-edge yet was "
+                f"delivered; locality validation is broken")
+        check_payload_width(payload, words, n)
+        n_msgs += 1
+        n_words += words
+        hu, hv = host[u], host[v]
+        if hu != hv:
+            loads[(hu, hv)] = loads.get((hu, hv), 0) + words
+    max_load = max(loads.values(), default=0)
+    if max_load != reported_max_load:
+        raise SanitizeViolation(
+            f"[{engine}] engine charged max link load {reported_max_load} "
+            f"but scalar recompute finds {max_load}")
+    if n_msgs != reported_messages or n_words != reported_words:
+        raise SanitizeViolation(
+            f"[{engine}] engine recorded {reported_messages} messages / "
+            f"{reported_words} words; scalar recompute finds {n_msgs} / "
+            f"{n_words}")
+    if net.strict and max_load > net.bandwidth:
+        raise SanitizeViolation(
+            f"[{engine}] link load {max_load} exceeds bandwidth "
+            f"{net.bandwidth} but the engine did not reject the step")
+
+
+def verify_phase_partition(net) -> None:
+    """Assert phase buckets exactly partition the flat counters.
+
+    Flushing mid-phase is attribution-neutral: the pending delta belongs
+    to the currently open bucket either way (only wall-seconds attribution
+    shifts, which nothing asserts on).
+    """
+    acc = net._phases
+    if acc is None:
+        return
+    acc.flush(net._phase_snapshot())
+    totals = [0, 0, 0, 0]
+    for stats in acc.stats.values():
+        totals[0] += stats.rounds
+        totals[1] += stats.steps
+        totals[2] += stats.messages
+        totals[3] += stats.words
+    flat = (net.rounds, net.stats.steps, net.stats.messages, net.stats.words)
+    if tuple(totals) != flat:
+        raise SanitizeViolation(
+            "phase buckets do not partition the flat counters: buckets sum "
+            f"to (rounds={totals[0]}, steps={totals[1]}, "
+            f"messages={totals[2]}, words={totals[3]}) but the network "
+            f"holds (rounds={flat[0]}, steps={flat[1]}, messages={flat[2]}, "
+            f"words={flat[3]})")

@@ -14,7 +14,7 @@ marked truncated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.congest.network import CongestNetwork
 

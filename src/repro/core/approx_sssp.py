@@ -12,12 +12,11 @@ Round cost: O((h* + k) log(hW)) = Õ(h/eps + k), measured by the simulator.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.waves import multi_source_wave
-from repro.graphs.graph import Graph, INF
+from repro.graphs.graph import INF
 from repro.graphs.scaling import hop_budget, scale_ladder, unscale_value
 
 

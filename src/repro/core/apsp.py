@@ -18,7 +18,7 @@ the exact Table 1 rows.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.convergecast import converge_min

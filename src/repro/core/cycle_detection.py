@@ -77,12 +77,13 @@ def detect_two_cycle_on(net: CongestNetwork) -> Tuple[bool, int]:
     g = net.graph
     if not g.directed:
         raise GraphError("two-cycle detection expects a directed graph")
-    outboxes = {}
-    for v in range(g.n):
-        msgs = {u: [(("edge", v), 1)] for u in g.out_neighbors(v)}
-        if msgs:
-            outboxes[v] = msgs
-    inboxes = net.exchange(outboxes)
+    with net.phase("two-cycle-probe"):
+        outboxes = {}
+        for v in range(g.n):
+            msgs = {u: [(("edge", v), 1)] for u in g.out_neighbors(v)}
+            if msgs:
+                outboxes[v] = msgs
+        inboxes = net.exchange(outboxes)
     hit = [0] * g.n
     for v, by_sender in inboxes.items():
         for u in by_sender:

@@ -87,7 +87,8 @@ def distance_summary(
     # The per-source maxima above aggregate values held at *other* vertices;
     # charge the pipelined aggregation explicitly: n values through a BFS
     # tree, O(n + D) rounds.
-    net.charge_rounds(n + net.diameter_upper_bound())
+    with net.phase("ecc-aggregation"):
+        net.charge_rounds(n + net.diameter_upper_bound())
     radius = converge_min(net, ecc)
     diameter = converge_max(net, ecc)
     return DistanceSummary(

@@ -35,7 +35,7 @@ from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.multi_bfs import multi_source_bfs
 from repro.core.girth import _exchange_vectors
 from repro.core.results import AlgorithmResult
-from repro.graphs.graph import Graph, GraphError, INF
+from repro.graphs.graph import Graph, INF
 
 
 def apsp_unweighted_on(net: CongestNetwork, reverse: bool = False

@@ -69,7 +69,7 @@ def _exchange_vectors(
         for v in range(net.n):
             vec = vectors[v]
             words = max(1, 2 * len(vec))
-            for u in net.comm_neighbors(v):
+            for u in net.comm_neighbors_sorted(v):
                 batch.send(v, u, vec, words)
         result: List[Dict[int, Dict[int, Tuple[float, int]]]] = [dict() for _ in range(net.n)]
         inboxes = (net.exchange_batched(batch) if fast_path(net)

@@ -1,5 +1,9 @@
 """Algorithm 3 (§3.1): restricted BFS with phase-overflow handling.
 
+# congestlint: disable-file=CL005 — callers (directed_mwc, weighted_mwc)
+# open the net.phase("restricted-bfs") scope around every entry point, so
+# this module's traffic is always attributed; it must not nest scopes.
+
 Components, mapped to the paper's pseudocode:
 
 * ``build_rv`` — lines 2-8: the local, iterative construction of
@@ -30,7 +34,6 @@ import numpy as np
 
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.network import CongestNetwork
-from repro.congest.primitives.multi_bfs import multi_source_bfs
 from repro.congest.primitives.waves import multi_source_wave
 from repro.graphs.graph import INF
 
@@ -241,7 +244,7 @@ def restricted_bfs(
     for v in range(n):
         payload = (dict(d_to_s[v]), dict(d_from_s[v]))
         words = max(1, len(d_to_s[v]) + len(d_from_s[v]))
-        msgs = {u: [(payload, words)] for u in net.comm_neighbors(v)}
+        msgs = {u: [(payload, words)] for u in net.comm_neighbors_sorted(v)}
         if msgs:
             outboxes[v] = msgs
     nbr_dist: List[Dict[int, Tuple[Dict[int, float], Dict[int, float]]]] = [

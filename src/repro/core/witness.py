@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.graphs.graph import Graph, GraphError, INF
+from repro.graphs.graph import Graph, GraphError
 
 
 def path_from_parents(

@@ -201,7 +201,8 @@ class Graph:
             value = self._cache[key] = build()
             return value
 
-    def csr(self, reverse: bool = False) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], int]:
+    def csr(self, reverse: bool = False
+            ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], int]:
         """Cached CSR view of the (out- or in-) adjacency.
 
         Returns ``(indptr, indices, weights, wmax)`` where ``indptr`` has

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Tuple
 
-from repro.graphs.graph import Graph, GraphError, INF
+from repro.graphs.graph import Graph, GraphError
 
 
 def degree_statistics(g: Graph) -> Dict[str, float]:

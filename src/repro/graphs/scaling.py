@@ -15,7 +15,7 @@ These facts are property-tested in ``tests/test_scaling.py``.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 from repro.graphs.graph import Graph
 

@@ -1,0 +1,39 @@
+"""congestlint — static conformance analysis for the CONGEST simulator.
+
+Public surface:
+
+* :func:`run_lint` / :func:`lint_source` — execute the rule set;
+* :class:`Finding`, :class:`LintReport` — result model;
+* :data:`RULES` / :func:`all_rules` — the registered rule specs;
+* baseline helpers for the ``--fail-on-new`` CI gate.
+
+See ``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from repro.lint.baseline import (
+    BASELINE_FILENAME,
+    diff_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.findings import Finding, Suppressions, split_suppressed
+from repro.lint.rules import RULES, LintContext, RuleSpec, all_rules
+from repro.lint.runner import LintReport, discover, lint_source, run_lint
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "RuleSpec",
+    "Suppressions",
+    "all_rules",
+    "diff_baseline",
+    "discover",
+    "lint_source",
+    "load_baseline",
+    "run_lint",
+    "save_baseline",
+    "split_suppressed",
+]

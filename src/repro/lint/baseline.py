@@ -1,0 +1,70 @@
+"""Baseline handling: legacy findings that do not fail the CI gate.
+
+The baseline file (``.congestlint.json`` at the repo root) records
+accepted findings keyed by ``(path, rule, message)`` — line numbers are
+excluded so edits elsewhere in a file don't resurrect old findings.
+``repro lint --fail-on-new`` fails only on findings absent from the
+baseline, and reports baseline entries that no longer occur so the file
+can be shrunk over time rather than rot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_FILENAME = ".congestlint.json"
+
+_Key = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Dict[_Key, int]:
+    """Baseline keys -> accepted count. Missing file = empty baseline."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    counts: Dict[_Key, int] = {}
+    for entry in data.get("findings", []):
+        key = (entry["path"], entry["rule"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new accepted baseline."""
+    counts: Dict[_Key, int] = {}
+    for f in findings:
+        counts[f.baseline_key()] = counts.get(f.baseline_key(), 0) + 1
+    entries = [
+        {"path": p, "rule": r, "message": m, "count": c}
+        for (p, r, m), c in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "findings": entries}, handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def diff_baseline(
+    findings: Sequence[Finding], baseline: Dict[_Key, int]
+) -> Tuple[List[Finding], List[_Key]]:
+    """Split findings into (new, stale-baseline-keys).
+
+    A finding is *new* if its key occurs more times than the baseline
+    accepts. A baseline key is *stale* if the current run produced fewer
+    occurrences than recorded (the code improved; the entry can go).
+    """
+    seen: Dict[_Key, int] = {}
+    new: List[Finding] = []
+    for f in findings:
+        key = f.baseline_key()
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] > baseline.get(key, 0):
+            new.append(f)
+    stale = [key for key, count in sorted(baseline.items())
+             if seen.get(key, 0) < count]
+    return new, stale

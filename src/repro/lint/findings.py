@@ -1,0 +1,106 @@
+"""Finding model and inline-suppression handling for congestlint.
+
+A :class:`Finding` is one rule violation at a source location. Suppressions
+are source comments understood by the runner:
+
+* ``# congestlint: disable=CL003`` on the offending line silences the named
+  rule(s) (comma-separated) for that line only;
+* ``# congestlint: disable=all`` silences every rule on that line;
+* ``# congestlint: disable-file=CL005`` anywhere in the first ten lines of
+  a file silences the rule(s) for the whole file.
+
+Suppression never deletes information silently: the runner counts
+suppressed findings and reports the total, so a rule muffled everywhere
+still shows up in ``repro lint``'s summary line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+#: Matches one inline suppression directive inside a comment.
+_DIRECTIVE = re.compile(
+    r"#\s*congestlint:\s*(disable|disable-file)\s*=\s*"
+    r"(all|CL\d{3}(?:\s*,\s*CL\d{3})*)",
+    re.IGNORECASE,
+)
+
+#: Sentinel rule set meaning "every rule".
+ALL_RULES: FrozenSet[str] = frozenset({"all"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line textual form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (stable key order for tooling)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Line numbers are deliberately excluded so unrelated edits above a
+        legacy finding do not turn it into a "new" one.
+        """
+        return (self.path, self.rule, self.message)
+
+
+class Suppressions:
+    """Per-file suppression table parsed from the raw source lines."""
+
+    def __init__(self, source: str):
+        self.line_rules: Dict[int, FrozenSet[str]] = {}
+        self.file_rules: FrozenSet[str] = frozenset()
+        file_wide: set = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(text)
+            if not match:
+                continue
+            kind = match.group(1).lower()
+            spec = match.group(2)
+            rules = (ALL_RULES if spec.lower() == "all" else frozenset(
+                part.strip().upper() for part in spec.split(",")))
+            if kind == "disable-file" and lineno <= 10:
+                file_wide |= rules
+            elif kind == "disable":
+                self.line_rules[lineno] = self.line_rules.get(
+                    lineno, frozenset()) | rules
+        self.file_rules = frozenset(file_wide)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is muted by a directive."""
+        for rules in (self.file_rules,
+                      self.line_rules.get(finding.line, frozenset())):
+            if "all" in rules or finding.rule in rules:
+                return True
+        return False
+
+
+def split_suppressed(
+    findings: Sequence[Finding], suppressions: Suppressions
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition ``findings`` into (active, suppressed)."""
+    active: List[Finding] = []
+    muted: List[Finding] = []
+    for f in findings:
+        (muted if suppressions.is_suppressed(f) else active).append(f)
+    return active, muted

@@ -1,0 +1,591 @@
+"""congestlint rules: AST checks for the repository's CONGEST model contracts.
+
+Every rule targets a contract the simulator, the parity suites, or the
+paper's accounting depend on but that no runtime check can see statically:
+
+========  ==============================================================
+CL001     cross-node state access from node-program code
+CL002     traffic or counter mutation bypassing ``exchange`` accounting
+CL003     nondeterminism hazards (unseeded RNG, wall clock, iteration
+          over unordered collections feeding message emission)
+CL004     variable-size payloads charged as a single O(log n)-bit word
+CL005     core algorithm traffic outside any ``net.phase(...)`` scope
+CL006     bare ``except:`` / ``except Exception: pass`` swallowing
+CL007     mutation of consumed exchange inboxes
+CL008     ``exchange_batched`` without an engine gate or dict fallback
+========  ==============================================================
+
+Rules are deliberately heuristic (static analysis cannot prove dynamic
+properties); false positives are handled by inline suppressions or the
+committed baseline, never by weakening a rule to silence.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding
+
+#: Modules allowed to touch raw counters / build inboxes: they *are* the
+#: accounting layer the other rules protect.
+_SIMULATOR_CORE = (
+    "congest/network.py",
+    "congest/batch.py",
+    "congest/kernels.py",
+    "congest/faults.py",
+    "congest/trace.py",
+    "congest/sanitize.py",
+    "congest/node.py",
+    "congest/primitives/reliable.py",
+    "obs/phases.py",
+)
+
+#: Modules whose business is wall-clock measurement (CL003 clock check).
+_CLOCK_EXEMPT = (
+    "obs/",
+    "harness.py",
+    "congest/network.py",
+    "cache.py",
+)
+
+#: Names that look like a message-emission sink inside a loop body.
+_EMISSION_ATTRS = {"send", "append", "appendleft", "exchange",
+                   "exchange_batched", "extend"}
+
+#: Root-name pattern identifying exchange inboxes (CL007).
+_INBOX_NAME = re.compile(r"(^|_)(inbox|inboxes)$")
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs about one file."""
+
+    path: str          # normalized, forward-slash, repo-relative-ish
+    source: str
+    tree: ast.Module
+
+    def in_simulator_core(self) -> bool:
+        return any(self.path.endswith(suffix) for suffix in _SIMULATOR_CORE)
+
+    def is_core_algorithm(self) -> bool:
+        return "/core/" in f"/{self.path}"
+
+    def clock_exempt(self) -> bool:
+        return any(part in self.path for part in _CLOCK_EXEMPT)
+
+
+Rule = Callable[[LintContext], List[Finding]]
+
+#: rule id -> (one-line description, checker). Populated by ``_rule``.
+RULES: Dict[str, "RuleSpec"] = {}
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A registered rule: id, human description, checker callable."""
+
+    rule_id: str
+    description: str
+    check: Rule
+
+
+def _rule(rule_id: str, description: str):
+    def register(fn: Rule) -> Rule:
+        RULES[rule_id] = RuleSpec(rule_id, description, fn)
+        return fn
+    return register
+
+
+def _finding(ctx: LintContext, node: ast.AST, rule_id: str,
+             message: str) -> Finding:
+    return Finding(path=ctx.path, line=getattr(node, "lineno", 1),
+                   col=getattr(node, "col_offset", 0) + 1,
+                   rule=rule_id, message=message)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string, or None for non-trivial expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name of ``x.attr(...)`` calls, else None."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# ----------------------------------------------------------------------
+# CL001 — cross-node state access in node-program code
+# ----------------------------------------------------------------------
+def _node_program_classes(tree: ast.Module) -> List[ast.ClassDef]:
+    """Classes that are (or behave like) ``NodeProgram`` subclasses."""
+    classes = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names = {(_dotted(b) or "").rsplit(".", 1)[-1]
+                      for b in node.bases}
+        defines_on_round = any(
+            isinstance(item, ast.FunctionDef) and item.name == "on_round"
+            for item in node.body)
+        if "NodeProgram" in base_names or defines_on_round:
+            classes.append(node)
+    return classes
+
+
+def _module_mutable_globals(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to mutable containers (shared state)."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_mutable_container(value):
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+    return names
+
+
+def _is_mutable_container(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "defaultdict",
+                                "deque", "Counter"}
+    return False
+
+
+@_rule("CL001", "node-program code reaching across node boundaries")
+def check_cross_node_state(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    mutable_globals = _module_mutable_globals(ctx.tree)
+    for cls in _node_program_classes(ctx.tree):
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name == "setup":
+                continue  # setup legitimately receives the local view
+            for node in ast.walk(method):
+                if isinstance(node, ast.Name) and node.id in {"net", "network"}:
+                    findings.append(_finding(
+                        ctx, node, "CL001",
+                        f"node program {cls.name}.{method.name} touches the "
+                        f"network object '{node.id}'; node code may only use "
+                        "its own view, state, and inbox"))
+                elif (isinstance(node, ast.Attribute)
+                        and node.attr == "state"
+                        and not (isinstance(node.value, ast.Name)
+                                 and node.value.id == "self")):
+                    findings.append(_finding(
+                        ctx, node, "CL001",
+                        f"node program {cls.name}.{method.name} reads "
+                        f"'{_dotted(node) or 'state'}'; per-node state of "
+                        "other vertices is not locally observable"))
+                elif (isinstance(node, ast.Name)
+                        and node.id in mutable_globals
+                        and isinstance(node.ctx, (ast.Load, ast.Store))):
+                    findings.append(_finding(
+                        ctx, node, "CL001",
+                        f"node program {cls.name}.{method.name} uses module-"
+                        f"level mutable state '{node.id}'; shared globals "
+                        "are invisible communication between nodes"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CL002 — accounting bypass
+# ----------------------------------------------------------------------
+_COUNTER_ATTRS = {"rounds", "messages", "words", "local_messages",
+                  "max_link_load", "steps"}
+
+
+@_rule("CL002", "traffic or counters bypassing exchange accounting")
+def check_accounting_bypass(ctx: LintContext) -> List[Finding]:
+    if ctx.in_simulator_core():
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        target: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            target = node.target
+        if isinstance(target, ast.Attribute):
+            dotted = _dotted(target) or target.attr
+            if target.attr == "rounds" or (
+                    target.attr in _COUNTER_ATTRS
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "stats"):
+                findings.append(_finding(
+                    ctx, node, "CL002",
+                    f"direct write to '{dotted}'; round/traffic counters "
+                    "may only move through exchange/charge_rounds"))
+        if isinstance(node, ast.Call):
+            if _call_attr(node) == "record_step":
+                findings.append(_finding(
+                    ctx, node, "CL002",
+                    "direct NetworkStats.record_step call bypasses the "
+                    "exchange step accounting"))
+            elif (isinstance(node.func, ast.Name)
+                    and node.func.id == "BatchedInbox"):
+                findings.append(_finding(
+                    ctx, node, "CL002",
+                    "constructing BatchedInbox delivers payloads without "
+                    "exchange word accounting"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CL003 — nondeterminism hazards
+# ----------------------------------------------------------------------
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _setish_names(func: ast.AST) -> Set[str]:
+    """Names assigned from set-typed expressions within ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is not None and _is_setish(value, names):
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+    return names
+
+
+def _is_setish(node: ast.expr, known: Set[str] = frozenset()) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {
+                "set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+                "comm_neighbors", "intersection", "union", "difference",
+                "symmetric_difference"}:
+            return True
+    if isinstance(node, ast.Name) and node.id in known:
+        return True
+    return False
+
+
+def _emits_messages(body: Sequence[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if _call_attr(node) in _EMISSION_ATTRS:
+                return True
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "schedule"):
+                return True
+    return False
+
+
+@_rule("CL003", "nondeterminism hazards in algorithm logic")
+def check_nondeterminism(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    numpy_names = _numpy_aliases(ctx.tree)
+
+    for node in ast.walk(ctx.tree):
+        # (a) RNG draws not routed through seeded generators.
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            findings.append(_finding(
+                ctx, node, "CL003",
+                "stdlib 'random' is process-global and unseeded per vertex; "
+                "use net.node_rng(v) / numpy Generators derived from the "
+                "network seed"))
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted:
+                root, _, rest = dotted.partition(".")
+                if root == "random" and rest:
+                    findings.append(_finding(
+                        ctx, node, "CL003",
+                        f"'{dotted}' draws from the process-global RNG; "
+                        "route randomness through the per-vertex seeded "
+                        "generators"))
+                elif (root in numpy_names and rest.startswith("random.")):
+                    tail = dotted.rsplit(".", 1)[-1]
+                    if tail != "default_rng":
+                        findings.append(_finding(
+                            ctx, node, "CL003",
+                            f"'{dotted}' uses numpy's global RNG state; "
+                            "draw from an explicit seeded Generator"))
+                    elif not node.args and not node.keywords:
+                        findings.append(_finding(
+                            ctx, node, "CL003",
+                            "default_rng() without a seed gives a fresh "
+                            "entropy-seeded generator; derive it from the "
+                            "network seed instead"))
+            # (b) wall clock inside algorithm logic.
+            if dotted and not ctx.clock_exempt():
+                root, _, tail = dotted.rpartition(".")
+                if root in {"time", "datetime", "datetime.datetime"} and \
+                        tail in {"time", "perf_counter", "monotonic",
+                                 "process_time", "now", "utcnow", "today"}:
+                    findings.append(_finding(
+                        ctx, node, "CL003",
+                        f"wall-clock call '{dotted}' in algorithm logic; "
+                        "simulated executions must be time-independent"))
+
+    # (c) iteration over unordered collections where order can reach the
+    # message stream (the kernel/scalar bit-parity bug class).
+    scopes = list(_functions(ctx.tree)) or [ctx.tree]
+    for scope in scopes:
+        known = _setish_names(scope)
+        for node in ast.walk(scope):
+            if isinstance(node, ast.For) and _is_setish(node.iter, known):
+                if _emits_messages(node.body):
+                    findings.append(_finding(
+                        ctx, node, "CL003",
+                        "iteration over an unordered set feeds message "
+                        "emission; iterate sorted(...) so engine parity "
+                        "and replay determinism hold"))
+            elif isinstance(node, (ast.DictComp, ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_setish(gen.iter, known):
+                        findings.append(_finding(
+                            ctx, node, "CL003",
+                            "comprehension over an unordered set; if the "
+                            "result feeds messages the emission order is "
+                            "not deterministic — iterate sorted(...)"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CL004 — unbounded payloads charged as one word
+# ----------------------------------------------------------------------
+def _container_names(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is not None and _is_container(value, names):
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+    return names
+
+
+def _is_container(node: ast.expr, known: Set[str] = frozenset()) -> bool:
+    """Variable-size container expressions (fixed-arity tuples excluded)."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "sorted"}
+    if isinstance(node, ast.Name) and node.id in known:
+        return True
+    return False
+
+
+@_rule("CL004", "variable-size payload charged as one word")
+def check_unbounded_payload(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for scope in list(_functions(ctx.tree)) or [ctx.tree]:
+        known = _container_names(scope)
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_attr(node) == "send":
+                has_words = (len(node.args) >= 4
+                             or any(kw.arg == "words" for kw in node.keywords))
+                if (not has_words and len(node.args) >= 3
+                        and _is_container(node.args[2], known)):
+                    findings.append(_finding(
+                        ctx, node, "CL004",
+                        "send() of a variable-size container defaults to "
+                        "one word; pass an explicit words= bound so the "
+                        "O(log n)-bit accounting stays truthful"))
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Tuple) and len(node.elts) == 2
+                and isinstance(node.elts[1], ast.Constant)
+                and node.elts[1].value == 1
+                and _is_container(node.elts[0])):
+            findings.append(_finding(
+                ctx, node, "CL004",
+                "message tuple charges 1 word for a variable-size "
+                "container payload; compute the word count from the "
+                "payload size"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CL005 — traffic outside any phase scope in core algorithms
+# ----------------------------------------------------------------------
+_TRAFFIC_ATTRS = {"exchange", "exchange_batched", "charge_rounds"}
+
+
+@_rule("CL005", "core-algorithm traffic outside any net.phase(...) scope")
+def check_phase_contract(ctx: LintContext) -> List[Finding]:
+    if not ctx.is_core_algorithm():
+        return []
+    has_phase = any(_call_attr(node) == "phase"
+                    for node in ast.walk(ctx.tree))
+    if has_phase:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        attr = _call_attr(node)
+        if attr in _TRAFFIC_ATTRS:
+            findings.append(_finding(
+                ctx, node, "CL005",
+                f"'{attr}' in a core algorithm module that never opens a "
+                "net.phase(...) scope; rounds land in the (unscoped) "
+                "bucket and break per-phase attribution"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CL006 — exception swallowing
+# ----------------------------------------------------------------------
+@_rule("CL006", "bare or swallowing exception handlers")
+def check_bare_except(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(_finding(
+                ctx, node, "CL006",
+                "bare 'except:' catches SystemExit/KeyboardInterrupt and "
+                "hides simulator invariant violations; name the exception"))
+        elif (isinstance(node.type, ast.Name)
+                and node.type.id in {"Exception", "BaseException"}
+                and all(isinstance(s, ast.Pass) for s in node.body)):
+            findings.append(_finding(
+                ctx, node, "CL006",
+                f"'except {node.type.id}: pass' silently swallows "
+                "failures, including accounting violations"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CL007 — mutation of consumed inboxes
+# ----------------------------------------------------------------------
+def _inbox_root(node: ast.expr) -> Optional[str]:
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name) and _INBOX_NAME.search(node.id):
+        return node.id
+    return None
+
+
+@_rule("CL007", "mutation of a consumed exchange inbox")
+def check_inbox_mutation(ctx: LintContext) -> List[Finding]:
+    if ctx.in_simulator_core():
+        return []  # the simulator legitimately *builds* inboxes
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                root = _inbox_root(target)
+                if root:
+                    findings.append(_finding(
+                        ctx, node, "CL007",
+                        f"del on inbox '{root}'; delivered inboxes are "
+                        "read-only records of the step's traffic"))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    root = _inbox_root(target)
+                    if root:
+                        findings.append(_finding(
+                            ctx, node, "CL007",
+                            f"assignment into inbox '{root}'; delivered "
+                            "inboxes are read-only"))
+        elif isinstance(node, ast.Call):
+            attr = _call_attr(node)
+            if attr in {"pop", "popitem", "clear", "setdefault", "update"}:
+                root = _inbox_root(node.func.value)
+                if root:
+                    findings.append(_finding(
+                        ctx, node, "CL007",
+                        f"'{attr}' mutates inbox '{root}'; delivered "
+                        "inboxes are read-only"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CL008 — engine-gate misuse
+# ----------------------------------------------------------------------
+_GATE_NAMES = {"fast_path", "kernel_path", "batching_supported",
+               "kernels_enabled", "batching_enabled"}
+
+
+@_rule("CL008", "exchange_batched without an engine gate or fallback")
+def check_engine_gate(ctx: LintContext) -> List[Finding]:
+    if ctx.in_simulator_core():
+        return []
+    findings: List[Finding] = []
+    for func in _functions(ctx.tree):
+        batched_calls = []
+        gated = False
+        has_dict_fallback = False
+        for node in ast.walk(func):
+            attr = _call_attr(node)
+            if attr == "exchange_batched":
+                batched_calls.append(node)
+            elif attr == "exchange" or attr == "to_outboxes":
+                has_dict_fallback = True
+            elif attr in _GATE_NAMES:
+                gated = True
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _GATE_NAMES):
+                gated = True
+        if batched_calls and not gated and not has_dict_fallback:
+            findings.append(_finding(
+                ctx, batched_calls[0], "CL008",
+                f"function '{func.name}' calls exchange_batched without "
+                "consulting fast_path()/kernel_path() or keeping a dict-"
+                "exchange fallback; faulty/traced/reliable networks would "
+                "silently bypass their hooks"))
+    return findings
+
+
+def all_rules() -> List[RuleSpec]:
+    """Registered rules in rule-id order."""
+    return [RULES[rid] for rid in sorted(RULES)]

@@ -1,0 +1,116 @@
+"""File discovery, rule execution, and report formatting for congestlint.
+
+The runner walks the requested paths, parses each Python file once, runs
+every registered rule over the module AST, filters inline suppressions,
+and (optionally) subtracts the committed baseline. Output is plain text
+(``path:line:col: CLxxx message``) or JSON for tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding, Suppressions, split_suppressed
+from repro.lint.rules import LintContext, all_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def _normalize(path: str, root: Optional[str]) -> str:
+    """Repo-relative forward-slash path for stable reports/baselines."""
+    if root:
+        try:
+            path = os.path.relpath(path, root)
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")
+
+
+def discover(paths: Sequence[str]) -> List[str]:
+    """Python files under ``paths`` (files kept as-is), sorted."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(set(files))
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"error: {e}" for e in self.errors)
+        lines.append(
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps({
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "errors": list(self.errors),
+            "files_checked": self.files_checked,
+        }, indent=2, sort_keys=True)
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Iterable[str]] = None
+                ) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one source string; returns (active, suppressed) findings.
+
+    ``rules`` optionally restricts the run to the given rule ids.
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = LintContext(path=path, source=source, tree=tree)
+    wanted = set(rules) if rules is not None else None
+    found: List[Finding] = []
+    for spec in all_rules():
+        if wanted is not None and spec.rule_id not in wanted:
+            continue
+        found.extend(spec.check(ctx))
+    found.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return split_suppressed(found, Suppressions(source))
+
+
+def run_lint(paths: Sequence[str], root: Optional[str] = None,
+             rules: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint every Python file under ``paths``."""
+    report = LintReport()
+    for filename in discover(paths):
+        rel = _normalize(filename, root)
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.errors.append(f"{rel}: unreadable ({exc})")
+            continue
+        try:
+            active, muted = lint_source(source, path=rel, rules=rules)
+        except SyntaxError as exc:
+            report.errors.append(f"{rel}: syntax error ({exc.msg} at "
+                                 f"line {exc.lineno})")
+            continue
+        report.files_checked += 1
+        report.findings.extend(active)
+        report.suppressed.extend(muted)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

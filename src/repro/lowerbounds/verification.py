@@ -21,7 +21,6 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.graphs.graph import Graph
 from repro.lowerbounds.constructions import LowerBoundInstance
 from repro.lowerbounds.set_disjointness import (
     DisjointnessInstance,

@@ -26,7 +26,7 @@ from __future__ import annotations
 import contextlib
 import os
 import time
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional
 
 #: Environment variable enabling observability; unset or ``"0"`` means off.
 METRICS_ENV = "REPRO_METRICS"

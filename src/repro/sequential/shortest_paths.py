@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.graphs.graph import Graph, INF
 

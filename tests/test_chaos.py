@@ -206,3 +206,44 @@ class TestChaosObservabilityInterplay:
         assert plain.fault_stats.as_dict() == traced.fault_stats.as_dict()
         assert plain.phase_report() == {}
         assert traced.phase_report() != {}
+
+
+class TestSanitizerUnderFaults:
+    """The runtime sanitizer composes with fault injection.
+
+    FaultyNetwork delegates survivor accounting to the base exchange, so
+    an armed sanitizer re-verifies exactly the delivered (post-drop)
+    traffic — and must neither perturb the fault sequence nor false-alarm
+    on retransmission envelopes.
+    """
+
+    def _bfs_run(self, sanitize):
+        from repro.congest.sanitize import sanitizing
+
+        g = chaos_graph(4, weighted=False)
+        faulty = FaultyNetwork(g, FaultPlan(drop_rate=0.2), seed=11)
+        with sanitizing(sanitize):
+            dist = reliable_bfs(faulty, 0)
+        return faulty, dist
+
+    def test_sanitized_faulty_run_is_bit_identical(self):
+        plain_net, plain = self._bfs_run(sanitize=False)
+        armed_net, armed = self._bfs_run(sanitize=True)
+        assert plain == armed
+        assert plain_net.rounds == armed_net.rounds
+        assert plain_net.stats.messages == armed_net.stats.messages
+        assert plain_net.stats.words == armed_net.stats.words
+        assert (plain_net.fault_stats.as_dict()
+                == armed_net.fault_stats.as_dict())
+        assert plain_net.fault_stats.dropped_messages > 0
+
+    def test_sanitizer_still_fires_through_fault_layer(self):
+        from repro.congest.sanitize import SanitizeViolation, sanitizing
+
+        g = chaos_graph(2, weighted=False)
+        faulty = FaultyNetwork(g, FaultPlan(), seed=3)
+        fat = {i: i for i in range(60)}
+        with sanitizing():
+            with pytest.raises(SanitizeViolation):
+                faulty.exchange({0: {next(iter(sorted(g.neighbors(0)))):
+                                     [(fat, 1)]}})

@@ -17,10 +17,7 @@ from repro.congest.primitives import (
 from repro.core.directed_mwc import DirectedMwcParams, directed_mwc_2approx
 from repro.core.girth import GirthParams, girth_2approx
 from repro.core.ksource import k_source_bfs, k_source_sssp
-from repro.core.weighted_mwc import (
-    WeightedMwcParams,
-    undirected_weighted_mwc_approx,
-)
+from repro.core.weighted_mwc import undirected_weighted_mwc_approx
 from repro.graphs import Graph, cycle_graph, erdos_renyi
 from repro.graphs.graph import GraphError, INF
 from repro.sequential import exact_mwc, k_source_distances

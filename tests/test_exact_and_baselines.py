@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.baselines import PrtParams, exact_girth_congest, girth_prt
+from repro.core.baselines import exact_girth_congest, girth_prt
 from repro.core.exact_mwc import exact_mwc_congest
 from repro.core.girth import girth_2approx
 from repro.graphs import Graph, cycle_graph, cycle_with_chords, erdos_renyi

@@ -14,7 +14,7 @@ from repro.congest import (
     round_budget,
 )
 from repro.congest.node import BfsProgram, MinAggregationProgram, run_programs
-from repro.congest.primitives import bfs, broadcast, build_bfs_tree, converge_min
+from repro.congest.primitives import bfs, broadcast
 from repro.core.directed_mwc import directed_mwc_2approx_on
 from repro.core.exact_mwc import exact_mwc_congest_on
 from repro.core.girth import girth_2approx_on
@@ -258,7 +258,6 @@ class TestCrashes:
     def test_crashed_source_degrades_bfs_gracefully(self):
         # The cycle is cut at the dead node: the wave still reaches every
         # live node the long way around.
-        from repro.graphs.graph import INF
         g = cycle_graph(8)
         plan = FaultPlan(crashes=(NodeCrash(4, at_round=0),))
         net = FaultyNetwork(g, plan, seed=0)

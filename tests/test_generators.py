@@ -1,6 +1,5 @@
 """Tests for workload generators: connectivity, shape, planted structure."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import (

@@ -5,12 +5,7 @@ import math
 import pytest
 
 from repro.congest import CongestNetwork
-from repro.core.girth import (
-    GirthParams,
-    girth_2approx,
-    girth_2approx_on,
-    hop_limited_girth_on,
-)
+from repro.core.girth import GirthParams, girth_2approx, hop_limited_girth_on
 from repro.graphs import (
     Graph,
     cycle_graph,
@@ -21,7 +16,7 @@ from repro.graphs import (
     ring_of_cliques,
 )
 from repro.graphs.graph import GraphError, INF
-from repro.sequential import exact_girth, exact_mwc
+from repro.sequential import exact_girth
 
 
 def assert_guarantee(g, res, seed_info=""):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs.graph import Graph, GraphError, INF
+from repro.graphs.graph import Graph, GraphError
 
 
 class TestConstruction:

@@ -3,7 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.graphs import Graph, cycle_graph, erdos_renyi, grid_graph
+from repro.graphs import Graph, cycle_graph, erdos_renyi
 from repro.graphs.graph import GraphError
 from repro.graphs.properties import (
     bridges,

@@ -1,18 +1,11 @@
 """Tests for the benchmark harness (sweeps, reports, persistence)."""
 
 import json
-import math
 import os
 
 import pytest
 
-from repro.harness import (
-    ExperimentReport,
-    SweepRow,
-    default_jobs,
-    persist,
-    run_sweep,
-)
+from repro.harness import SweepRow, default_jobs, persist, run_sweep
 
 
 def quadratic_runner(n):

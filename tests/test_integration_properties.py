@@ -6,7 +6,6 @@ the sequential ground truth — hundreds of distinct (graph, seed) pairs
 across runs.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

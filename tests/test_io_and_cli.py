@@ -2,12 +2,11 @@
 
 import io
 import json
-import os
 
 import pytest
 
 from repro.cli import main
-from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs import cycle_graph, erdos_renyi
 from repro.graphs.graph import GraphError
 from repro.graphs.io import load_edgelist, save_edgelist
 

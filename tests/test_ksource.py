@@ -1,6 +1,5 @@
 """Tests for k-source BFS / approximate SSSP (Algorithm 1, Theorem 1.6)."""
 
-import math
 
 import pytest
 

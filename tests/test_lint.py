@@ -1,0 +1,447 @@
+"""congestlint: every rule catches its fixture and stays silent on the twin.
+
+Fixture pairs live inline as source snippets run through ``lint_source``
+with paths chosen to land in the right path class (core algorithm,
+simulator core, ...). The suite ends with the whole-repo gate: linting
+``src/repro`` must produce zero non-baselined findings.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    diff_baseline,
+    lint_source,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Default fixture path: an algorithm module (not simulator core).
+ALGO = "src/repro/core/algo.py"
+
+
+def findings_of(source, path=ALGO, rules=None):
+    active, _ = lint_source(textwrap.dedent(source), path=path, rules=rules)
+    return active
+
+
+def rule_ids(source, path=ALGO, rules=None):
+    return sorted({f.rule for f in findings_of(source, path, rules)})
+
+
+class TestCL001CrossNodeState:
+    def test_catches_network_access_in_node_program(self):
+        src = """
+            class Probe(NodeProgram):
+                def on_round(self, view, inbox):
+                    return {u: [net.state[u]["d"]] for u in view.neighbors}
+        """
+        assert "CL001" in rule_ids(src)
+
+    def test_catches_module_level_mutable_global(self):
+        src = """
+            SHARED = {}
+
+            class Probe(NodeProgram):
+                def on_round(self, view, inbox):
+                    SHARED[view.vertex] = inbox
+                    return {}
+        """
+        assert "CL001" in rule_ids(src)
+
+    def test_clean_twin_uses_only_local_view(self):
+        src = """
+            class Probe(NodeProgram):
+                def on_round(self, view, inbox):
+                    self.best = min(self.best, *inbox.get(0, [self.best]))
+                    return {u: [(self.best, 1)] for u in view.neighbors}
+        """
+        assert "CL001" not in rule_ids(src)
+
+
+class TestCL002AccountingBypass:
+    def test_catches_direct_round_write(self):
+        assert "CL002" in rule_ids("net.rounds += 5\n")
+
+    def test_catches_stats_counter_write(self):
+        assert "CL002" in rule_ids("net.stats.words = 0\n")
+
+    def test_catches_record_step_and_raw_inbox(self):
+        src = """
+            net.stats.record_step(3)
+            fake = BatchedInbox([0], [1], ["x"])
+        """
+        ids = [f.rule for f in findings_of(src)]
+        assert ids.count("CL002") == 2
+
+    def test_reads_are_fine_and_core_is_exempt(self):
+        assert "CL002" not in rule_ids("total = net.stats.words\n")
+        assert "CL002" not in rule_ids(
+            "self.rounds += 1\n", path="src/repro/congest/network.py")
+
+
+class TestCL003Nondeterminism:
+    def test_catches_stdlib_random(self):
+        assert "CL003" in rule_ids("import random\nx = random.randint(0, 9)\n")
+        assert "CL003" in rule_ids("from random import shuffle\n")
+
+    def test_catches_numpy_global_rng_and_unseeded_default_rng(self):
+        src = "import numpy as np\nx = np.random.rand(4)\n"
+        assert "CL003" in rule_ids(src)
+        assert "CL003" in rule_ids(
+            "import numpy as np\nrng = np.random.default_rng()\n")
+
+    def test_seeded_default_rng_is_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(seed)\n"
+        assert "CL003" not in rule_ids(src)
+
+    def test_catches_wall_clock_in_algorithm(self):
+        assert "CL003" in rule_ids("import time\nt = time.perf_counter()\n")
+
+    def test_wall_clock_ok_in_obs_layer(self):
+        assert "CL003" not in rule_ids(
+            "import time\nt = time.perf_counter()\n",
+            path="src/repro/obs/phases.py")
+
+    def test_catches_set_iteration_feeding_send(self):
+        src = """
+            def step(net, out):
+                for v in net.comm_neighbors(u):
+                    out.send(u, v, payload)
+        """
+        assert "CL003" in rule_ids(src)
+
+    def test_catches_comprehension_over_set(self):
+        src = "msgs = {u: [(p, w)] for u in net.comm_neighbors(v)}\n"
+        assert "CL003" in rule_ids(src)
+
+    def test_sorted_iteration_is_clean(self):
+        src = """
+            def step(net, out):
+                for v in sorted(net.comm_neighbors(u)):
+                    out.send(u, v, payload)
+                for v in net.comm_neighbors_sorted(u):
+                    out.send(u, v, payload)
+        """
+        assert "CL003" not in rule_ids(src)
+
+    def test_set_iteration_without_emission_is_clean(self):
+        src = """
+            def tally(net):
+                count = 0
+                for v in net.comm_neighbors(u):
+                    count += 1
+                return count
+        """
+        assert "CL003" not in rule_ids(src)
+
+
+class TestCL004UnboundedPayload:
+    def test_catches_container_send_without_words(self):
+        src = """
+            def step(out, vec):
+                out.send(u, v, [1, 2, 3])
+                out.send(u, v, dict(vec))
+        """
+        found = [f for f in findings_of(src) if f.rule == "CL004"]
+        assert len(found) == 2
+
+    def test_catches_container_tuple_charged_one_word(self):
+        assert "CL004" in rule_ids("msg = ({1: 2, 3: 4}, 1)\n")
+
+    def test_explicit_words_and_scalar_tuples_are_clean(self):
+        src = """
+            def step(out, vec):
+                out.send(u, v, vec, max(1, len(vec)))
+                out.send(u, v, dict(vec), words=len(vec))
+                msg = ((u, depth), 1)
+        """
+        assert "CL004" not in rule_ids(src)
+
+
+class TestCL005PhaseContract:
+    def test_catches_unscoped_traffic_in_core_module(self):
+        src = """
+            def algo(net, outboxes):
+                net.charge_rounds(3)
+                return net.exchange(outboxes)
+        """
+        found = [f for f in findings_of(src) if f.rule == "CL005"]
+        assert len(found) == 2
+
+    def test_module_with_phase_scope_is_clean(self):
+        src = """
+            def algo(net, outboxes):
+                with net.phase("probe"):
+                    return net.exchange(outboxes)
+        """
+        assert "CL005" not in rule_ids(src)
+
+    def test_rule_only_applies_to_core(self):
+        src = "inboxes = net.exchange(outboxes)\n"
+        assert "CL005" not in rule_ids(
+            src, path="src/repro/congest/primitives/flood.py")
+
+
+class TestCL006ExceptionSwallowing:
+    def test_catches_bare_except_and_swallowed_exception(self):
+        src = """
+            try:
+                risky()
+            except:
+                pass
+            try:
+                risky()
+            except Exception:
+                pass
+        """
+        found = [f for f in findings_of(src) if f.rule == "CL006"]
+        assert len(found) == 2
+
+    def test_named_handler_is_clean(self):
+        src = """
+            try:
+                risky()
+            except ValueError:
+                recover()
+        """
+        assert "CL006" not in rule_ids(src)
+
+
+class TestCL007InboxMutation:
+    def test_catches_pop_del_and_assignment(self):
+        src = """
+            inbox.pop(u)
+            del inboxes[v]
+            inboxes[v] = []
+        """
+        found = [f for f in findings_of(src) if f.rule == "CL007"]
+        assert len(found) == 3
+
+    def test_reading_is_clean_and_core_is_exempt(self):
+        assert "CL007" not in rule_ids("msgs = inboxes.get(v, {})\n")
+        assert "CL007" not in rule_ids(
+            "inboxes.setdefault(v, {})\n",
+            path="src/repro/congest/network.py")
+
+
+class TestCL008EngineGate:
+    def test_catches_ungated_batched_exchange(self):
+        src = """
+            def step(net, batch):
+                return net.exchange_batched(batch)
+        """
+        assert "CL008" in rule_ids(src)
+
+    def test_gated_or_fallback_is_clean(self):
+        src = """
+            def gated(net, batch):
+                if fast_path(net):
+                    return net.exchange_batched(batch)
+                return net.exchange(batch.to_outboxes())
+        """
+        assert "CL008" not in rule_ids(src)
+
+
+class TestSuppressions:
+    def test_inline_disable_mutes_one_rule(self):
+        src = "net.rounds += 1  # congestlint: disable=CL002\n"
+        active, muted = lint_source(src, path=ALGO)
+        assert not active
+        assert [f.rule for f in muted] == ["CL002"]
+
+    def test_disable_all_and_other_rule_stays(self):
+        src = "net.rounds += 1  # congestlint: disable=all\n"
+        active, _ = lint_source(src, path=ALGO)
+        assert not active
+        src = "net.rounds += 1  # congestlint: disable=CL003\n"
+        active, _ = lint_source(src, path=ALGO)
+        assert [f.rule for f in active] == ["CL002"]
+
+    def test_disable_file_in_header(self):
+        src = ('"""Mod.\n\n# congestlint: disable-file=CL002\n"""\n'
+               "net.rounds += 1\n")
+        active, muted = lint_source(src, path=ALGO)
+        assert not active and len(muted) == 1
+
+
+class TestBaseline:
+    def test_roundtrip_and_diff(self, tmp_path):
+        src = "net.rounds += 1\nnet.stats.words = 0\n"
+        active, _ = lint_source(src, path=ALGO)
+        assert len(active) == 2
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, active)
+        baseline = load_baseline(path)
+        new, stale = diff_baseline(active, baseline)
+        assert not new and not stale
+        # Fixing one makes its entry stale; a fresh finding is new.
+        new, stale = diff_baseline(active[:1], baseline)
+        assert not new and len(stale) == 1
+        save_baseline(path, [])
+        new, _ = diff_baseline(active, load_baseline(path))
+        assert len(new) == 2
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+
+class TestWholeRepo:
+    def test_src_repro_has_zero_non_baselined_findings(self):
+        report = run_lint([os.path.join(REPO_ROOT, "src", "repro")],
+                          root=REPO_ROOT)
+        assert not report.errors
+        baseline = load_baseline(os.path.join(REPO_ROOT, ".congestlint.json"))
+        new, _ = diff_baseline(report.findings, baseline)
+        assert new == [], "\n".join(f.render() for f in new)
+        assert report.files_checked > 50
+
+    def test_fixed_modules_are_individually_clean(self):
+        for rel in ("src/repro/congest/primitives/flood.py",
+                    "src/repro/core/girth.py",
+                    "src/repro/core/cycle_detection.py",
+                    "src/repro/core/distances.py"):
+            report = run_lint([os.path.join(REPO_ROOT, rel)], root=REPO_ROOT)
+            assert not report.findings, rel
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *argv],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+
+    @pytest.mark.slow
+    def test_default_run_is_clean_exit_zero(self):
+        proc = self.run_cli()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    @pytest.mark.slow
+    def test_json_format_and_fail_on_new_gate(self):
+        proc = self.run_cli("--format", "json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["findings"] == []
+        proc = self.run_cli("--fail-on-new")
+        assert proc.returncode == 0
+        assert "0 new finding(s)" in proc.stdout
+
+    @pytest.mark.slow
+    def test_findings_exit_one_and_rule_filter(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("net.rounds += 1\n")
+        proc = self.run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "CL002" in proc.stdout
+        proc = self.run_cli("--rules", "CL003", str(bad))
+        assert proc.returncode == 0
+        proc = self.run_cli("--rules", "CL999", str(bad))
+        assert proc.returncode == 2
+
+    @pytest.mark.slow
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rid in ("CL001", "CL004", "CL008"):
+            assert rid in proc.stdout
+
+
+class TestFixRegressions:
+    """The violations congestlint surfaced were fixed *bit-identically*.
+
+    Counters below were captured on the seed revision (before the
+    sorted-iteration and phase-scope fixes) and must never move: sorting
+    a frozenset emission loop reorders sends within a step but not the
+    message multiset, link loads, or grouped-inbox sender order.
+    """
+
+    def _graphs(self):
+        from repro.graphs import erdos_renyi
+        return (erdos_renyi(40, 0.12, seed=3),
+                erdos_renyi(36, 0.12, directed=True, seed=5))
+
+    def _engines(self):
+        import contextlib
+        from repro.congest.batch import batching
+        from repro.congest.kernels import kernels
+
+        def scope(batch, kernel):
+            stack = contextlib.ExitStack()
+            stack.enter_context(batching(batch))
+            stack.enter_context(kernels(kernel))
+            return stack
+        return [("dict", lambda: scope(False, False)),
+                ("batch", lambda: scope(True, False)),
+                ("kernel", lambda: scope(True, True))]
+
+    def test_bfs_flood_unchanged_on_every_engine(self):
+        from repro.congest.network import CongestNetwork
+        from repro.congest.primitives.flood import build_bfs_tree
+        g, _ = self._graphs()
+        for name, scope in self._engines():
+            with scope():
+                net = CongestNetwork(g, seed=1)
+                tree = build_bfs_tree(net, 0)
+            got = (net.rounds, net.stats.messages, net.stats.words,
+                   tuple(tree.parent[:8]))
+            assert got == (6, 110, 110, (-1, 0, 4, 5, 21, 0, 4, 5)), name
+
+    def test_girth_sketch_exchange_unchanged(self):
+        from repro.core.girth import girth_2approx
+        g, _ = self._graphs()
+        for name, scope in self._engines():
+            with scope():
+                res = girth_2approx(g, seed=2)
+            got = (res.value, res.rounds, res.stats.messages,
+                   res.stats.words)
+            assert got == (3.0, 77, 6260, 16820), name
+
+    def test_restricted_bfs_vector_exchange_unchanged(self):
+        from repro.core.directed_mwc import directed_mwc_2approx
+        _, gd = self._graphs()
+        for name, scope in self._engines():
+            with scope():
+                res = directed_mwc_2approx(gd, seed=2)
+            got = (res.value, res.rounds, res.stats.messages,
+                   res.stats.words)
+            assert got == (2, 890, 32646, 44374), name
+
+    def test_phase_scope_fixes_unchanged_and_attributed(self):
+        from repro.congest.network import CongestNetwork
+        from repro.core.cycle_detection import (
+            detect_two_cycle_on,
+            shortest_cycle_within,
+        )
+        from repro.core.distances import distance_summary
+        from repro.obs import observing
+        g, gd = self._graphs()
+
+        res = shortest_cycle_within(gd, 6, seed=0)
+        assert (res.value, res.rounds, res.stats.messages) == (2, 44, 7182)
+
+        net = CongestNetwork(gd, seed=0)
+        found, rounds = detect_two_cycle_on(net)
+        assert (found, rounds, net.stats.messages, net.stats.words) \
+            == (True, 9, 392, 392)
+
+        summary = distance_summary(g, seed=0)
+        assert (summary.radius, summary.diameter, summary.rounds,
+                summary.stats.messages) == (3.0, 4.0, 107, 10936)
+
+        # The new phase scopes actually attribute the traffic.
+        with observing():
+            net = CongestNetwork(gd, seed=0, metrics=True)
+            detect_two_cycle_on(net)
+            assert "two-cycle-probe" in net.phase_report()

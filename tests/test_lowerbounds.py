@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.exact_mwc import exact_mwc_congest_on
@@ -191,7 +190,6 @@ class TestBitFlipSensitivity:
     the encoding is tight at every position (not just in aggregate)."""
 
     def test_directed_family_single_bit(self):
-        import numpy as np
         k = 16
         base = random_disjoint(k, seed=3)
         inst = directed_mwc_family(4, base)

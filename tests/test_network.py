@@ -3,7 +3,7 @@
 import pytest
 
 from repro.congest import BandwidthExceeded, CongestNetwork, LocalityViolation
-from repro.graphs import Graph, cycle_graph, erdos_renyi
+from repro.graphs import Graph
 from repro.graphs.graph import GraphError
 
 

@@ -7,7 +7,6 @@ test_conformance.py; these are the direct behavioural contracts.
 """
 
 import json
-import os
 
 import pytest
 
@@ -29,7 +28,6 @@ from repro.obs import (
     observing,
     read_jsonl,
     summarize_phases,
-    timer,
 )
 from repro.obs.registry import NULL
 

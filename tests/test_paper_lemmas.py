@@ -31,7 +31,7 @@ from repro.sequential import (
     exact_mwc,
     k_source_distances,
 )
-from repro.sequential.mwc import mwc_through_vertex, shortest_cycle_through_edge
+from repro.sequential.mwc import mwc_through_vertex
 
 
 def cycles_through_pair(g: Graph, a: int, b: int) -> float:

@@ -1,6 +1,5 @@
 """Tests for CONGEST primitives: correctness and round bounds."""
 
-import math
 
 import pytest
 

@@ -9,7 +9,6 @@ algorithm inherits the Ω(k)-bit communication requirement.
 import pytest
 
 from repro.core.directed_mwc import directed_mwc_2approx_on
-from repro.core.exact_mwc import exact_mwc_congest_on
 from repro.lowerbounds import (
     alpha_approx_directed_family,
     directed_mwc_family,

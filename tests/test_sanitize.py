@@ -1,0 +1,165 @@
+"""Runtime sanitizer: parity when clean, loud failure when violated.
+
+The sanitizer re-derives every exchange step scalar-side; these tests
+prove (a) arming it never changes rounds/messages/words/results, (b) each
+check actually fires on a deliberately broken step, and (c) the
+enablement plumbing (env var, ``sanitizing()`` scope) behaves.
+"""
+
+import pytest
+
+from repro.congest.network import CongestNetwork
+from repro.congest.sanitize import (
+    SANITIZE_ENV,
+    SanitizeViolation,
+    payload_bits,
+    sanitize_enabled,
+    sanitizing,
+    verify_phase_partition,
+    verify_step,
+    word_bits,
+)
+from repro.congest.batch import BatchedOutbox, batching
+from repro.core.girth import girth_2approx
+from repro.core.directed_mwc import directed_mwc_2approx
+from repro.graphs import cycle_graph, erdos_renyi
+from repro.graphs.graph import INF
+from repro.obs import observing
+
+
+def run_counters(fn):
+    res = fn()
+    return (res.value, res.rounds, res.stats.messages, res.stats.words)
+
+
+class TestEnablement:
+    def test_disabled_by_default(self):
+        assert not sanitize_enabled()
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        assert sanitize_enabled()
+        monkeypatch.setenv(SANITIZE_ENV, "off")
+        assert not sanitize_enabled()
+
+    def test_scope_overrides_env_and_restores(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        with sanitizing(False):
+            assert not sanitize_enabled()
+        assert sanitize_enabled()
+        with pytest.raises(RuntimeError):
+            with sanitizing(True):
+                assert sanitize_enabled()
+                raise RuntimeError("boom")
+        monkeypatch.delenv(SANITIZE_ENV)
+        assert not sanitize_enabled()
+
+
+class TestParity:
+    """Sanitized runs are bit-identical to unsanitized ones."""
+
+    def test_girth_identical_with_sanitizer(self):
+        g = erdos_renyi(24, 0.14, seed=7)
+        plain = run_counters(lambda: girth_2approx(g, seed=3))
+        with sanitizing():
+            armed = run_counters(lambda: girth_2approx(g, seed=3))
+        assert plain == armed
+
+    def test_directed_mwc_identical_on_both_engines(self):
+        g = erdos_renyi(20, 0.18, directed=True, seed=2)
+        for batch in (False, True):
+            with batching(batch):
+                plain = run_counters(lambda: directed_mwc_2approx(g, seed=1))
+                with sanitizing():
+                    armed = run_counters(
+                        lambda: directed_mwc_2approx(g, seed=1))
+            assert plain == armed, f"batching={batch}"
+
+    def test_sanitizer_composes_with_metrics(self):
+        g = cycle_graph(12)
+        with observing(), sanitizing():
+            res = girth_2approx(g, seed=0)
+        assert res.value == 12
+
+
+class TestPayloadModel:
+    def test_scalars_are_cheap(self):
+        assert payload_bits(0) == 2
+        assert payload_bits(True) == 1
+        assert payload_bits(None) == 1
+        assert payload_bits(INF) == 2
+        assert payload_bits(3.0) == payload_bits(3)
+        assert payload_bits("tag") == 8
+
+    def test_containers_scale_with_size(self):
+        small = payload_bits({1: 2})
+        big = payload_bits({i: i for i in range(40)})
+        assert big > 40 * small // 2
+
+    def test_word_bits_floor_and_growth(self):
+        assert word_bits(10) == 64
+        assert word_bits(10**6) == 8 * 20
+
+
+class TestViolations:
+    def net(self, n=8, **kw):
+        return CongestNetwork(cycle_graph(n), **kw)
+
+    def test_oversized_payload_in_dict_exchange(self):
+        net = self.net()
+        fat = {i: i * 3 for i in range(50)}
+        with sanitizing():
+            with pytest.raises(SanitizeViolation, match="bits"):
+                net.exchange({0: {1: [(fat, 1)]}})
+
+    def test_oversized_payload_in_batched_exchange(self):
+        net = self.net()
+        batch = BatchedOutbox()
+        batch.send(0, 1, {i: i for i in range(50)})
+        with sanitizing():
+            with pytest.raises(SanitizeViolation, match="bits"):
+                net.exchange_batched(batch)
+
+    def test_honest_word_charge_passes(self):
+        net = self.net()
+        fat = {i: i * 3 for i in range(50)}
+        with sanitizing():
+            net.exchange({0: {1: [(fat, 50)]}})
+        assert net.stats.words == 50
+
+    def test_verify_step_catches_load_and_total_mismatch(self):
+        net = self.net()
+        msgs = [(0, 1, "x", 1), (1, 2, "y", 1)]
+        verify_step(net, msgs, 1, 2, 2, engine="test")
+        with pytest.raises(SanitizeViolation, match="max link load"):
+            verify_step(net, msgs, 9, 2, 2, engine="test")
+        with pytest.raises(SanitizeViolation, match="messages"):
+            verify_step(net, msgs, 1, 3, 2, engine="test")
+
+    def test_verify_step_catches_nonlocal_delivery(self):
+        net = self.net()
+        with pytest.raises(SanitizeViolation, match="non-edge"):
+            verify_step(net, [(0, 4, "x", 1)], 1, 1, 1, engine="test")
+
+    def test_phase_partition_corruption_detected(self):
+        with observing():
+            net = self.net()
+            with net.phase("work"):
+                net.exchange({0: {1: [("a", 1)]}})
+            verify_phase_partition(net)  # intact: no raise
+            net._phases.stats["work"].rounds += 7
+            with pytest.raises(SanitizeViolation, match="partition"):
+                verify_phase_partition(net)
+
+    def test_partition_check_is_noop_without_metrics(self):
+        net = self.net()
+        assert net._phases is None
+        verify_phase_partition(net)  # must not raise
+
+    def test_passing_run_leaves_accounting_untouched(self):
+        net_a, net_b = self.net(), self.net()
+        out = {0: {1: [("m", 1)]}, 3: {2: [("m", 1)]}}
+        net_a.exchange(out)
+        with sanitizing():
+            net_b.exchange(out)
+        assert (net_a.rounds, net_a.stats) == (net_b.rounds, net_b.stats)

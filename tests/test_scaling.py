@@ -1,6 +1,5 @@
 """Property tests for the scaling lemma (§5.1 / [41]) and stretched graphs."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -19,7 +18,6 @@ from repro.graphs.scaling import (
     scale_weight,
     unscale_value,
 )
-from repro.sequential.shortest_paths import hop_limited_distances
 
 
 class TestScaleArithmetic:

@@ -1,7 +1,6 @@
 """Tests for sequential reference algorithms (the repo's ground truth)."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.core.weighted_mwc import (
-    WeightedMwcParams,
-    directed_weighted_mwc_approx,
-    undirected_weighted_mwc_approx,
-)
+from repro.core.weighted_mwc import directed_weighted_mwc_approx, undirected_weighted_mwc_approx
 from repro.graphs import Graph, cycle_graph, erdos_renyi, planted_mwc
 from repro.graphs.graph import GraphError, INF
 from repro.sequential import exact_mwc
