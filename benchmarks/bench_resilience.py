@@ -1,0 +1,146 @@
+"""EXP BENCH_RESILIENCE — resilience layer overhead: checkpoints and journal.
+
+Two lanes, both asserting the resilience machinery is observationally free
+before recording what it costs in wall clock:
+
+* ``mwc-ckpt`` points run exact MWC twice — plain, then with a
+  :class:`repro.congest.checkpoint.CheckpointManager` snapshotting every 32
+  rounds — and assert value/rounds/messages/words are identical (a
+  checkpointed run IS the plain run, plus periodic pickling). The persisted
+  row records both wall times and how many snapshots were cut.
+* The ``journal`` point runs the same micro-sweep through ``run_sweep``
+  twice — the classic pool path, then the supervised path with a JSONL
+  sweep journal — and asserts the two reports have the same
+  :func:`repro.harness.report_fingerprint` (journaling never perturbs
+  results). Wall times of both sweeps ride along.
+
+The checked-in ``benchmarks/results/BENCH_RESILIENCE.json`` is a golden
+baseline: round counts must not drift (they are deterministic), and
+``benchmarks/check_regression.py --suite resilience`` applies the committed
+file as a standalone gate (rounds within 20%, wall clock within 2x), fencing
+checkpoint/journal overhead the same way BENCH_SIMCORE fences the engines.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from conftest import sparse_graph, sparse_weighted
+from repro.congest.checkpoint import CheckpointManager
+from repro.core.exact_mwc import exact_mwc_congest
+from repro.harness import (
+    SweepRow,
+    emit,
+    report_fingerprint,
+    results_dir,
+    run_sweep,
+)
+
+EXP_ID = "BENCH_RESILIENCE"
+
+# (workload, size): the mwc-ckpt sizes keep the checkpointed rerun cheap
+# enough for a CI smoke job while still cutting several snapshots; the
+# journal point's "size" is the number of inner sweep points.
+POINTS = [
+    ("mwc-ckpt", 36),
+    ("mwc-ckpt", 56),
+    ("journal", 3),
+]
+
+CHECKPOINT_INTERVAL = 32
+
+INNER_SIZES = [10, 14, 18]
+
+
+def _inner_point(n: int) -> SweepRow:
+    """Micro-workload for the journal lane: small unweighted exact MWC."""
+    res = exact_mwc_congest(sparse_graph(n, seed=n), seed=1)
+    return SweepRow(n=n, rounds=res.rounds, value=float(res.value),
+                    extra={"messages": res.stats.messages})
+
+
+def _checkpoint_point(size: int) -> SweepRow:
+    g = sparse_weighted(size, seed=size, max_weight=12)
+    start = time.perf_counter()
+    plain = exact_mwc_congest(g, seed=1)
+    baseline_seconds = time.perf_counter() - start
+
+    ck = CheckpointManager(f"bench|{EXP_ID}|mwc|{size}",
+                           interval=CHECKPOINT_INTERVAL)
+    start = time.perf_counter()
+    with_ck = exact_mwc_congest(g, seed=1, checkpoint=ck)
+    checkpoint_seconds = time.perf_counter() - start
+
+    # Checkpointing must be observationally free: same answer, same
+    # simulation accounting, down to the message/word totals.
+    assert with_ck.value == plain.value, (size, with_ck.value, plain.value)
+    assert with_ck.rounds == plain.rounds, (size, with_ck, plain)
+    assert with_ck.stats == plain.stats, (size, with_ck.stats, plain.stats)
+    snapshots = with_ck.details["checkpoint"]["saved"]
+    assert snapshots >= 1, "checkpoint cadence never fired"
+    return SweepRow(
+        n=size, rounds=plain.rounds, value=float(plain.value),
+        extra={"workload": "mwc-ckpt",
+               "messages": plain.stats.messages,
+               "words": plain.stats.words,
+               "snapshots": snapshots,
+               "baseline_seconds": round(baseline_seconds, 4),
+               "checkpoint_seconds": round(checkpoint_seconds, 4)})
+
+
+def _journal_point() -> SweepRow:
+    start = time.perf_counter()
+    classic = run_sweep(f"{EXP_ID}_INNER", INNER_SIZES, _inner_point,
+                        fit=False, jobs=1)
+    journal_off_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "sweep.jsonl")
+        start = time.perf_counter()
+        journaled = run_sweep(f"{EXP_ID}_INNER", INNER_SIZES, _inner_point,
+                              fit=False, jobs=1, journal=journal)
+        journal_on_seconds = time.perf_counter() - start
+        assert os.path.exists(journal), "journal file was never written"
+
+    # The journal records the sweep; it must not change it.
+    assert report_fingerprint(journaled) == report_fingerprint(classic)
+    rounds = sum(r.rounds for r in classic.rows)
+    return SweepRow(
+        n=len(INNER_SIZES), rounds=rounds,
+        extra={"workload": "journal",
+               "inner_sizes": list(INNER_SIZES),
+               "journal_off_seconds": round(journal_off_seconds, 4),
+               "journal_on_seconds": round(journal_on_seconds, 4)})
+
+
+def _point(idx: int) -> SweepRow:
+    kind, size = POINTS[idx]
+    if kind == "mwc-ckpt":
+        return _checkpoint_point(size)
+    return _journal_point()
+
+
+def _baseline_rounds():
+    """Round counts from the checked-in baseline, or None on first run."""
+    path = os.path.join(results_dir(), f"{EXP_ID}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        payload = json.load(f)
+    return {(r["extra"]["workload"], r["n"]): r["rounds"]
+            for r in payload["rows"]}
+
+
+def test_resilience_overhead_and_baseline(once):
+    baseline = _baseline_rounds()
+    report = once(lambda: run_sweep(
+        EXP_ID, list(range(len(POINTS))), _point, fit=False,
+        notes="checkpointed runs asserted bit-identical to plain runs; "
+              "journaled sweeps asserted fingerprint-identical to classic "
+              "sweeps; *_seconds are wall times of each lane"))
+    if baseline is not None:
+        fresh = {(r.extra["workload"], r.n): r.rounds for r in report.rows}
+        assert fresh == baseline, \
+            "round counts drifted from BENCH_RESILIENCE.json"
+    emit(report)

@@ -1,9 +1,12 @@
 #!/usr/bin/env python
-"""Regression gate for the simulator core benchmark (BENCH_SIMCORE).
+"""Regression gate for the golden benchmark baselines.
 
-Compares per-point round counts and total wall clock of a *fresh* sweep
-against the committed golden baseline ``benchmarks/results/BENCH_SIMCORE.json``
-and exits non-zero on drift:
+Two suites share the gate: ``simcore`` (BENCH_SIMCORE, the exchange-engine
+parity sweep — the default) and ``resilience`` (BENCH_RESILIENCE, the
+checkpoint/journal overhead sweep); ``--suite all`` runs both. Each compares
+per-point round counts and total wall clock of a *fresh* sweep against the
+committed golden baseline under ``benchmarks/results/`` and exits non-zero
+on drift:
 
 * any point's round count drifting more than ``--max-round-drift`` (default
   20%) from the baseline — rounds are deterministic, so any drift at all
@@ -14,14 +17,14 @@ and exits non-zero on drift:
 
 Modes
 -----
-Default: run the BENCH_SIMCORE sweep in-process and compare it against the
-committed baseline. With ``--fresh FILE`` the sweep is skipped and FILE
+Default: run the selected suite's sweep in-process and compare it against
+the committed baseline. With ``--fresh FILE`` the sweep is skipped and FILE
 (a previously persisted report JSON) is compared instead — this file-vs-file
 mode is what the test suite uses to prove the gate actually fails on an
-injected regression.
+injected regression (``--fresh`` gates a single suite, not ``all``).
 
-Run the gate BEFORE re-running ``bench_simcore.py`` in CI: the benchmark's
-``emit()`` overwrites the committed baseline file in the working tree.
+Run the gate BEFORE re-running the benchmark files in CI: a benchmark's
+``emit()`` overwrites its committed baseline file in the working tree.
 
 Exit codes: 0 pass, 1 regression detected, 2 usage / missing files.
 """
@@ -36,6 +39,15 @@ from typing import Any, Dict, Optional, Tuple
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_BASELINE = os.path.join(HERE, "results", "BENCH_SIMCORE.json")
+
+# suite name -> (benchmark module, committed golden baseline). Every module
+# exposes the same sweep surface: EXP_ID, POINTS, _point.
+SUITES = {
+    "simcore": ("bench_simcore",
+                os.path.join(HERE, "results", "BENCH_SIMCORE.json")),
+    "resilience": ("bench_resilience",
+                   os.path.join(HERE, "results", "BENCH_RESILIENCE.json")),
+}
 
 RowKey = Tuple[str, int]
 
@@ -100,18 +112,19 @@ def common_wall_seconds(
     return base_total, fresh_total, sorted(fresh_only)
 
 
-def run_fresh_sweep() -> Dict[str, Any]:
-    """Run the BENCH_SIMCORE sweep in-process; returns a report payload."""
+def run_fresh_sweep(suite: str = "simcore") -> Dict[str, Any]:
+    """Run a suite's benchmark sweep in-process; returns a report payload."""
     _ensure_importable()
+    import importlib
     from dataclasses import asdict
 
-    import bench_simcore
     from repro.harness import run_sweep
 
+    module = importlib.import_module(SUITES[suite][0])
     report = run_sweep(
-        bench_simcore.EXP_ID,
-        list(range(len(bench_simcore.POINTS))),
-        bench_simcore._point,
+        module.EXP_ID,
+        list(range(len(module.POINTS))),
+        module._point,
         fit=False,
     )
     return {"exp_id": report.exp_id, "rows": [asdict(r) for r in report.rows]}
@@ -172,10 +185,14 @@ def compare(
 
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="fail on BENCH_SIMCORE round-count or wall-clock drift")
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+        description="fail on golden-baseline round-count or wall-clock drift")
+    parser.add_argument("--suite", default="simcore",
+                        choices=sorted(SUITES) + ["all"],
+                        help="which golden baseline to gate (default: "
+                             "simcore); 'all' runs every suite")
+    parser.add_argument("--baseline", default=None,
                         help="golden report JSON (default: the committed "
-                             "benchmarks/results/BENCH_SIMCORE.json)")
+                             "baseline of the selected suite)")
     parser.add_argument("--fresh", default=None,
                         help="compare this report JSON instead of running "
                              "the sweep in-process")
@@ -189,25 +206,36 @@ def main(argv: Optional[list] = None) -> int:
                              "baseline's (default 2.0)")
     args = parser.parse_args(argv)
 
-    if not os.path.exists(args.baseline):
-        print(f"error: baseline not found: {args.baseline}", file=sys.stderr)
+    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if args.suite == "all" and (args.baseline or args.fresh):
+        print("error: --baseline/--fresh gate a single suite, not 'all'",
+              file=sys.stderr)
         return 2
-    baseline = load_report(args.baseline)
 
-    if args.fresh is not None:
-        if not os.path.exists(args.fresh):
-            print(f"error: fresh report not found: {args.fresh}",
+    failures = 0
+    for suite in suites:
+        baseline_path = args.baseline or SUITES[suite][1]
+        if not os.path.exists(baseline_path):
+            print(f"error: baseline not found: {baseline_path}",
                   file=sys.stderr)
             return 2
-        fresh = load_report(args.fresh)
-        print(f"comparing {args.fresh} against {args.baseline}")
-    else:
-        print(f"running fresh BENCH_SIMCORE sweep against {args.baseline}")
-        fresh = run_fresh_sweep()
+        baseline = load_report(baseline_path)
 
-    failures = compare(baseline, fresh,
-                       max_round_drift=args.max_round_drift,
-                       max_wall_ratio=args.max_wall_ratio)
+        if args.fresh is not None:
+            if not os.path.exists(args.fresh):
+                print(f"error: fresh report not found: {args.fresh}",
+                      file=sys.stderr)
+                return 2
+            fresh = load_report(args.fresh)
+            print(f"comparing {args.fresh} against {baseline_path}")
+        else:
+            print(f"running fresh {SUITES[suite][0]} sweep "
+                  f"against {baseline_path}")
+            fresh = run_fresh_sweep(suite)
+
+        failures += compare(baseline, fresh,
+                            max_round_drift=args.max_round_drift,
+                            max_wall_ratio=args.max_wall_ratio)
     if failures:
         print(f"regression gate: {failures} check(s) failed")
         return 1

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Kill-mid-sweep / resume smoke test for the resilience layer.
+
+The CI resilience job runs this script with no arguments. It
+
+1. runs a small journaled sweep to completion in-process (the reference);
+2. re-runs the same sweep in a child process that ``os._exit``\\ s the
+   moment the journal holds two completed points — a hard crash, no
+   ``finally`` blocks, exactly what a preempted CI runner does;
+3. verifies the child died mid-sweep (sentinel exit code, torn journal
+   holding only the completed prefix);
+4. resumes from the journal in the parent via
+   ``run_sweep(..., resume=True)`` and asserts the merged report's
+   :func:`repro.harness.report_fingerprint` is byte-identical to the
+   uninterrupted reference.
+
+Exit codes: 0 pass, 1 assertion failure, anything else infrastructure.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+for path in (os.path.join(os.path.dirname(HERE), "src"), HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.core.exact_mwc import exact_mwc_congest  # noqa: E402
+from repro.graphs import erdos_renyi  # noqa: E402
+from repro.harness import SweepRow, report_fingerprint, run_sweep  # noqa: E402
+from repro.resilience.journal import read_journal  # noqa: E402
+
+EXP_ID = "RESILIENCE_SMOKE"
+SIZES = [10, 13, 16, 19]
+KILL_AFTER = 2  # child dies at the start of point KILL_AFTER (0-based)
+KILL_EXIT_CODE = 70
+KILL_ENV = "RESILIENCE_SMOKE_KILL"
+
+_calls = 0
+
+
+def _point(n: int) -> SweepRow:
+    """One sweep point: exact MWC on a small deterministic graph.
+
+    In the child process (KILL_ENV set) the process hard-exits at the
+    start of the third call, leaving the journal with two completed
+    points and no clean shutdown.
+    """
+    global _calls
+    if os.environ.get(KILL_ENV) and _calls == KILL_AFTER:
+        os._exit(KILL_EXIT_CODE)
+    _calls += 1
+    g = erdos_renyi(n, p=min(1.0, 6.0 / n), weighted=True, max_weight=9,
+                    seed=n)
+    res = exact_mwc_congest(g, seed=1)
+    return SweepRow(n=n, rounds=res.rounds, value=float(res.value),
+                    extra={"messages": res.stats.messages,
+                           "words": res.stats.words})
+
+
+def _child(journal: str) -> None:
+    run_sweep(EXP_ID, SIZES, _point, fit=False, jobs=1, journal=journal)
+    os._exit(3)  # unreachable: the kill switch must fire first
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--child":
+        _child(sys.argv[2])
+        return 3
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "smoke.jsonl")
+
+        print(f"reference: uninterrupted journaled sweep over n={SIZES}")
+        reference = run_sweep(EXP_ID, SIZES, _point, fit=False, jobs=1,
+                              journal=os.path.join(tmp, "reference.jsonl"))
+        want = report_fingerprint(reference)
+
+        print(f"child: same sweep, hard-killed after {KILL_AFTER} points")
+        env = dict(os.environ, **{KILL_ENV: "1"})
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.path.dirname(HERE), "src"),
+                        env.get("PYTHONPATH")) if p)
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--child", journal],
+            env=env, timeout=300)
+        if proc.returncode != KILL_EXIT_CODE:
+            print(f"FAIL: child exited {proc.returncode}, expected the "
+                  f"mid-sweep kill sentinel {KILL_EXIT_CODE}")
+            return 1
+
+        _, completed = read_journal(journal)
+        if sorted(completed) != list(range(KILL_AFTER)):
+            print(f"FAIL: journal holds points {sorted(completed)}, "
+                  f"expected exactly {list(range(KILL_AFTER))}")
+            return 1
+        print(f"journal survived with points {sorted(completed)} completed")
+
+        print("parent: resuming the interrupted sweep from the journal")
+        resumed = run_sweep(EXP_ID, SIZES, _point, fit=False, jobs=1,
+                            journal=journal, resume=True)
+        got = report_fingerprint(resumed)
+        if got != want:
+            print("FAIL: resumed report fingerprint differs from the "
+                  "uninterrupted run")
+            print(f"  reference: {want}")
+            print(f"  resumed:   {got}")
+            return 1
+        print(f"resumed report fingerprint matches the reference: {got}")
+        print("resilience smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

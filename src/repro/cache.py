@@ -11,10 +11,21 @@ change to a generator automatically misses.
 
 Layout: one JSON file per entry under ``benchmarks/results/.cache/<kind>/``
 (override the root with ``REPRO_CACHE_DIR``; disable entirely with
-``REPRO_CACHE=0``). Writes are atomic (tmp + fsync + rename), matching the
-harness's persist discipline, so an interrupted run never leaves a corrupt
-entry. Entries record the digest they were computed for, and loads verify
-it, so a hash-scheme change invalidates old entries instead of serving them.
+``REPRO_CACHE=0``). Writes are atomic (pid-unique tmp + fsync + rename), so
+an interrupted run — or several sweep workers racing on the same entry —
+never leaves a corrupt entry: concurrent writers each rename a private tmp
+file and the last rename wins with a complete entry either way. Entries
+record the digest they were computed for, and loads verify it, so a
+hash-scheme change invalidates old entries instead of serving them.
+
+A corrupted entry (truncated JSON, wrong schema, bad key) self-heals: the
+load quarantines the damaged file to ``<entry>.corrupt`` and reports a
+miss, so the value is recomputed and re-stored; the quarantined copy is
+kept for one generation of post-mortems and replaced on the next incident.
+
+The checkpoint subsystem (:mod:`repro.congest.checkpoint`) stores binary
+snapshots through the same root via :func:`store_blob` / :func:`load_blob`,
+with the same atomic-write and quarantine discipline.
 
 Only *sequential* truths are cached — never CONGEST runs: measured rounds
 and message counts are what the benchmarks exist to measure.
@@ -39,7 +50,8 @@ _SCHEMA = 1
 
 #: Process-wide hit/miss counters, keyed by entry kind (``repro cache
 #: stats`` reports the on-disk view; these serve tests and profiling).
-counters: Dict[str, int] = {"hits": 0, "misses": 0}
+#: ``quarantined`` counts corrupted entries set aside by the self-heal path.
+counters: Dict[str, int] = {"hits": 0, "misses": 0, "quarantined": 0}
 
 
 def cache_enabled() -> bool:
@@ -79,14 +91,39 @@ def _entry_path(kind: str, key: str) -> str:
     return os.path.join(directory, f"{key}.json")
 
 
+def _quarantine(path: str) -> None:
+    """Set a damaged entry aside (best effort) so the next write starts clean.
+
+    The rename doubles as the self-heal: the corrupt file no longer shadows
+    the entry path, so the recomputed value lands in a fresh file. Keeping
+    the ``.corrupt`` copy (latest incident only) aids post-mortems without
+    growing unboundedly.
+    """
+    try:
+        os.replace(path, f"{path}.corrupt")
+        counters["quarantined"] += 1
+    except OSError:
+        pass
+
+
 def _load(kind: str, key: str) -> Optional[Dict[str, Any]]:
     path = _entry_path(kind, key)
     try:
         with open(path) as f:
             entry = json.load(f)
-    except (OSError, ValueError):
+    except FileNotFoundError:
         return None
-    if entry.get("schema") != _SCHEMA or entry.get("key") != key:
+    except OSError:
+        return None
+    except ValueError:
+        # Truncated or garbled JSON: quarantine and recompute.
+        _quarantine(path)
+        return None
+    if not isinstance(entry, dict) or entry.get("schema") != _SCHEMA \
+            or entry.get("key") != key:
+        # Readable JSON that is not a valid entry for this key: same
+        # self-heal path as a parse failure.
+        _quarantine(path)
         return None
     return entry
 
@@ -131,6 +168,61 @@ def memoized(kind: str, key: str, compute: Callable[[], Any],
     value = compute()
     _store(kind, key, encode(value))
     return value
+
+
+# ----------------------------------------------------------------------
+# Binary blobs (checkpoint snapshots)
+# ----------------------------------------------------------------------
+def blob_path(kind: str, key: str) -> str:
+    """On-disk path of the blob ``(kind, key)`` (directory created)."""
+    directory = os.path.join(cache_root(), kind)
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"{key}.bin")
+
+
+def store_blob(kind: str, key: str, data: bytes) -> Optional[str]:
+    """Atomically write a binary blob; returns its path (None on IO error).
+
+    Same discipline as the JSON entries: pid-unique tmp + fsync + rename,
+    so a kill mid-write can never leave a truncated blob under the entry
+    path — which is exactly what checkpoint snapshots need to guarantee
+    that the *latest complete* checkpoint always survives.
+    """
+    path = blob_path(kind, key)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+        return path
+    except OSError:
+        return None
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+
+
+def load_blob(kind: str, key: str) -> Optional[bytes]:
+    """Read a binary blob, or None when absent/unreadable."""
+    try:
+        with open(blob_path(kind, key), "rb") as f:
+            return f.read()
+    except OSError:
+        return None
+
+
+def drop_blob(kind: str, key: str) -> bool:
+    """Delete a blob; True if one existed."""
+    try:
+        os.remove(blob_path(kind, key))
+        return True
+    except OSError:
+        return False
 
 
 # ----------------------------------------------------------------------
@@ -218,7 +310,8 @@ def info() -> Dict[str, Any]:
         directory = os.path.join(root, kind)
         if not os.path.isdir(directory):
             continue
-        files = [f for f in os.listdir(directory) if f.endswith(".json")]
+        files = [f for f in os.listdir(directory)
+                 if f.endswith((".json", ".bin"))]
         size = sum(os.path.getsize(os.path.join(directory, f)) for f in files)
         kinds[kind] = {"entries": len(files), "bytes": size}
         total_bytes += size

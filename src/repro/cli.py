@@ -11,10 +11,16 @@ Commands
 ``metrics``   summarize observability JSONL records (see repro.obs)
 ``lint``      run congestlint, the CONGEST conformance analyzer
               (see repro.lint and docs/static_analysis.md)
+``resume``    continue an interrupted journaled sweep from its last
+              completed point (see docs/resilience.md)
 
 ``mwc`` and ``apsp`` accept ``--metrics`` (print a per-phase round
 breakdown) and ``--metrics-out FILE`` (append the run's observability
-record as one JSON line); both imply phase tracking for the run.
+record as one JSON line); both imply phase tracking for the run. They also
+accept ``--degrade`` (with ``--max-rounds``: return a best-effort result
+flagged inexact instead of aborting on budget exhaustion), and ``mwc
+--algorithm exact`` accepts ``--checkpoint KEY`` to snapshot/resume the
+run through the content-addressed cache.
 """
 
 from __future__ import annotations
@@ -75,6 +81,25 @@ def _engine_scope(args):
     return stack
 
 
+def _add_degrade(p: argparse.ArgumentParser) -> None:
+    """Attach the standard --degrade graceful-degradation switch."""
+    p.add_argument(
+        "--degrade", action="store_true",
+        help="degrade to a best-effort result (flagged inexact) instead of "
+             "aborting when --max-rounds is exhausted (docs/resilience.md)")
+
+
+def _degrade_scope(args):
+    """Ambient degradation override for --degrade."""
+    import contextlib
+
+    from repro.resilience.degrade import degrading
+
+    if getattr(args, "degrade", False):
+        return degrading(True)
+    return contextlib.nullcontext()
+
+
 def _add_metrics(p: argparse.ArgumentParser) -> None:
     """Attach the standard --metrics / --metrics-out options."""
     p.add_argument(
@@ -104,9 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.5)
     p.add_argument("--witness", action="store_true",
                    help="also construct a witness cycle (exact only)")
+    p.add_argument("--checkpoint", default=None, metavar="KEY",
+                   help="snapshot the run under this cache key at "
+                        "--checkpoint-interval rounds and resume from the "
+                        "latest snapshot if one exists (exact algorithm "
+                        "only; see docs/resilience.md)")
+    p.add_argument("--checkpoint-interval", type=_positive_int, default=None,
+                   metavar="R",
+                   help="rounds between checkpoint snapshots (default 64)")
     _add_seed(p)
     _add_max_rounds(p)
     _add_engine(p)
+    _add_degrade(p)
     _add_metrics(p)
 
     p = sub.add_parser("apsp", help="distributed APSP")
@@ -117,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(p)
     _add_max_rounds(p)
     _add_engine(p)
+    _add_degrade(p)
     _add_metrics(p)
 
     p = sub.add_parser("generate", help="generate a workload graph")
@@ -187,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "findings, then exit 0")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+
+    p = sub.add_parser("resume",
+                       help="resume an interrupted journaled sweep")
+    p.add_argument("journal",
+                   help="JSONL sweep journal written by "
+                        "run_sweep(journal=...)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS, else serial)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-point wall-clock budget for the remaining points")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry budget per remaining point (default 0)")
     return parser
 
 
@@ -255,10 +302,21 @@ def cmd_mwc(args) -> int:
             algorithm = "girth-approx"
         else:
             algorithm = "weighted-approx"
+    checkpoint = None
+    if args.checkpoint:
+        if algorithm != "exact":
+            print("error: --checkpoint is only supported with "
+                  "--algorithm exact", file=sys.stderr)
+            return 2
+        from repro.congest.checkpoint import DEFAULT_INTERVAL, CheckpointManager
+        checkpoint = CheckpointManager(
+            args.checkpoint,
+            interval=args.checkpoint_interval or DEFAULT_INTERVAL)
     with _metrics_scope(args):
         if algorithm == "exact":
             res = exact_mwc_congest(g, seed=args.seed,
-                                    construct_witness=args.witness)
+                                    construct_witness=args.witness,
+                                    checkpoint=checkpoint)
         elif algorithm == "2approx":
             res = directed_mwc_2approx(g, seed=args.seed)
         elif algorithm == "girth-approx":
@@ -279,6 +337,16 @@ def cmd_mwc(args) -> int:
     print(f"algorithm: {algorithm}")
     print(f"mwc value: {value}")
     print(f"congest rounds: {res.rounds}")
+    if not res.exact:
+        events = res.details.get("degraded", [])
+        print(f"DEGRADED: best-effort upper bound after {len(events)} "
+              f"absorbed budget failure(s); rerun with a larger "
+              f"--max-rounds for the exact value")
+    if checkpoint is not None:
+        meta = res.details.get("checkpoint", {})
+        resumed = meta.get("resumed_stage")
+        print(f"checkpoint: {meta.get('saved', 0)} snapshot(s) taken"
+              + (f", resumed at stage {resumed!r}" if resumed else ""))
     witness = res.details.get("witness")
     if witness:
         print(f"witness cycle: {' -> '.join(map(str, witness))}")
@@ -305,6 +373,10 @@ def cmd_apsp(args) -> int:
     print(f"mode: {res.details['mode']}")
     print(f"congest rounds: {res.rounds}")
     print(f"reachable pairs: {reachable} / {g.n * g.n}")
+    if not res.exact:
+        events = res.details.get("degraded", [])
+        print(f"DEGRADED: partial distances after {len(events)} absorbed "
+              f"budget failure(s)")
     _finish_metrics(args, f"apsp/{mode}", res)
     return 0
 
@@ -451,6 +523,54 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_resume(args) -> int:
+    """Handle `repro resume`: continue an interrupted journaled sweep.
+
+    The journal header carries everything needed to reconstruct the call —
+    experiment id, sizes, report parameters, and the runner's
+    ``module:function`` import reference — so resuming needs no other
+    state. Already-journaled points are skipped; the merged report matches
+    the uninterrupted run on :func:`repro.harness.report_fingerprint`.
+    """
+    import importlib
+
+    from repro.harness import emit, report_fingerprint, run_sweep
+    from repro.resilience.journal import JournalError, read_journal
+
+    try:
+        header, completed = read_journal(args.journal)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ref = header.get("runner") or ""
+    if ":" not in ref:
+        print(f"error: journal header has no importable runner "
+              f"reference (got {ref!r})", file=sys.stderr)
+        return 2
+    mod_name, func_name = ref.split(":", 1)
+    try:
+        runner = importlib.import_module(mod_name)
+        for part in func_name.split("."):
+            runner = getattr(runner, part)
+    except (ImportError, AttributeError) as exc:
+        print(f"error: cannot import sweep runner {ref!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    sizes = header["sizes"]
+    print(f"resuming sweep {header['exp_id']}: "
+          f"{len(completed)}/{len(sizes)} point(s) already journaled")
+    report = run_sweep(
+        header["exp_id"], sizes, runner,
+        fit=header.get("fit", True),
+        notes=header.get("notes", ""),
+        polylog_correction=header.get("polylog_correction", 0.0),
+        jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+        journal=args.journal, resume=True)
+    emit(report)
+    print(f"report fingerprint: {report_fingerprint(report)}")
+    return 0
+
+
 def _repo_root() -> str:
     """Repository root guess: the directory holding ``src/repro``."""
     here = os.path.dirname(os.path.abspath(__file__))   # .../src/repro
@@ -547,12 +667,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": cmd_cache,
         "metrics": cmd_metrics,
         "lint": cmd_lint,
+        "resume": cmd_resume,
     }
     try:
         # Commands that simulate CONGEST executions honor --max-rounds by
         # installing an ambient round budget on every network they build.
         with round_budget(getattr(args, "max_rounds", None)), \
-                _engine_scope(args):
+                _engine_scope(args), _degrade_scope(args):
             return handlers[args.command](args)
     except RoundBudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,380 @@
+"""Round-granular checkpoint/resume for the CONGEST simulator.
+
+The paper's algorithms are analyzed round by round, which makes their
+simulations naturally checkpointable: everything a run *is* at a step
+boundary — the round counter, :class:`~repro.congest.network.NetworkStats`,
+per-node state, RNG streams, phase-attribution buckets, fault bookkeeping —
+lives on the network object, and the driving loop's own variables are plain
+picklable Python/numpy data. This module snapshots both at configurable
+round intervals into the content-addressed cache
+(:func:`repro.cache.store_blob`) and restores them into a fresh process, so
+a run killed at an arbitrary round resumes from its latest complete
+checkpoint and finishes **bit-identically** to an uninterrupted run: same
+rounds, messages, words, results, and phase buckets.
+
+Architecture
+------------
+* :func:`capture` / :func:`restore` — full network snapshot as a plain
+  picklable :class:`Snapshot`. Restore validates a fingerprint (graph
+  digest, seed, network class, bandwidth/strictness) so a checkpoint can
+  never be resumed against a different run.
+* :class:`CheckpointManager` — the policy object drivers thread through:
+  owns the run key (one "latest snapshot" blob per key), the round
+  interval, and the resume handshake. Checkpoint-aware loops call
+  :meth:`CheckpointManager.maybe` once per step (cheap: one integer
+  comparison while not due) and :meth:`CheckpointManager.take_resume` at
+  entry.
+* Checkpoint-aware loops — ``run_programs`` (node programs, dict engine),
+  ``multi_source_bfs`` (scalar and batched engines),
+  ``run_wave_kernel`` (vectorized kernel engine), ``apsp_weighted_on`` and
+  the ``exact_mwc_congest`` driver. Each snapshots its loop state as the
+  ``payload`` and rebuilds it verbatim on resume.
+
+Phase-bucket exactness across a resume
+--------------------------------------
+Snapshots are taken *inside* open phase scopes (e.g. mid ``apsp/multi-bfs``).
+The accumulator is flushed first, so the buckets stored are exact for the
+counters stored. On resume the driver re-enters the same scopes itself, so
+the snapshot stores each open scope's ``entries`` count minus one — re-entry
+restores it — and the restored accumulator starts with an empty stack and a
+mark equal to the restored counters. The partition invariant (buckets sum
+to the flat counters) holds at every point of the resumed run, which the
+runtime sanitizer (``REPRO_SANITIZE=1``) re-verifies per step.
+
+Determinism caveat: a checkpoint records the engine that produced it (the
+loop stage); resuming under a different engine configuration raises
+:class:`CheckpointError` instead of silently mixing message schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import cache
+from repro.congest.network import CongestNetwork
+from repro.obs.phases import PhaseAccumulator, PhaseStats
+
+#: Cache kind (subdirectory) holding checkpoint blobs.
+CHECKPOINT_KIND = "checkpoint"
+
+#: Bump when the snapshot layout changes incompatibly.
+SCHEMA = 1
+
+#: Default checkpoint cadence in simulated rounds.
+DEFAULT_INTERVAL = 64
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be restored against the current run."""
+
+
+@dataclass
+class Snapshot:
+    """One complete, picklable image of a run at a step boundary."""
+
+    schema: int
+    fingerprint: Dict[str, Any]
+    #: Which checkpoint-aware loop produced the snapshot (resume handshake).
+    stage: str
+    rounds: int
+    max_rounds: Optional[int]
+    stats: Dict[str, Any]
+    #: Per-node private state dicts (``net.state``), deep-copied.
+    state: List[Dict[str, Any]]
+    rng_state: Dict[str, Any]
+    #: Phase buckets + open-scope names, or None while metrics are off.
+    phases: Optional[Dict[str, Any]]
+    #: Fault-layer extras (fault stats + fault RNG), or None on plain nets.
+    fault: Optional[Dict[str, Any]]
+    #: The checkpointing loop's own state, rebuilt verbatim on resume.
+    payload: Any = None
+    #: Monotone sequence number of the snapshot within its run.
+    seq: int = 0
+    #: Degradation events recorded on the network up to the snapshot.
+    degradation: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def network_fingerprint(net: CongestNetwork) -> Dict[str, Any]:
+    """Identity of a run for checkpoint-compatibility checks.
+
+    Everything that, if different, would make "resuming" meaningless:
+    the topology (content digest), the seed, the network class, and the
+    accounting-relevant construction flags.
+    """
+    return {
+        "graph": cache.graph_digest(net.graph),
+        "n": net.n,
+        "seed": net._seed,
+        "class": type(net).__name__,
+        "bandwidth": net.bandwidth,
+        "strict": net.strict,
+        "host": None if net._identity_host else tuple(net._host),
+    }
+
+
+def _stats_dict(stats) -> Dict[str, Any]:
+    return {
+        "steps": stats.steps,
+        "messages": stats.messages,
+        "words": stats.words,
+        "local_messages": stats.local_messages,
+        "max_link_load": stats.max_link_load,
+        "link_load_histogram": dict(stats.link_load_histogram),
+    }
+
+
+def _restore_stats(stats, payload: Dict[str, Any]) -> None:
+    stats.steps = payload["steps"]
+    stats.messages = payload["messages"]
+    stats.words = payload["words"]
+    stats.local_messages = payload["local_messages"]
+    stats.max_link_load = payload["max_link_load"]
+    stats.link_load_histogram.clear()
+    stats.link_load_histogram.update(payload["link_load_histogram"])
+
+
+def _phases_dict(net: CongestNetwork) -> Optional[Dict[str, Any]]:
+    acc = net._phases
+    if acc is None:
+        return None
+    # Attribute everything up to this boundary so the stored buckets are
+    # exact for the stored counters (flushing mid-phase is neutral).
+    acc.flush(net._phase_snapshot())
+    open_scopes = list(acc.stack)
+    buckets = {}
+    for name, st in acc.stats.items():
+        entry = {"rounds": st.rounds, "steps": st.steps,
+                 "messages": st.messages, "words": st.words,
+                 "seconds": st.seconds, "entries": st.entries}
+        if name in open_scopes:
+            # The resuming driver re-enters this scope, incrementing
+            # ``entries`` again; store one less so the resumed total
+            # matches the uninterrupted run's.
+            entry["entries"] -= 1
+        buckets[name] = entry
+    return {"buckets": buckets, "open_scopes": open_scopes}
+
+
+def _restore_phases(net: CongestNetwork, payload: Optional[Dict[str, Any]]) -> None:
+    if payload is None:
+        net._phases = None
+        return
+    acc = PhaseAccumulator(net._phase_snapshot())
+    for name, entry in payload["buckets"].items():
+        st = PhaseStats(rounds=entry["rounds"], steps=entry["steps"],
+                        messages=entry["messages"], words=entry["words"],
+                        seconds=entry["seconds"], entries=entry["entries"])
+        acc.stats[name] = st
+    net._phases = acc
+
+
+def capture(net: CongestNetwork, stage: str, payload: Any = None,
+            seq: int = 0) -> Snapshot:
+    """Snapshot ``net`` (and the caller's loop ``payload``) at this boundary.
+
+    Must be called between exchange steps — never mid-step — so that every
+    counter is settled and the sanitizer's invariants hold on both sides of
+    a resume.
+    """
+    fault = None
+    if hasattr(net, "fault_stats"):
+        fault = {
+            "stats": net.fault_stats.as_dict(),
+            "rng_state": net._fault_rng.bit_generator.state,
+        }
+    return Snapshot(
+        schema=SCHEMA,
+        fingerprint=network_fingerprint(net),
+        stage=stage,
+        rounds=net.rounds,
+        max_rounds=net.max_rounds,
+        stats=_stats_dict(net.stats),
+        state=pickle.loads(pickle.dumps(net.state)),
+        rng_state=net.rng.bit_generator.state,
+        phases=_phases_dict(net),
+        fault=fault,
+        payload=payload,
+        seq=seq,
+        degradation=list(getattr(net, "_degradation_events", ())),
+    )
+
+
+def restore(net: CongestNetwork, snapshot: Snapshot) -> None:
+    """Load ``snapshot`` into ``net``, which must match its fingerprint.
+
+    After this call the network is indistinguishable (counters, stats,
+    state, RNG streams, phase buckets, fault bookkeeping) from the network
+    that :func:`capture` saw — continuing the same deterministic loop from
+    the snapshot's payload therefore reproduces the uninterrupted run bit
+    for bit.
+    """
+    if snapshot.schema != SCHEMA:
+        raise CheckpointError(
+            f"checkpoint schema {snapshot.schema} is not the current "
+            f"{SCHEMA}; delete the stale checkpoint and rerun")
+    fingerprint = network_fingerprint(net)
+    if fingerprint != snapshot.fingerprint:
+        mismatched = sorted(
+            k for k in set(fingerprint) | set(snapshot.fingerprint)
+            if fingerprint.get(k) != snapshot.fingerprint.get(k))
+        raise CheckpointError(
+            f"checkpoint belongs to a different run (mismatched: "
+            f"{', '.join(mismatched)})")
+    # restore() reinstates counters the exchange path already charged
+    # before the snapshot was cut; nothing is bypassed.
+    net.rounds = snapshot.rounds  # congestlint: disable=CL002
+    # ``max_rounds`` is deliberately NOT restored: the budget is a policy of
+    # the *current* run, not accounting state — a run killed by its round
+    # budget must be resumable under a larger (or no) budget. The captured
+    # value stays in the snapshot for inspection.
+    _restore_stats(net.stats, snapshot.stats)
+    net.state = pickle.loads(pickle.dumps(snapshot.state))
+    net.rng.bit_generator.state = snapshot.rng_state
+    _restore_phases(net, snapshot.phases)
+    if snapshot.fault is not None:
+        fs = net.fault_stats
+        for name, value in snapshot.fault["stats"].items():
+            setattr(fs, name, value)
+        net._fault_rng.bit_generator.state = snapshot.fault["rng_state"]
+        net._live_cache = None
+    if snapshot.degradation:
+        net._degradation_events = list(snapshot.degradation)
+
+
+def run_key_digest(run_key: str) -> str:
+    """Content digest addressing a run's checkpoint blob."""
+    return hashlib.sha256(f"{SCHEMA}|{run_key}".encode()).hexdigest()
+
+
+class CheckpointManager:
+    """Owns one run's checkpoint blob: cadence, persistence, resume.
+
+    Parameters
+    ----------
+    run_key:
+        Stable identifier of the run (hashed into the blob key). Reusing a
+        key across different runs is caught by the snapshot fingerprint.
+    interval:
+        Checkpoint cadence in simulated rounds (a snapshot is taken at the
+        first step boundary at or past each multiple). ``0`` disables
+        periodic snapshots (explicit :meth:`save_now` still works).
+    keep_on_success:
+        Whether :meth:`complete` leaves the final checkpoint on disk
+        (default: delete it — the run finished, nothing to resume).
+    """
+
+    def __init__(self, run_key: str, interval: int = DEFAULT_INTERVAL,
+                 keep_on_success: bool = False):
+        if interval < 0:
+            raise ValueError(f"checkpoint interval must be >= 0, got {interval}")
+        self.run_key = run_key
+        self.interval = interval
+        self.keep_on_success = keep_on_success
+        self.seq = 0
+        #: Snapshots written during this process's lifetime (tests, bench).
+        self.saved = 0
+        self._key = run_key_digest(run_key)
+        self._next_at: Optional[int] = None
+        self._resume: Optional[Snapshot] = None
+
+    # -- persistence ---------------------------------------------------
+    def load(self) -> Optional[Snapshot]:
+        """The latest complete snapshot on disk, or None."""
+        data = cache.load_blob(CHECKPOINT_KIND, self._key)
+        if data is None:
+            return None
+        try:
+            snapshot = pickle.loads(data)
+        except Exception:
+            # A damaged blob cannot happen via the atomic writer, but heal
+            # anyway (e.g. a partial copy restored from elsewhere).
+            cache.drop_blob(CHECKPOINT_KIND, self._key)
+            return None
+        if not isinstance(snapshot, Snapshot) or snapshot.schema != SCHEMA:
+            cache.drop_blob(CHECKPOINT_KIND, self._key)
+            return None
+        return snapshot
+
+    def save_now(self, net: CongestNetwork, stage: str,
+                 payload: Any = None) -> Snapshot:
+        """Snapshot unconditionally and persist as the run's latest."""
+        self.seq += 1
+        snapshot = capture(net, stage, payload=payload, seq=self.seq)
+        cache.store_blob(CHECKPOINT_KIND, self._key,
+                         pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+        self.saved += 1
+        self._next_at = net.rounds + self.interval if self.interval else None
+        return snapshot
+
+    def clear(self) -> None:
+        """Delete the run's checkpoint blob (idempotent)."""
+        cache.drop_blob(CHECKPOINT_KIND, self._key)
+
+    def complete(self) -> None:
+        """Mark the run finished (drops the blob unless asked to keep it)."""
+        if not self.keep_on_success:
+            self.clear()
+
+    # -- cadence -------------------------------------------------------
+    def due(self, net: CongestNetwork) -> bool:
+        """Whether the cadence calls for a snapshot at this boundary."""
+        if not self.interval:
+            return False
+        if self._next_at is None:
+            self._next_at = net.rounds + self.interval
+            return False
+        return net.rounds >= self._next_at
+
+    def maybe(self, net: CongestNetwork, stage: str,
+              payload_fn: Callable[[], Any]) -> bool:
+        """Snapshot iff due; ``payload_fn`` is only called when saving."""
+        if not self.due(net):
+            return False
+        self.save_now(net, stage, payload_fn())
+        return True
+
+    # -- resume handshake ----------------------------------------------
+    def resume(self, net: CongestNetwork) -> Optional[str]:
+        """Restore the latest snapshot into ``net`` if one exists.
+
+        Called by the *driver* before any phase scope is opened. Returns
+        the snapshot's stage (so the driver can skip completed sections)
+        or None when starting fresh. The snapshot's payload is held for
+        the checkpoint-aware loop to collect via :meth:`take_resume`.
+        """
+        snapshot = self.load()
+        if snapshot is None:
+            return None
+        restore(net, snapshot)
+        self.seq = snapshot.seq
+        self._resume = snapshot
+        self._next_at = (net.rounds + self.interval) if self.interval else None
+        return snapshot.stage
+
+    @property
+    def pending_stage(self) -> Optional[str]:
+        """Stage of a restored-but-unclaimed snapshot, if any."""
+        return self._resume.stage if self._resume is not None else None
+
+    def take_resume(self, stage: str) -> Optional[Any]:
+        """Claim the restored payload for ``stage`` (one-shot).
+
+        Returns None when there is nothing to resume. Raises
+        :class:`CheckpointError` when a payload exists but belongs to a
+        different stage — the engine configuration changed between the
+        checkpoint and the resume, and continuing would silently change
+        the message schedule.
+        """
+        if self._resume is None:
+            return None
+        if self._resume.stage != stage:
+            raise CheckpointError(
+                f"checkpoint was taken at stage {self._resume.stage!r} but "
+                f"the run is resuming through stage {stage!r}; rerun with "
+                f"the engine configuration that produced the checkpoint, "
+                f"or clear it")
+        snapshot, self._resume = self._resume, None
+        return snapshot.payload

@@ -51,8 +51,10 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.congest.batch import fast_path
+from repro.congest.network import RoundBudgetExceeded
 from repro.graphs.graph import Graph, GraphError
 from repro.obs import registry as obs
+from repro.resilience.degrade import degrade_enabled, record_degradation
 
 #: Environment variable gating the kernel engine; set to ``"0"`` to force
 #: every ported primitive back onto the scalar (heap-based) path.
@@ -176,6 +178,7 @@ def run_wave_kernel(
     reverse: bool = False,
     weight_graph: Optional[Graph] = None,
     check_weights: bool = False,
+    checkpoint=None,
 ) -> Optional[Tuple[List[Dict[int, int]], List[Dict[int, int]]]]:
     """Run a full pipelined multi-wave sweep with dense array rounds.
 
@@ -191,6 +194,15 @@ def run_wave_kernel(
     Returns ``(known, parent)`` exactly as the scalar path would build
     them, or ``None`` when the workload does not fit the dense
     representation (caller falls back to the scalar loop).
+
+    ``checkpoint`` (a :class:`repro.congest.checkpoint.CheckpointManager`)
+    snapshots the dense loop state — step counter, distance and selection
+    matrices, result dicts — under stage ``"wave-kernel"`` at the manager's
+    cadence, resuming bit-identically. The fit guards run *before* the
+    resume handshake, so a workload that deterministically falls back never
+    claims (or clashes with) a checkpoint. With degradation enabled
+    (:mod:`repro.resilience.degrade`), round-budget exhaustion returns the
+    partial ``(known, parent)`` instead of raising.
     """
     global _ENGAGED
     g = weight_graph if weight_graph is not None else net.graph
@@ -254,6 +266,30 @@ def run_wave_kernel(
     sparse_limit = (_SPARSE_ROWS_LOW_DEG if len(indices_l) <= 2 * n
                     else _SPARSE_ROWS)
     steps = 0
+    config = {"sources": src_of_col, "ceiling": ceiling,
+              "unit_weight": unit_weight, "hop_limit": hop_limit,
+              "budget": budget, "reverse": reverse, "cap": cap}
+    resumed = (checkpoint.take_resume("wave-kernel")
+               if checkpoint is not None else None)
+    if resumed is not None:
+        from repro.congest.checkpoint import CheckpointError
+
+        if resumed["config"] != config:
+            raise CheckpointError(
+                f"checkpointed wave-kernel run had config "
+                f"{resumed['config']}, resume asked for {config}")
+        steps = resumed["steps"]
+        D = resumed["D"]
+        keyed = resumed["keyed"]
+        known = resumed["known"]
+        parent = resumed["parent"]
+        d_flat = D.reshape(-1)
+        keyed_flat = keyed.reshape(-1)
+
+    def _payload():
+        return {"steps": steps, "D": D, "keyed": keyed, "known": known,
+                "parent": parent, "config": config}
+
     while True:
         if steps >= cap:
             raise RuntimeError(timeout)
@@ -299,10 +335,17 @@ def run_wave_kernel(
                 # No out-edges / everything over budget: the heap entries
                 # were consumed and the loop breaks before any exchange.
                 break
-            net.exchange_batched(
-                _ColumnBatch(bsrc, bdst, _LazyPayloads(bcol, bd, src_of_col)),
-                grouped=False,
-            )
+            try:
+                net.exchange_batched(
+                    _ColumnBatch(bsrc, bdst,
+                                 _LazyPayloads(bcol, bd, src_of_col)),
+                    grouped=False,
+                )
+            except RoundBudgetExceeded as exc:
+                if degrade_enabled():
+                    record_degradation(net, "wave-kernel", str(exc))
+                    break
+                raise
             steps += 1
             for i in range(len(bdst)):
                 nd = bd[i]
@@ -320,6 +363,8 @@ def run_wave_kernel(
                     s = src_of_col[c]
                     known[v][s] = nd
                     parent[v][s] = bsrc[i]
+            if checkpoint is not None:
+                checkpoint.maybe(net, "wave-kernel", _payload)
             continue
         sel_cols = sel_col_all[sel_rows]
         sel_d = sel_key[sel_rows] // K
@@ -357,11 +402,17 @@ def run_wave_kernel(
                     # batch came out empty, and the loop breaks before any
                     # exchange.
                     break
-        net.exchange_batched(
-            _ColumnBatch(msg_src, msg_dst,
-                         _LazyPayloads(msg_col, msg_d, src_of_col)),
-            grouped=False,
-        )
+        try:
+            net.exchange_batched(
+                _ColumnBatch(msg_src, msg_dst,
+                             _LazyPayloads(msg_col, msg_d, src_of_col)),
+                grouped=False,
+            )
+        except RoundBudgetExceeded as exc:
+            if degrade_enabled():
+                record_degradation(net, "wave-kernel", str(exc))
+                break
+            raise
         steps += 1
         # Relaxation. flat cell id = dst * K + col; stable lexsort by
         # (cell, d) makes the first row of each cell group the scalar
@@ -371,6 +422,8 @@ def run_wave_kernel(
         flat = msg_dst * K + msg_col
         improving = msg_d < d_flat[flat]
         if not improving.any():
+            if checkpoint is not None:
+                checkpoint.maybe(net, "wave-kernel", _payload)
             continue
         ff = flat[improving]
         dd = msg_d[improving]
@@ -399,4 +452,6 @@ def run_wave_kernel(
             if limited.any():
                 new_key[limited] = inf_key + win_col[limited]
         keyed_flat[win_flat] = new_key
+        if checkpoint is not None:
+            checkpoint.maybe(net, "wave-kernel", _payload)
     return known, parent

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.network import CongestNetwork, Inbox, RoundBudgetExceeded
+from repro.resilience.degrade import degrade_enabled, record_degradation
 
 
 @dataclass
@@ -65,6 +66,7 @@ def run_programs(
     net: CongestNetwork,
     programs: Sequence[NodeProgram],
     max_rounds: int = 10_000,
+    checkpoint=None,
 ) -> List[Any]:
     """Execute one program per vertex until quiescence; returns results.
 
@@ -74,23 +76,40 @@ def run_programs(
     state intact if the fault plan recovers it. Quiescence is judged over
     *live* nodes only, so a dead node can never keep the run spinning.
 
+    ``checkpoint`` (a :class:`repro.congest.checkpoint.CheckpointManager`)
+    snapshots the scheduling loop — round index, program instances, pending
+    inboxes — at the manager's cadence; a resumed run continues from the
+    snapshot bit-identically. Programs must then be picklable (the bundled
+    ones are).
+
     Raises :class:`~repro.congest.network.RoundBudgetExceeded` (a
     ``RuntimeError``) if the programs are still talking after ``max_rounds``
-    scheduling rounds.
+    scheduling rounds — unless degradation is enabled
+    (:mod:`repro.resilience.degrade`), in which case the programs' current
+    results are returned as-is and the event is recorded on the network.
     """
     g = net.graph
     if len(programs) != g.n:
         raise ValueError("need exactly one program per vertex")
-    for v, prog in enumerate(programs):
-        prog.setup(NodeView(
-            id=v,
-            n=g.n,
-            out_edges=tuple(g.out_items(v)),
-            in_edges=tuple(g.in_items(v)),
-            comm_neighbors=tuple(sorted(net.comm_neighbors(v))),
-        ))
-    inboxes: Dict[int, Inbox] = {}
-    for r in range(max_rounds):
+    programs = list(programs)
+    resumed = (checkpoint.take_resume("node-programs")
+               if checkpoint is not None else None)
+    if resumed is not None:
+        r_start = resumed["r"]
+        programs = resumed["programs"]
+        inboxes = resumed["inboxes"]
+    else:
+        for v, prog in enumerate(programs):
+            prog.setup(NodeView(
+                id=v,
+                n=g.n,
+                out_edges=tuple(g.out_items(v)),
+                in_edges=tuple(g.in_items(v)),
+                comm_neighbors=tuple(sorted(net.comm_neighbors(v))),
+            ))
+        inboxes: Dict[int, Inbox] = {}
+        r_start = 0
+    for r in range(r_start, max_rounds):
         outboxes = {}
         for v, prog in enumerate(programs):
             if net.is_crashed(v):
@@ -100,7 +119,16 @@ def run_programs(
                 outboxes[v] = out
         if not outboxes:
             return [prog.result() for prog in programs]
-        inboxes = net.exchange(outboxes)
+        try:
+            inboxes = net.exchange(outboxes)
+        except RoundBudgetExceeded as exc:
+            if degrade_enabled():
+                record_degradation(net, "node-programs", str(exc))
+                return [prog.result() for prog in programs]
+            raise
+        if checkpoint is not None:
+            checkpoint.maybe(net, "node-programs", lambda: {
+                "r": r + 1, "programs": programs, "inboxes": inboxes})
     raise RoundBudgetExceeded(
         f"programs did not quiesce within {max_rounds} rounds"
     )

@@ -16,10 +16,12 @@ import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
+from repro.congest.checkpoint import CheckpointError
 from repro.congest.kernels import kernels_enabled, run_wave_kernel
-from repro.congest.network import CongestNetwork
+from repro.congest.network import CongestNetwork, RoundBudgetExceeded
 from repro.graphs.graph import INF
 from repro.obs import registry as obs
+from repro.resilience.degrade import degrade_enabled, record_degradation
 
 
 def multi_source_bfs(
@@ -29,6 +31,7 @@ def multi_source_bfs(
     reverse: bool = False,
     record_parents: bool = False,
     max_steps: Optional[int] = None,
+    checkpoint=None,
 ) -> Tuple[List[Dict[int, int]], Optional[List[Dict[int, int]]]]:
     """Exact h-hop BFS from every source in ``sources`` simultaneously.
 
@@ -38,12 +41,20 @@ def multi_source_bfs(
 
     ``reverse=True`` runs the wave along in-edges, computing ``d(v, s)``.
     Attributed to the ``"multi-bfs"`` phase bucket under metrics.
+
+    ``checkpoint`` (a :class:`repro.congest.checkpoint.CheckpointManager`)
+    snapshots the pipelining loop at the manager's round cadence — on
+    whichever engine is active (stage ``"mbfs/batch"``, ``"mbfs/dict"``, or
+    the kernel's ``"wave-kernel"``) — and resumes it bit-identically. With
+    degradation enabled (:mod:`repro.resilience.degrade`), exhausting the
+    round budget mid-sweep returns the distances discovered so far instead
+    of raising.
     """
     obs.counter("primitives.multi_bfs.calls").inc()
     obs.histogram("primitives.multi_bfs.sources").observe(len(sources))
     with net.phase("multi-bfs"):
         return _multi_source_bfs_impl(
-            net, sources, h, reverse, record_parents, max_steps)
+            net, sources, h, reverse, record_parents, max_steps, checkpoint)
 
 
 def _multi_source_bfs_impl(
@@ -53,6 +64,7 @@ def _multi_source_bfs_impl(
     reverse: bool,
     record_parents: bool,
     max_steps: Optional[int],
+    checkpoint=None,
 ) -> Tuple[List[Dict[int, int]], Optional[List[Dict[int, int]]]]:
     g = net.graph
     n = g.n
@@ -76,6 +88,7 @@ def _multi_source_bfs_impl(
             reverse=reverse,
             timeout=(f"multi_source_bfs did not quiesce within {budget} "
                      f"steps (k={k}, h={limit})"),
+            checkpoint=checkpoint,
         )
         if result is not None:
             known, parent = result
@@ -84,6 +97,19 @@ def _multi_source_bfs_impl(
                 net.state[v][key] = dict(known[v])
             return known, (parent if record_parents else None)
     steps = 0
+    stage = "mbfs/batch" if use_batch else "mbfs/dict"
+    config = {"sources": [int(s) for s in sources], "limit": limit,
+              "reverse": reverse}
+    resumed = checkpoint.take_resume(stage) if checkpoint is not None else None
+    if resumed is not None:
+        if resumed["config"] != config:
+            raise CheckpointError(
+                f"checkpointed {stage} run had config {resumed['config']}, "
+                f"resume asked for {config}")
+        steps = resumed["steps"]
+        known = resumed["known"]
+        parent = resumed["parent"]
+        pq = resumed["pq"]
     # One payload tuple per (source, level) instead of one per selected
     # node: every node forwarding the pair appends the same interned tuple.
     interned: Dict[Tuple[int, int], Tuple[int, int]] = {}
@@ -117,7 +143,13 @@ def _multi_source_bfs_impl(
                     payloads.append(pair)
             if not batch:
                 break
-            inbox = net.exchange_batched(batch, grouped=False)
+            try:
+                inbox = net.exchange_batched(batch, grouped=False)
+            except RoundBudgetExceeded as exc:
+                if degrade_enabled():
+                    record_degradation(net, "multi-bfs", str(exc))
+                    break
+                raise
             steps += 1
             for sender, v, (s, d) in zip(inbox.src, inbox.dst, inbox.payloads):
                 known_v = known[v]
@@ -125,6 +157,10 @@ def _multi_source_bfs_impl(
                     known_v[s] = d
                     parent[v][s] = sender
                     heappush(pq[v], (d, s))
+            if checkpoint is not None:
+                checkpoint.maybe(net, stage, lambda: {
+                    "steps": steps, "known": known, "parent": parent,
+                    "pq": pq, "config": config})
             continue
         outboxes = {}
         for u in range(n):
@@ -151,7 +187,13 @@ def _multi_source_bfs_impl(
                 outboxes[u] = targets
         if not outboxes:
             break
-        inboxes = net.exchange(outboxes)
+        try:
+            inboxes = net.exchange(outboxes)
+        except RoundBudgetExceeded as exc:
+            if degrade_enabled():
+                record_degradation(net, "multi-bfs", str(exc))
+                break
+            raise
         steps += 1
         for v, by_sender in inboxes.items():
             for sender, payloads in by_sender.items():
@@ -160,6 +202,10 @@ def _multi_source_bfs_impl(
                         known[v][s] = d
                         parent[v][s] = sender
                         heapq.heappush(pq[v], (d, s))
+        if checkpoint is not None:
+            checkpoint.maybe(net, stage, lambda: {
+                "steps": steps, "known": known, "parent": parent,
+                "pq": pq, "config": config})
     else:
         raise RuntimeError(
             f"multi_source_bfs did not quiesce within {budget} steps "

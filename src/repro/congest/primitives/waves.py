@@ -21,9 +21,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
 from repro.congest.kernels import kernels_enabled, run_wave_kernel
-from repro.congest.network import CongestNetwork
+from repro.congest.network import CongestNetwork, RoundBudgetExceeded
 from repro.graphs.graph import Graph, GraphError, INF
 from repro.obs import registry as obs
+from repro.resilience.degrade import degrade_enabled, record_degradation
 
 
 def _edge_weight(weight_graph: Optional[Graph], net: CongestNetwork,
@@ -131,16 +132,22 @@ def _multi_source_wave_impl(
                     bpay.append((s, d + w))
         if not batch:
             break
-        if use_batch:
-            inbox = net.exchange_batched(batch, grouped=False)
-            msgs = zip(inbox.src, inbox.dst, inbox.payloads)
-        else:
-            msgs = (
-                (sender, v, payload)
-                for v, by_sender in net.exchange(batch.to_outboxes()).items()
-                for sender, payloads in by_sender.items()
-                for payload in payloads
-            )
+        try:
+            if use_batch:
+                inbox = net.exchange_batched(batch, grouped=False)
+                msgs = zip(inbox.src, inbox.dst, inbox.payloads)
+            else:
+                msgs = (
+                    (sender, v, payload)
+                    for v, by_sender in net.exchange(batch.to_outboxes()).items()
+                    for sender, payloads in by_sender.items()
+                    for payload in payloads
+                )
+        except RoundBudgetExceeded as exc:
+            if degrade_enabled():
+                record_degradation(net, "wave", str(exc))
+                break  # partial distances: every entry is a real path weight
+            raise
         steps += 1
         for sender, v, (s, d) in msgs:
             known_v = known[v]
@@ -247,16 +254,22 @@ def _source_detection_impl(
                     bpay.append((s, d + w))
         if not batch:
             break
-        if use_batch:
-            inbox = net.exchange_batched(batch, grouped=False)
-            msgs = zip(inbox.src, inbox.dst, inbox.payloads)
-        else:
-            msgs = (
-                (sender, v, payload)
-                for v, by_sender in net.exchange(batch.to_outboxes()).items()
-                for sender, payloads in by_sender.items()
-                for payload in payloads
-            )
+        try:
+            if use_batch:
+                inbox = net.exchange_batched(batch, grouped=False)
+                msgs = zip(inbox.src, inbox.dst, inbox.payloads)
+            else:
+                msgs = (
+                    (sender, v, payload)
+                    for v, by_sender in net.exchange(batch.to_outboxes()).items()
+                    for sender, payloads in by_sender.items()
+                    for payload in payloads
+                )
+        except RoundBudgetExceeded as exc:
+            if degrade_enabled():
+                record_degradation(net, "detect", str(exc))
+                break  # partial detection lists remain valid prefixes
+            raise
         steps += 1
         for sender, v, (s, d) in msgs:
             known_v = known[v]

@@ -21,12 +21,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.congest.network import CongestNetwork
-from repro.congest.primitives.convergecast import converge_min
 from repro.core.approx_sssp import approx_hop_sssp_with_pred
 from repro.core.exact_mwc import apsp_unweighted_on, apsp_weighted_on
-from repro.core.girth import _exchange_vectors
+from repro.core.girth import (
+    _converge_min_degradable,
+    _exchange_vectors_degradable,
+)
 from repro.core.results import AlgorithmResult, KSourceResult
 from repro.graphs.graph import Graph, GraphError, INF
+from repro.resilience.degrade import finalize_result_details
 
 
 def apsp_unweighted(g: Graph, seed: Optional[int] = None) -> KSourceResult:
@@ -38,10 +41,11 @@ def apsp_unweighted(g: Graph, seed: Optional[int] = None) -> KSourceResult:
         known, _ = apsp_unweighted_on(net)
     dist = [{s: float(d) for s, d in known[v].items()} for v in range(g.n)]
     details = {"mode": "unweighted"}
+    exact = finalize_result_details(net, details)
     phases = net.phase_report()
     if phases:
         details["phases"] = phases
-    return KSourceResult(dist, net.rounds, net.stats, details)
+    return KSourceResult(dist, net.rounds, net.stats, details, exact=exact)
 
 
 def apsp_weighted_exact(g: Graph, seed: Optional[int] = None) -> KSourceResult:
@@ -53,10 +57,11 @@ def apsp_weighted_exact(g: Graph, seed: Optional[int] = None) -> KSourceResult:
         known, _ = apsp_weighted_on(net)
     dist = [dict(known[v]) for v in range(g.n)]
     details = {"mode": "exact"}
+    exact = finalize_result_details(net, details)
     phases = net.phase_report()
     if phases:
         details["phases"] = phases
-    return KSourceResult(dist, net.rounds, net.stats, details)
+    return KSourceResult(dist, net.rounds, net.stats, details, exact=exact)
 
 
 def apsp_approx(g: Graph, eps: float = 0.5,
@@ -75,10 +80,11 @@ def apsp_approx(g: Graph, eps: float = 0.5,
         est, _ = approx_hop_sssp_with_pred(net, list(range(g.n)), h=g.n,
                                            eps=eps)
     details = {"mode": "approx", "eps": eps}
+    exact = finalize_result_details(net, details)
     phases = net.phase_report()
     if phases:
         details["phases"] = phases
-    return KSourceResult(est, net.rounds, net.stats, details)
+    return KSourceResult(est, net.rounds, net.stats, details, exact=exact)
 
 
 def mwc_via_approx_apsp(g: Graph, eps: float = 0.5,
@@ -108,7 +114,7 @@ def mwc_via_approx_apsp(g: Graph, eps: float = 0.5,
             {s: (d, pred[v].get(s, -1)) for s, d in est[v].items()}
             for v in range(n)
         ]
-        nbr = _exchange_vectors(net, vectors)
+        nbr = _exchange_vectors_degradable(net, vectors)
         for x in range(n):
             for y, got in nbr[x].items():
                 w_xy = g.weight(x, y)
@@ -120,10 +126,11 @@ def mwc_via_approx_apsp(g: Graph, eps: float = 0.5,
                     if p_x == y or p_y == x:
                         continue
                     mu[x] = min(mu[x], d_sx + d_sy + w_xy)
-    value = converge_min(net, mu)
+    value = _converge_min_degradable(net, mu)
     details = {"eps": eps, "rounds_total": net.rounds}
+    exact = finalize_result_details(net, details)
     phases = net.phase_report()
     if phases:
         details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details=details)
+                           details=details, exact=exact)

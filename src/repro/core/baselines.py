@@ -27,11 +27,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.congest.network import CongestNetwork
-from repro.congest.primitives.convergecast import converge_min
 from repro.core.exact_mwc import exact_mwc_congest_on
-from repro.core.girth import _girth_candidates_on
+from repro.core.girth import _converge_min_degradable, _girth_candidates_on
 from repro.core.results import AlgorithmResult
 from repro.graphs.graph import Graph, GraphError, INF
+from repro.resilience.degrade import finalize_result_details
 
 
 def exact_girth_congest(g: Graph, seed: Optional[int] = None) -> AlgorithmResult:
@@ -74,7 +74,7 @@ def girth_prt(
             bfs_budget=n,
             detection_budget=min(guess, n),
         )
-        value = converge_min(net, cand)
+        value = _converge_min_degradable(net, cand)
         details["guesses"].append({"g_hat": guess, "sigma": sigma,
                                    "value": value, "rounds": net.rounds})
         best = min(best, value)
@@ -82,5 +82,6 @@ def girth_prt(
             break
         guess *= 2
     details["rounds_total"] = net.rounds
+    exact = finalize_result_details(net, details)
     return AlgorithmResult(value=best, rounds=net.rounds, stats=net.stats,
-                           details=details)
+                           details=details, exact=exact)

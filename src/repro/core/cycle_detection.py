@@ -22,8 +22,10 @@ from typing import Optional, Tuple
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.multi_bfs import multi_source_bfs
+from repro.core.girth import _converge_min_degradable
 from repro.core.results import AlgorithmResult
 from repro.graphs.graph import Graph, GraphError, INF
+from repro.resilience.degrade import finalize_result_details
 
 
 def shortest_cycle_within_on(net: CongestNetwork, q: int) -> AlgorithmResult:
@@ -48,11 +50,13 @@ def shortest_cycle_within_on(net: CongestNetwork, q: int) -> AlgorithmResult:
         for u in g.out_neighbors(v):
             if u in d_to_v:
                 mu[v] = min(mu[v], d_to_v[u] + 1)
-    value = converge_min(net, mu)
+    value = _converge_min_degradable(net, mu)
     if value > q:
         value = INF
+    details = {"q": q, "rounds_total": net.rounds}
+    exact = finalize_result_details(net, details)
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details={"q": q, "rounds_total": net.rounds})
+                           details=details, exact=exact)
 
 
 def shortest_cycle_within(g: Graph, q: int,

@@ -24,12 +24,13 @@ from typing import Dict, Optional
 
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.broadcast import broadcast
-from repro.congest.primitives.convergecast import converge_min
 from repro.core.ksource import k_source_bfs_on
 from repro.core.restricted_bfs import RestrictedBfsParams, restricted_bfs
 from repro.core.results import AlgorithmResult
+from repro.core.girth import _converge_min_degradable
 from repro.core.sampling import sample_vertices
 from repro.graphs.graph import Graph, GraphError, INF
+from repro.resilience.degrade import finalize_result_details
 
 
 @dataclass
@@ -147,8 +148,9 @@ def directed_mwc_2approx_on(
     details.update(outcome.details)
 
     # Line 7: convergecast the minimum.
-    value = converge_min(net, mu)
-    if construct_witness and value != INF:
+    value = _converge_min_degradable(net, mu)
+    exact = finalize_result_details(net, details)
+    if construct_witness and value != INF and exact:
         winner = min(range(n), key=lambda v: mu[v])
         details["witness"] = _extract_witness(net, winner, anchor[winner])
     details["rounds_total"] = net.rounds
@@ -156,7 +158,7 @@ def directed_mwc_2approx_on(
     if phases:
         details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details=details)
+                           details=details, exact=exact)
 
 
 def _extract_witness(net: CongestNetwork, v: int, anchor: Optional[int]):

@@ -29,26 +29,35 @@ import heapq
 from typing import Dict, List, Optional, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
+from repro.congest.checkpoint import CheckpointError
 from repro.congest.kernels import kernels_enabled, run_wave_kernel
-from repro.congest.network import CongestNetwork
+from repro.congest.network import CongestNetwork, RoundBudgetExceeded
 from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.multi_bfs import multi_source_bfs
 from repro.core.girth import _exchange_vectors
 from repro.core.results import AlgorithmResult
 from repro.graphs.graph import Graph, INF
+from repro.resilience.degrade import (
+    degrade_enabled,
+    finalize_result_details,
+    record_degradation,
+)
 
 
-def apsp_unweighted_on(net: CongestNetwork, reverse: bool = False
+def apsp_unweighted_on(net: CongestNetwork, reverse: bool = False,
+                       checkpoint=None,
                        ) -> Tuple[List[Dict[int, int]], List[Dict[int, int]]]:
     """Pipelined n-source BFS: exact unweighted APSP in O(n + D) rounds."""
     return multi_source_bfs(net, list(range(net.n)), h=None,
-                            record_parents=True, reverse=reverse)
+                            record_parents=True, reverse=reverse,
+                            checkpoint=checkpoint)
 
 
 def apsp_weighted_on(
     net: CongestNetwork,
     reverse: bool = False,
     max_steps: Optional[int] = None,
+    checkpoint=None,
 ) -> Tuple[List[Dict[int, float]], List[Dict[int, int]]]:
     """Improvement-driven pipelined Bellman–Ford APSP (weighted graphs).
 
@@ -72,10 +81,23 @@ def apsp_weighted_on(
         result = run_wave_kernel(
             net, list(range(n)), cap=cap, reverse=reverse,
             timeout=f"weighted APSP did not quiesce within {cap} steps",
+            checkpoint=checkpoint,
         )
         if result is not None:
             return result
     steps = 0
+    config = {"reverse": reverse, "cap": cap}
+    resumed = (checkpoint.take_resume("apsp-weighted")
+               if checkpoint is not None else None)
+    if resumed is not None:
+        if resumed["config"] != config:
+            raise CheckpointError(
+                f"checkpointed apsp-weighted run had config "
+                f"{resumed['config']}, resume asked for {config}")
+        steps = resumed["steps"]
+        known = resumed["known"]
+        parent = resumed["parent"]
+        pq = resumed["pq"]
     heappop, heappush = heapq.heappop, heapq.heappush
     while steps < cap:
         # Batched fast path: identical messages in identical (sender-major)
@@ -101,16 +123,22 @@ def apsp_weighted_on(
                 bpay.append((s, d + w))
         if not batch:
             break
-        if use_batch:
-            inbox = net.exchange_batched(batch, grouped=False)
-            msgs = zip(inbox.src, inbox.dst, inbox.payloads)
-        else:
-            msgs = (
-                (sender, v, payload)
-                for v, by_sender in net.exchange(batch.to_outboxes()).items()
-                for sender, payloads in by_sender.items()
-                for payload in payloads
-            )
+        try:
+            if use_batch:
+                inbox = net.exchange_batched(batch, grouped=False)
+                msgs = zip(inbox.src, inbox.dst, inbox.payloads)
+            else:
+                msgs = (
+                    (sender, v, payload)
+                    for v, by_sender in net.exchange(batch.to_outboxes()).items()
+                    for sender, payloads in by_sender.items()
+                    for payload in payloads
+                )
+        except RoundBudgetExceeded as exc:
+            if degrade_enabled():
+                record_degradation(net, "apsp-weighted", str(exc))
+                break
+            raise
         steps += 1
         for sender, v, (s, d) in msgs:
             known_v = known[v]
@@ -118,6 +146,10 @@ def apsp_weighted_on(
                 known_v[s] = d
                 parent[v][s] = sender
                 heappush(pq[v], (d, s))
+        if checkpoint is not None:
+            checkpoint.maybe(net, "apsp-weighted", lambda: {
+                "steps": steps, "known": known, "parent": parent,
+                "pq": pq, "config": config})
     else:
         raise RuntimeError(f"weighted APSP did not quiesce within {cap} steps")
     return known, parent
@@ -126,6 +158,7 @@ def apsp_weighted_on(
 def exact_mwc_congest_on(
     net: CongestNetwork,
     construct_witness: bool = False,
+    checkpoint=None,
 ) -> AlgorithmResult:
     """Exact MWC on an existing network (Õ(n)-row upper bound of Table 1).
 
@@ -134,6 +167,22 @@ def exact_mwc_congest_on(
     pointers the APSP left behind (the paper's "next vertex on the cycle"
     representation, §1.1); announcing it costs one extra broadcast of the
     achieving (source, edge) triple, O(D) rounds.
+
+    ``checkpoint`` (a :class:`repro.congest.checkpoint.CheckpointManager`)
+    makes the run resumable: the latest snapshot is restored here — before
+    any phase scope opens — and the APSP loops then continue from their
+    saved state bit-identically. A ``"post-apsp"`` snapshot is also taken
+    once the dominant phase completes, so a kill during the cheap tail
+    skips the APSP entirely on resume. The checkpoint is deleted on
+    successful completion.
+
+    With degradation enabled (:mod:`repro.resilience.degrade`), exhausting
+    the round budget anywhere yields a best-effort result instead of
+    raising: the surviving candidates — each the weight of a real closed
+    walk, hence an upper bound on the MWC — are completed *centrally*
+    (minimum without further network traffic), the result is flagged
+    ``exact=False``, and ``details["degraded"]`` / ``details["confidence"]``
+    describe what was absorbed.
     """
     from repro.core.witness import (
         assemble_directed_witness,
@@ -142,11 +191,17 @@ def exact_mwc_congest_on(
 
     g = net.graph
     n = g.n
-    with net.phase("apsp"):
-        if g.weighted:
-            known, parents = apsp_weighted_on(net)
-        else:
-            known, parents = apsp_unweighted_on(net)
+    resumed_stage = checkpoint.resume(net) if checkpoint is not None else None
+    if resumed_stage == "post-apsp":
+        known, parents = checkpoint.take_resume("post-apsp")
+    else:
+        with net.phase("apsp"):
+            if g.weighted:
+                known, parents = apsp_weighted_on(net, checkpoint=checkpoint)
+            else:
+                known, parents = apsp_unweighted_on(net, checkpoint=checkpoint)
+        if checkpoint is not None:
+            checkpoint.save_now(net, "post-apsp", (known, parents))
     mu = [INF] * n
     arg: List[Optional[Tuple]] = [None] * n
     if g.directed:
@@ -164,7 +219,17 @@ def exact_mwc_congest_on(
             {s: (float(d), parents[v].get(s, -1)) for s, d in known[v].items()}
             for v in range(n)
         ]
-        nbr = _exchange_vectors(net, vectors)
+        try:
+            nbr = _exchange_vectors(net, vectors)
+        except RoundBudgetExceeded as exc:
+            if not degrade_enabled():
+                raise
+            # Central completion: the vectors already exist at every node;
+            # only the (charged, failed) exchange is replaced. Candidates
+            # derived from them are real closed walks, so still upper bounds.
+            record_degradation(net, "sketch-exchange", str(exc))
+            nbr = [{u: vectors[u] for u in net.comm_neighbors_sorted(x)}
+                   for x in range(n)]
         for x in range(n):
             for y, got in nbr[x].items():
                 w_xy = g.weight(x, y)
@@ -179,10 +244,17 @@ def exact_mwc_congest_on(
                     if cand < mu[x]:
                         mu[x] = cand
                         arg[x] = (s, x, y)
-    value = converge_min(net, mu)
+    try:
+        value = converge_min(net, mu)
+    except RoundBudgetExceeded as exc:
+        if not degrade_enabled():
+            raise
+        record_degradation(net, "convergecast", str(exc))
+        value = min(mu) if mu else INF  # central completion
     details = {"weighted": g.weighted, "directed": g.directed,
                "rounds_total": net.rounds}
-    if construct_witness and value != INF:
+    exact = finalize_result_details(net, details)
+    if construct_witness and value != INF and exact:
         winner = min(range(n), key=lambda v: mu[v])
         if g.directed:
             u, v = arg[winner]
@@ -192,15 +264,21 @@ def exact_mwc_congest_on(
             details["witness"] = assemble_undirected_witness(g, parents, s, x, y)
         net.charge_rounds(net.diameter_upper_bound())  # announce the triple
         details["rounds_total"] = net.rounds
+    if checkpoint is not None:
+        checkpoint.complete()
+        details["checkpoint"] = {"saved": checkpoint.saved,
+                                 "resumed_stage": resumed_stage}
     phases = net.phase_report()
     if phases:
         details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details=details)
+                           details=details, exact=exact)
 
 
 def exact_mwc_congest(g: Graph, seed: Optional[int] = None,
-                      construct_witness: bool = False) -> AlgorithmResult:
+                      construct_witness: bool = False,
+                      checkpoint=None) -> AlgorithmResult:
     """Exact MWC for any graph class: Õ(n) rounds (Table 1 '1, Õ(n)' rows)."""
     net = CongestNetwork(g, seed=seed)
-    return exact_mwc_congest_on(net, construct_witness=construct_witness)
+    return exact_mwc_congest_on(net, construct_witness=construct_witness,
+                                checkpoint=checkpoint)

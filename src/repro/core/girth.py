@@ -25,12 +25,55 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.batch import BatchedOutbox, fast_path
-from repro.congest.network import CongestNetwork
+from repro.congest.network import CongestNetwork, RoundBudgetExceeded
 from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.waves import multi_source_wave, source_detection
 from repro.core.results import AlgorithmResult
 from repro.core.sampling import sample_vertices
 from repro.graphs.graph import Graph, GraphError, INF
+from repro.resilience.degrade import (
+    degrade_enabled,
+    finalize_result_details,
+    record_degradation,
+)
+
+
+def _converge_min_degradable(net: CongestNetwork,
+                             best: Sequence[float]) -> float:
+    """Global min via convergecast; central completion under degradation.
+
+    Every candidate admitted by the §4 validation is the weight of a real
+    closed walk, so taking the minimum centrally after a budget cut still
+    yields a sound girth upper bound — only the distributed announcement is
+    skipped, and the event is recorded on the network.
+    """
+    try:
+        return converge_min(net, list(best))
+    except RoundBudgetExceeded as exc:
+        if not degrade_enabled():
+            raise
+        record_degradation(net, "convergecast", str(exc))
+        return min(best) if len(best) else INF
+
+
+def _exchange_vectors_degradable(
+    net: CongestNetwork,
+    vectors: Sequence[Dict[int, Tuple[float, int]]],
+) -> List[Dict[int, Dict[int, Tuple[float, int]]]]:
+    """:func:`_exchange_vectors`, absorbing a budget cut under degradation.
+
+    The vectors already exist at every node; only the (charged, failed)
+    exchange step is replaced by its centrally computed result, so every
+    candidate derived from it is still the weight of a real closed walk.
+    """
+    try:
+        return _exchange_vectors(net, vectors)
+    except RoundBudgetExceeded as exc:
+        if not degrade_enabled():
+            raise
+        record_degradation(net, "sketch-exchange", str(exc))
+        return [{u: vectors[u] for u in net.comm_neighbors_sorted(x)}
+                for x in range(net.n)]
 
 
 @dataclass
@@ -192,7 +235,7 @@ def _girth_candidates_on(
         {w: (float(d), parents[v].get(w, -1)) for w, d in known[v].items()}
         for v in range(n)
     ]
-    nbr = _exchange_vectors(net, vectors)
+    nbr = _exchange_vectors_degradable(net, vectors)
     best_sampled, arg_sampled = _edge_candidates(g, weight_graph, vectors, nbr,
                                                  budget=bfs_budget)
     best_sampled_vertex, arg_sampled_vertex = _vertex_candidates(
@@ -209,7 +252,7 @@ def _girth_candidates_on(
         det_vectors.append(
             {s: (float(d), pmap.get(s, -1)) for d, s in lists[v]}
         )
-    det_nbr = _exchange_vectors(net, det_vectors)
+    det_nbr = _exchange_vectors_degradable(net, det_vectors)
     best_detect, arg_detect = _edge_candidates(g, weight_graph, det_vectors,
                                                det_nbr,
                                                budget=detection_budget)
@@ -260,8 +303,9 @@ def girth_2approx_on(
         bfs_budget=n,           # full-depth BFS from samples
         detection_budget=sigma,  # sigma-ball radius is at most sigma
     )
-    value = converge_min(net, best)
-    if construct_witness and value != INF:
+    value = _converge_min_degradable(net, best)
+    exact = finalize_result_details(net, details)
+    if construct_witness and value != INF and exact:
         winner = min(range(n), key=lambda v: best[v])
         details["witness"] = extract_undirected_witness(net, args[winner])
     details.update({"sigma": sigma, "rounds_total": net.rounds})
@@ -269,7 +313,7 @@ def girth_2approx_on(
     if phases:
         details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details=details)
+                           details=details, exact=exact)
 
 
 def girth_2approx(
@@ -338,5 +382,5 @@ def hop_limited_girth_on(
         detection_budget=budget,
         weight_graph=weight_graph,
     )
-    value = converge_min(net, best)
+    value = _converge_min_degradable(net, best)
     return value, best, args

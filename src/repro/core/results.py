@@ -25,12 +25,21 @@ class AlgorithmResult:
         Algorithm-specific extras (sample sizes, per-phase round breakdown,
         overflow counts, ...), keyed by short strings. Used by benchmarks
         and ablations; not part of the stability contract.
+    exact:
+        False when the run degraded gracefully after exhausting a round or
+        retry budget (``REPRO_DEGRADE`` /
+        :func:`repro.resilience.degrading`): ``value`` is then a
+        best-effort upper bound, ``details["degraded"]`` lists the
+        absorbed failures, and ``details["confidence"]`` summarizes them.
+        Degraded results never silently replace exact ones — consumers
+        must check this flag.
     """
 
     value: float
     rounds: int
     stats: NetworkStats
     details: Dict[str, Any] = field(default_factory=dict)
+    exact: bool = True
 
 
 @dataclass
@@ -45,6 +54,10 @@ class KSourceResult:
     rounds: int
     stats: NetworkStats
     details: Dict[str, Any] = field(default_factory=dict)
+    #: False when the run degraded after budget exhaustion: ``dist`` then
+    #: holds the distances discovered before the cutoff (each one the
+    #: length of a real path, so an upper bound on the true distance).
+    exact: bool = True
 
     def distance(self, u: int, v: int) -> float:
         """d(u, v), or ``inf`` if ``v`` was not reached from ``u``."""

@@ -29,16 +29,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives.broadcast import broadcast
-from repro.congest.primitives.convergecast import converge_min
 from repro.congest.primitives.waves import multi_source_wave
 from repro.core.approx_sssp import approx_hop_sssp_with_pred
-from repro.core.girth import _edge_candidates, _exchange_vectors, hop_limited_girth_on
+from repro.core.girth import (
+    _converge_min_degradable,
+    _edge_candidates,
+    _exchange_vectors_degradable,
+    hop_limited_girth_on,
+)
 from repro.core.ksource import default_h, skeleton_apsp
 from repro.core.restricted_bfs import RestrictedBfsParams, restricted_bfs
 from repro.core.results import AlgorithmResult
 from repro.core.sampling import sample_vertices
 from repro.graphs.graph import Graph, GraphError, INF
 from repro.graphs.scaling import hop_budget, scale_ladder, unscale_value
+from repro.resilience.degrade import finalize_result_details
 
 
 @dataclass
@@ -153,7 +158,7 @@ def undirected_weighted_mwc_approx(
             {s: (d, pred[v].get(s, -1)) for s, d in est[v].items()}
             for v in range(n)
         ]
-        nbr = _exchange_vectors(net, vectors)
+        nbr = _exchange_vectors_degradable(net, vectors)
     long_best, long_arg = _edge_candidates(g, None, vectors, nbr)
     details["rounds_long"] = net.rounds - rounds0
 
@@ -177,9 +182,10 @@ def undirected_weighted_mwc_approx(
     details["rounds_short"] = net.rounds - rounds1
     details["num_scales"] = num_scales
 
-    long_value = converge_min(net, long_best)
+    long_value = _converge_min_degradable(net, long_best)
     value = min(long_value, short_value)
-    if construct_witness and value != INF:
+    exact = finalize_result_details(net, details)
+    if construct_witness and value != INF and exact:
         from repro.core.girth import extract_undirected_witness
 
         if long_value <= short_value:
@@ -196,7 +202,7 @@ def undirected_weighted_mwc_approx(
     if phases:
         details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details=details)
+                           details=details, exact=exact)
 
 
 def directed_weighted_mwc_approx(
@@ -294,8 +300,9 @@ def directed_weighted_mwc_approx(
     details["num_scales"] = num_scales
 
     combined = [min(a, b) for a, b in zip(long_best, short_best)]
-    value = converge_min(net, combined)
-    if construct_witness and value != INF:
+    value = _converge_min_degradable(net, combined)
+    exact = finalize_result_details(net, details)
+    if construct_witness and value != INF and exact:
         from repro.core.witness import extract_anchored_cycle
 
         winner = min(range(n), key=lambda v: combined[v])
@@ -308,4 +315,4 @@ def directed_weighted_mwc_approx(
     if phases:
         details["phases"] = phases
     return AlgorithmResult(value=value, rounds=net.rounds, stats=net.stats,
-                           details=details)
+                           details=details, exact=exact)

@@ -10,13 +10,24 @@ Sweep points are independent, so :func:`run_sweep` can fan them out over a
 process pool: pass ``jobs=N`` or set ``REPRO_JOBS=N`` (docs/performance.md).
 Results always merge back in size order, so reports — and the JSON files
 they persist to — are byte-identical to a serial run.
+
+Long sweeps can additionally run *supervised* (docs/resilience.md): pass
+any of ``timeout`` / ``retries`` / ``backoff`` / ``journal`` and each point
+executes under :func:`repro.resilience.supervisor.supervise` — per-point
+wall-clock deadlines, worker-crash detection, bounded deterministic
+retries — with every completed point fsynced to a JSONL journal. A killed
+sweep then resumes from its last completed point (``resume=True`` or the
+``repro resume`` CLI) and the merged report matches the uninterrupted one
+on :func:`report_fingerprint` (everything except wall-clock).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -112,12 +123,29 @@ def row_phases(result: Any) -> Dict[str, Dict[str, float]]:
 
 
 def default_jobs() -> int:
-    """Worker count implied by ``REPRO_JOBS`` (1 when unset or invalid)."""
+    """Worker count implied by ``REPRO_JOBS`` (1 when unset or invalid).
+
+    ``"0"`` and ``"1"`` are the documented spellings of "serial" and pass
+    silently; anything that is not an integer, or is negative, earns a
+    ``RuntimeWarning`` and degrades to serial instead of crashing the
+    benchmark (or silently meaning something the user didn't ask for).
+    """
     raw = os.environ.get(JOBS_ENV, "").strip()
-    try:
-        return max(1, int(raw)) if raw else 1
-    except ValueError:
+    if not raw:
         return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{JOBS_ENV}={raw!r} is not an integer; running serial",
+            RuntimeWarning, stacklevel=2)
+        return 1
+    if jobs < 0:
+        warnings.warn(
+            f"{JOBS_ENV}={raw!r} is negative; clamped to serial",
+            RuntimeWarning, stacklevel=2)
+        return 1
+    return max(1, jobs)
 
 
 def _run_rows(
@@ -143,6 +171,81 @@ def _run_rows(
         return [runner(n) for n in sizes]
 
 
+def _runner_ref(runner: Callable[[int], SweepRow]) -> str:
+    """``"module:qualname"`` import reference for the journal header."""
+    module = getattr(runner, "__module__", "") or ""
+    name = getattr(runner, "__qualname__", "") or getattr(runner, "__name__", "")
+    return f"{module}:{name}"
+
+
+def _run_rows_supervised(
+    exp_id: str,
+    sizes: List[int],
+    runner: Callable[[int], SweepRow],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff,
+    journal: Optional[str],
+    resume: bool,
+    on_failure: str,
+    fit: bool,
+    notes: str,
+    polylog_correction: float,
+) -> List[SweepRow]:
+    """Supervised sweep execution: journaling, timeouts, retries, resume.
+
+    Returns rows in ``sizes`` order; with ``on_failure="skip"`` the rows of
+    exhausted points are simply absent. Journaled rows round-trip through
+    JSON, which preserves ints/floats exactly, so a resumed report matches
+    the uninterrupted one on :func:`report_fingerprint`.
+    """
+    from repro.resilience.journal import SweepJournal
+    from repro.resilience.supervisor import RetryPolicy, supervise
+
+    policy = backoff if backoff is not None else RetryPolicy(retries=retries)
+    jnl = None
+    completed: Dict[int, SweepRow] = {}
+    if journal is not None:
+        jnl = SweepJournal.open(
+            journal, exp_id=exp_id, sizes=sizes,
+            runner_ref=_runner_ref(runner), resume=resume,
+            fit=fit, notes=notes, polylog_correction=polylog_correction)
+        completed = {i: SweepRow(**row) for i, row in jnl.completed.items()}
+    elif resume:
+        raise ValueError("resume=True requires a journal path")
+    todo = [i for i in range(len(sizes)) if i not in completed]
+    try:
+        if todo:
+            def on_point(outcome) -> None:
+                if jnl is None:
+                    return
+                i = todo[outcome.index]
+                if outcome.ok:
+                    jnl.record_point(i, sizes[i], asdict(outcome.value),
+                                     attempts=outcome.attempts,
+                                     seconds=outcome.seconds)
+                else:
+                    jnl.record_failure(i, sizes[i],
+                                       outcome.error or "failed",
+                                       attempts=outcome.attempts)
+
+            outcomes = supervise(
+                [sizes[i] for i in todo], runner,
+                jobs=jobs, timeout=timeout, policy=policy,
+                # Labels keyed by the point's global index: a resumed run
+                # derives the same backoff schedule as the original.
+                labels=[f"{exp_id}[{i}]n={sizes[i]}" for i in todo],
+                on_point=on_point, on_failure=on_failure)
+            for pos, outcome in enumerate(outcomes):
+                if outcome.ok:
+                    completed[todo[pos]] = outcome.value
+    finally:
+        if jnl is not None:
+            jnl.close()
+    return [completed[i] for i in sorted(completed)]
+
+
 def run_sweep(
     exp_id: str,
     sizes: Sequence[int],
@@ -151,6 +254,12 @@ def run_sweep(
     notes: str = "",
     polylog_correction: float = 0.0,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff=None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    on_failure: str = "raise",
 ) -> ExperimentReport:
     """Run ``runner(n)`` over ``sizes`` and assemble a report.
 
@@ -161,9 +270,30 @@ def run_sweep(
     ``jobs`` (default: ``REPRO_JOBS``, else serial) spreads the points over
     a process pool; the runner must then be picklable (a module-level
     function). Rows merge back in ``sizes`` order regardless.
+
+    Passing any of the resilience knobs switches to the supervised path
+    (:mod:`repro.resilience`): ``timeout`` is the per-point wall-clock
+    budget in seconds, ``retries`` bounds re-attempts of crashed/timed-out/
+    failed points (``backoff``, a
+    :class:`repro.resilience.supervisor.RetryPolicy`, overrides the default
+    schedule), ``journal`` is a JSONL path recording every completed point,
+    ``resume=True`` skips points the journal already holds, and
+    ``on_failure="skip"`` drops exhausted points from the report instead of
+    raising. Without any of them the classic pool path runs and output is
+    byte-for-byte what it always was.
     """
     start = time.perf_counter()
-    rows = _run_rows(sizes, runner, default_jobs() if jobs is None else jobs)
+    supervised = (timeout is not None or retries > 0 or backoff is not None
+                  or journal is not None or resume or on_failure != "raise")
+    if supervised:
+        rows = _run_rows_supervised(
+            exp_id, [int(n) for n in sizes], runner,
+            default_jobs() if jobs is None else jobs,
+            timeout, retries, backoff, journal, resume, on_failure,
+            fit, notes, polylog_correction)
+    else:
+        rows = _run_rows(sizes, runner,
+                         default_jobs() if jobs is None else jobs)
     report = ExperimentReport(
         exp_id=exp_id,
         rows=rows,
@@ -212,8 +342,10 @@ def persist(report: ExperimentReport) -> str:
         }
     path = os.path.join(results_dir(), f"{report.exp_id}.json")
     # Atomic write: an interrupted run must never leave a truncated JSON
-    # (or clobber a previous good result with a partial one).
-    tmp_path = f"{path}.tmp"
+    # (or clobber a previous good result with a partial one). The tmp name
+    # carries the pid so concurrent sweeps of the same experiment cannot
+    # truncate each other's in-flight write; last replace wins.
+    tmp_path = f"{path}.tmp.{os.getpid()}"
     try:
         with open(tmp_path, "w") as f:
             json.dump(payload, f, indent=2, default=str)
@@ -224,6 +356,44 @@ def persist(report: ExperimentReport) -> str:
         if os.path.exists(tmp_path):
             os.remove(tmp_path)
     return path
+
+
+def report_fingerprint(report: ExperimentReport) -> str:
+    """Deterministic digest of a report's *content* (wall-clock excluded).
+
+    Two runs of the same sweep — serial vs pooled, uninterrupted vs
+    killed-and-resumed — must agree on this digest; wall-clock fields
+    (``wall_seconds`` and the ``seconds`` entry of each phase bucket) are
+    the ones that legitimately differ, so they are left out. Used by the
+    resilience smoke test and the resume CLI to assert byte-identity.
+    """
+    def scrub(row: SweepRow) -> Dict[str, Any]:
+        d = asdict(row)
+        d["phases"] = {name: {k: v for k, v in bucket.items()
+                              if k != "seconds"}
+                       for name, bucket in (d.get("phases") or {}).items()}
+        return d
+
+    payload: Dict[str, Any] = {
+        "exp_id": report.exp_id,
+        "rows": [scrub(r) for r in report.rows],
+        "notes": report.notes,
+        "polylog_correction": report.polylog_correction,
+    }
+    if report.fit is not None:
+        payload["fit"] = {
+            "exponent": report.fit.exponent,
+            "constant": report.fit.constant,
+            "r_squared": report.fit.r_squared,
+        }
+    if report.corrected_fit is not None:
+        payload["corrected_fit"] = {
+            "exponent": report.corrected_fit.exponent,
+            "constant": report.corrected_fit.constant,
+            "r_squared": report.corrected_fit.r_squared,
+        }
+    canon = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canon.encode()).hexdigest()
 
 
 def emit(report: ExperimentReport) -> None:

@@ -1,0 +1,49 @@
+"""Resilient execution layer around the CONGEST simulator.
+
+Three cooperating pieces (see ``docs/resilience.md``):
+
+* :mod:`repro.resilience.degrade` — opt-in graceful degradation: a
+  ``RoundBudgetExceeded`` (or its ``RetryBudgetExceeded`` subclass) raised
+  mid-algorithm yields a best-effort partial result flagged
+  ``exact=False`` instead of discarding the whole run.
+* :mod:`repro.resilience.journal` — append-only JSONL sweep journals, so
+  an interrupted ``run_sweep`` resumes from its last completed point.
+* :mod:`repro.resilience.supervisor` — per-point subprocess supervision
+  for sweeps: wall-clock timeouts, worker-crash detection, and bounded
+  deterministic retries with exponential backoff + jitter.
+
+The checkpoint half of the layer lives with the simulator it snapshots:
+:mod:`repro.congest.checkpoint`.
+"""
+
+from repro.resilience.degrade import (
+    DEGRADE_ENV,
+    degradation_events,
+    degrade_enabled,
+    degrading,
+    finalize_result_details,
+    record_degradation,
+)
+from repro.resilience.journal import JournalError, SweepJournal, read_journal
+from repro.resilience.supervisor import (
+    PointOutcome,
+    RetryPolicy,
+    SweepPointFailed,
+    supervise,
+)
+
+__all__ = [
+    "DEGRADE_ENV",
+    "JournalError",
+    "PointOutcome",
+    "RetryPolicy",
+    "SweepJournal",
+    "SweepPointFailed",
+    "degradation_events",
+    "degrade_enabled",
+    "degrading",
+    "finalize_result_details",
+    "read_journal",
+    "record_degradation",
+    "supervise",
+]

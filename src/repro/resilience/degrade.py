@@ -1,0 +1,104 @@
+"""Opt-in graceful degradation for budget-starved algorithm runs.
+
+By default, exhausting a round budget (``max_rounds`` /
+:func:`repro.congest.network.round_budget`) raises
+:class:`~repro.congest.network.RoundBudgetExceeded` and the whole run is
+lost. With degradation enabled (``REPRO_DEGRADE=1`` or the
+:func:`degrading` override), the checkpoint-aware algorithm loops catch
+that exception at their exchange boundary, record a degradation event, and
+fall through with whatever they computed so far; the drivers then complete
+*centrally* (aggregation without further network traffic) and return a
+best-effort result flagged ``exact=False`` with confidence metadata — a
+valid **upper bound** for MWC/girth, since every surviving candidate is
+the weight of a real closed walk.
+
+Degraded results can never silently replace exact ones: the flag rides on
+:class:`repro.core.results.AlgorithmResult` itself, every event is listed
+in ``details["degraded"]``, and each event increments the
+``resilience.degraded`` observability counter
+(:mod:`repro.obs.registry`).
+
+The gate deliberately mirrors :func:`repro.congest.batch.batching` /
+:func:`repro.congest.kernels.kernels`: environment default, programmatic
+override for scoped use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import registry as obs
+
+#: Set to ``"1"`` to enable graceful degradation process-wide (default: off —
+#: budget exhaustion raises, as it always has).
+DEGRADE_ENV = "REPRO_DEGRADE"
+
+#: Programmatic override installed by :func:`degrading`; ``None`` defers to
+#: the environment.
+_FORCED: Optional[bool] = None
+
+
+def degrade_enabled() -> bool:
+    """Whether budget exhaustion degrades to a partial result (default: no)."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(DEGRADE_ENV, "0") == "1"
+
+
+@contextlib.contextmanager
+def degrading(enabled: bool = True) -> Iterator[None]:
+    """Force degradation on (or off) within a block, overriding the env."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = enabled
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+def record_degradation(net: Any, stage: str, reason: str) -> Dict[str, Any]:
+    """Attach a degradation event to ``net`` and count it in the registry.
+
+    ``stage`` names the algorithm loop that absorbed the failure (e.g.
+    ``"multi-bfs"``, ``"convergecast"``); ``reason`` is the stringified
+    exception. Events accumulate on the network (surviving checkpoints, see
+    :mod:`repro.congest.checkpoint`) and end up in the result's
+    ``details["degraded"]`` list.
+    """
+    event = {"stage": stage, "reason": reason, "rounds": net.rounds}
+    events = getattr(net, "_degradation_events", None)
+    if events is None:
+        events = net._degradation_events = []
+    events.append(event)
+    obs.counter("resilience.degraded").inc()
+    obs.counter(f"resilience.degraded.{stage}").inc()
+    return event
+
+
+def degradation_events(net: Any) -> List[Dict[str, Any]]:
+    """Events recorded on ``net`` so far (empty list when none)."""
+    return list(getattr(net, "_degradation_events", ()))
+
+
+def finalize_result_details(net: Any, details: Dict[str, Any]) -> bool:
+    """Fold ``net``'s degradation events into a result's ``details``.
+
+    Returns True when the run stayed exact (no events). Otherwise attaches
+    ``details["degraded"]`` (the event list) and ``details["confidence"]``
+    and returns False — the caller passes that as the result's ``exact``
+    flag, so a degraded value can never masquerade as an exact one.
+    """
+    events = degradation_events(net)
+    if not events:
+        return True
+    details["degraded"] = events
+    details["confidence"] = {
+        "value_is": "upper-bound",
+        "events": len(events),
+        "round_budget": net.max_rounds,
+        "completion": "central",
+    }
+    return False

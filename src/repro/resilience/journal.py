@@ -1,0 +1,179 @@
+"""Append-only JSONL sweep journals: resume an interrupted sweep exactly.
+
+A journal is one line of JSON per event, flushed and fsynced per line so a
+kill between points loses at most the line being written (a truncated tail
+is detected and ignored on read). The first line is the header describing
+the sweep — experiment id, sizes, the runner's import reference, and the
+report parameters — so ``repro resume <journal>`` can reconstruct the call
+without any other state. Every later ``point`` line carries one completed
+:class:`~repro.harness.SweepRow` in plain-dict form.
+
+Schema (version 1)
+------------------
+Header::
+
+    {"kind": "sweep-journal", "schema": 1, "exp_id": ..., "sizes": [...],
+     "runner": "module:function", "fit": true, "notes": "",
+     "polylog_correction": 0.0}
+
+Point (one per completed sweep point)::
+
+    {"kind": "point", "index": <position in sizes>, "n": ...,
+     "row": {...SweepRow fields...}, "attempts": 1, "seconds": 0.25}
+
+Failure (a point that exhausted its retries; never counted as completed)::
+
+    {"kind": "failure", "index": ..., "n": ..., "error": "...",
+     "attempts": 3}
+
+Rows round-trip through JSON exactly (ints stay ints, floats stay floats),
+so a resumed report is byte-identical to the uninterrupted one — except
+``wall_seconds``, which is wall-clock by definition; use
+:func:`repro.harness.report_fingerprint` for the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Bump when the journal line format changes incompatibly.
+SCHEMA = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file does not match the sweep trying to use it."""
+
+
+def _write_line(fh, obj: Dict[str, Any]) -> None:
+    fh.write(json.dumps(obj, sort_keys=True) + "\n")
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def read_journal(path: str) -> Tuple[Dict[str, Any], Dict[int, Dict[str, Any]]]:
+    """Parse a journal: returns ``(header, completed)``.
+
+    ``completed`` maps sweep-point index to its recorded row dict. A
+    truncated final line (the process died mid-write) ends the parse
+    silently — everything before it is intact by construction.
+    """
+    header: Optional[Dict[str, Any]] = None
+    completed: Dict[int, Dict[str, Any]] = {}
+    try:
+        fh = open(path)
+    except OSError as exc:
+        raise JournalError(f"cannot read sweep journal {path}: {exc}") from exc
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                break  # torn tail from a kill mid-write; prefix is complete
+            if header is None:
+                if (not isinstance(obj, dict)
+                        or obj.get("kind") != "sweep-journal"
+                        or obj.get("schema") != SCHEMA):
+                    raise JournalError(
+                        f"{path} is not a schema-{SCHEMA} sweep journal")
+                header = obj
+                continue
+            if isinstance(obj, dict) and obj.get("kind") == "point":
+                completed[int(obj["index"])] = obj["row"]
+    if header is None:
+        raise JournalError(f"{path} has no journal header")
+    return header, completed
+
+
+class SweepJournal:
+    """Writer handle for one sweep's journal file."""
+
+    def __init__(self, path: str, header: Dict[str, Any],
+                 completed: Dict[int, Dict[str, Any]], fh):
+        self.path = path
+        self.header = header
+        #: Rows already on disk (index -> row dict); pre-populated on resume.
+        self.completed = completed
+        self._fh = fh
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        exp_id: str,
+        sizes: Sequence[int],
+        runner_ref: str = "",
+        resume: bool = False,
+        fit: bool = True,
+        notes: str = "",
+        polylog_correction: float = 0.0,
+    ) -> "SweepJournal":
+        """Start (or, with ``resume``, reopen) the journal for a sweep.
+
+        On resume the existing header must describe the same sweep
+        (``exp_id`` and ``sizes``); anything else raises
+        :class:`JournalError` rather than silently merging two different
+        experiments. Without ``resume`` an existing file is truncated: the
+        caller asked for a fresh sweep.
+        """
+        size_list = [int(n) for n in sizes]
+        header = {
+            "kind": "sweep-journal",
+            "schema": SCHEMA,
+            "exp_id": exp_id,
+            "sizes": size_list,
+            "runner": runner_ref,
+            "fit": bool(fit),
+            "notes": notes,
+            "polylog_correction": polylog_correction,
+        }
+        if resume and os.path.exists(path):
+            existing, completed = read_journal(path)
+            if (existing.get("exp_id") != exp_id
+                    or existing.get("sizes") != size_list):
+                raise JournalError(
+                    f"journal {path} belongs to sweep "
+                    f"{existing.get('exp_id')!r} over {existing.get('sizes')}"
+                    f", not {exp_id!r} over {size_list}")
+            fh = open(path, "a")
+            return cls(path, existing, completed, fh)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fh = open(path, "w")
+        _write_line(fh, header)
+        return cls(path, header, {}, fh)
+
+    def record_point(self, index: int, n: int, row: Dict[str, Any],
+                     attempts: int = 1, seconds: float = 0.0) -> None:
+        """Persist one completed point (fsynced before returning)."""
+        _write_line(self._fh, {
+            "kind": "point", "index": index, "n": n, "row": row,
+            "attempts": attempts, "seconds": round(seconds, 6),
+        })
+        self.completed[index] = row
+
+    def record_failure(self, index: int, n: int, error: str,
+                       attempts: int) -> None:
+        """Persist a point that exhausted its retries (not completed)."""
+        _write_line(self._fh, {
+            "kind": "failure", "index": index, "n": n, "error": error,
+            "attempts": attempts,
+        })
+
+    def pending_indices(self, total: int) -> List[int]:
+        """Sweep-point indices not yet completed, in order."""
+        return [i for i in range(total) if i not in self.completed]
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,348 @@
+"""Supervised execution of independent sweep points.
+
+# congestlint: disable-file=CL003 — this module is host-side orchestration:
+# timeouts, backoff and worker deadlines are *real* wall-clock by design
+# and never touch a simulated network or its round accounting.
+
+:func:`supervise` runs ``fn(item)`` for every item of a sweep under a
+supervisor that a plain ``ProcessPoolExecutor.map`` cannot provide:
+
+* **wall-clock timeouts** — a point that exceeds its deadline is
+  terminated and treated as a failed attempt, not an eternal hang;
+* **worker-crash detection** — a worker that dies without reporting
+  (OOM kill, segfault, ``os._exit``) is detected via pipe EOF / exit code
+  and retried like any other failure;
+* **bounded deterministic retries** — exponential backoff with jitter
+  derived from a hash of ``(label, attempt)``, so two runs of the same
+  sweep back off identically (no wall-clock or global RNG involved);
+* **structured outcomes** — every point yields a :class:`PointOutcome`
+  (value or error, attempts used, seconds), reported to an ``on_point``
+  callback the moment it settles so a journal can persist it immediately.
+
+Isolation is per *attempt*: each one runs in a fresh ``multiprocessing``
+process connected by a one-way pipe. When process isolation is impossible
+(unpicklable ``fn``, a sandbox without working fork/spawn) — or not asked
+for (``isolate=False``) — attempts run in-process: timeouts are then not
+enforceable, but retries and outcome reporting still work, so a sweep
+degrades rather than failing outright.
+
+The module is deliberately harness-agnostic: values are opaque (whatever
+``fn`` returns, as long as it pickles), and nothing here knows about
+``SweepRow`` or reports — :func:`repro.harness.run_sweep` does the
+adapting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import registry as obs
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff + jitter.
+
+    ``delay(label, attempt)`` = ``min(max_delay, base_delay * 2**attempt)``
+    scaled by ``1 + jitter * u`` where ``u`` in [0, 1) is a sha256 hash of
+    ``"label|attempt"`` — deterministic per (point, attempt), decorrelated
+    across points, and independent of any global RNG state.
+    """
+
+    retries: int = 0
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, label: str, attempt: int) -> float:
+        raw = min(self.max_delay, self.base_delay * (2 ** attempt))
+        digest = hashlib.sha256(f"{label}|{attempt}".encode()).hexdigest()
+        u = int(digest[:8], 16) / 0x100000000
+        return raw * (1.0 + self.jitter * u)
+
+
+@dataclass
+class PointOutcome:
+    """Everything the supervisor learned about one sweep point."""
+
+    index: int
+    item: Any
+    ok: bool = False
+    value: Any = None
+    error: Optional[str] = None
+    #: Attempts actually made (1 = first try succeeded).
+    attempts: int = 0
+    #: Wall seconds across all attempts (excluding backoff sleeps).
+    seconds: float = 0.0
+    #: Per-attempt failure kinds, e.g. ["timeout", "crash"].
+    failures: List[str] = field(default_factory=list)
+
+
+class SweepPointFailed(RuntimeError):
+    """A sweep point failed every attempt its retry budget allowed."""
+
+    def __init__(self, outcome: PointOutcome):
+        super().__init__(
+            f"sweep point {outcome.item!r} failed after "
+            f"{outcome.attempts} attempt(s): {outcome.error}")
+        self.outcome = outcome
+
+
+def _child_main(fn: Callable[[Any], Any], item: Any, conn) -> None:
+    """Attempt entry point inside the worker process."""
+    try:
+        value = fn(item)
+        conn.send(("ok", value))
+    except BaseException as exc:  # report *everything*, then die quietly
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc()))
+        except Exception:  # congestlint: disable=CL006 — the pipe is gone;
+            pass           # the parent will see EOF and report a crash
+    finally:
+        conn.close()
+
+
+def _isolation_available(fn: Callable[[Any], Any], items: Sequence[Any]) -> bool:
+    """Whether per-attempt subprocess isolation can work for this sweep."""
+    try:
+        pickle.dumps(fn)
+        pickle.dumps(list(items))
+        multiprocessing.get_context()
+        return True
+    except Exception:
+        return False
+
+
+@dataclass
+class _Running:
+    index: int
+    item: Any
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+def supervise(
+    items: Sequence[Any],
+    fn: Callable[[Any], Any],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    policy: Optional[RetryPolicy] = None,
+    labels: Optional[Sequence[str]] = None,
+    on_point: Optional[Callable[[PointOutcome], None]] = None,
+    on_failure: str = "raise",
+    isolate: Optional[bool] = None,
+) -> List[PointOutcome]:
+    """Run ``fn`` over ``items`` under supervision; outcomes in item order.
+
+    ``jobs`` bounds concurrently running attempts. ``timeout`` is the
+    per-attempt wall-clock budget in seconds (None = unbounded).
+    ``labels[i]`` names item ``i`` for backoff derivation (defaults to
+    ``str(item)``). ``on_point`` fires once per settled point, success or
+    failure, in settlement order. ``on_failure`` is ``"raise"`` (raise
+    :class:`SweepPointFailed` on the first exhausted point, after settling
+    in-flight work) or ``"skip"`` (record the failed outcome and move on).
+
+    ``isolate`` forces subprocess isolation on/off; the default uses
+    subprocesses whenever a timeout is set or ``jobs > 1`` and the
+    workload is picklable.
+    """
+    if on_failure not in ("raise", "skip"):
+        raise ValueError(f"on_failure must be 'raise' or 'skip', got {on_failure!r}")
+    policy = policy or RetryPolicy()
+    items = list(items)
+    names = [str(labels[i]) if labels is not None else str(items[i])
+             for i in range(len(items))]
+    if isolate is None:
+        isolate = timeout is not None or jobs > 1
+    if isolate and not _isolation_available(fn, items):
+        isolate = False
+    obs.counter("resilience.supervise.sweeps").inc()
+    if not isolate:
+        outcomes = _supervise_in_process(items, fn, names, policy, on_point,
+                                         on_failure)
+    else:
+        outcomes = _supervise_isolated(items, fn, names, policy, max(1, jobs),
+                                       timeout, on_point, on_failure)
+    return outcomes
+
+
+def _settle(outcome: PointOutcome,
+            on_point: Optional[Callable[[PointOutcome], None]]) -> None:
+    if outcome.ok:
+        obs.counter("resilience.supervise.ok").inc()
+    else:
+        obs.counter("resilience.supervise.failed").inc()
+    if outcome.attempts > 1:
+        obs.counter("resilience.supervise.retries").inc(outcome.attempts - 1)
+    if on_point is not None:
+        on_point(outcome)
+
+
+def _supervise_in_process(
+    items: List[Any],
+    fn: Callable[[Any], Any],
+    names: List[str],
+    policy: RetryPolicy,
+    on_point: Optional[Callable[[PointOutcome], None]],
+    on_failure: str,
+) -> List[PointOutcome]:
+    """Serial fallback: no isolation, no timeout enforcement, retries kept."""
+    outcomes: List[PointOutcome] = []
+    for index, item in enumerate(items):
+        outcome = PointOutcome(index=index, item=item)
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                time.sleep(policy.delay(names[index], attempt - 1))
+            outcome.attempts = attempt + 1
+            started = time.perf_counter()
+            try:
+                outcome.value = fn(item)
+                outcome.ok = True
+            except Exception as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.failures.append("error")
+            outcome.seconds += time.perf_counter() - started
+            if outcome.ok:
+                break
+        outcomes.append(outcome)
+        _settle(outcome, on_point)
+        if not outcome.ok and on_failure == "raise":
+            raise SweepPointFailed(outcome)
+    return outcomes
+
+
+def _spawn(fn, item, index, attempt, timeout, now) -> _Running:
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_child_main, args=(fn, item, child_conn),
+                          daemon=True)
+    process.start()
+    child_conn.close()
+    return _Running(index=index, item=item, attempt=attempt, process=process,
+                    conn=parent_conn, started=now,
+                    deadline=(now + timeout) if timeout is not None else None)
+
+
+def _reap(run: _Running) -> Tuple[bool, Any, Optional[str], Optional[str]]:
+    """Collect a finished attempt: (ok, value, error, failure_kind)."""
+    try:
+        message = run.conn.recv()
+    except (EOFError, OSError):
+        run.process.join()
+        code = run.process.exitcode
+        return False, None, f"worker crashed (exit code {code})", "crash"
+    run.process.join()
+    if message[0] == "ok":
+        return True, message[1], None, None
+    return False, None, message[1], "error"
+
+
+def _supervise_isolated(
+    items: List[Any],
+    fn: Callable[[Any], Any],
+    names: List[str],
+    policy: RetryPolicy,
+    jobs: int,
+    timeout: Optional[float],
+    on_point: Optional[Callable[[PointOutcome], None]],
+    on_failure: str,
+) -> List[PointOutcome]:
+    """Subprocess-per-attempt scheduler with a shared worker-slot budget."""
+    outcomes: Dict[int, PointOutcome] = {
+        i: PointOutcome(index=i, item=item) for i, item in enumerate(items)
+    }
+    #: (index, attempt, not_before) — points awaiting a worker slot.
+    pending: List[Tuple[int, int, float]] = [
+        (i, 0, 0.0) for i in range(len(items))
+    ]
+    running: Dict[Any, _Running] = {}
+    failed_outcome: Optional[PointOutcome] = None
+
+    def finish_attempt(run: _Running, ok: bool, value: Any,
+                       error: Optional[str], kind: Optional[str],
+                       now: float) -> None:
+        nonlocal failed_outcome
+        outcome = outcomes[run.index]
+        outcome.attempts = run.attempt + 1
+        outcome.seconds += now - run.started
+        if ok:
+            outcome.ok = True
+            outcome.value = value
+            outcome.error = None
+            _settle(outcome, on_point)
+            return
+        outcome.error = error
+        if kind:
+            outcome.failures.append(kind)
+        if run.attempt < policy.retries:
+            not_before = now + policy.delay(names[run.index], run.attempt)
+            pending.append((run.index, run.attempt + 1, not_before))
+            return
+        _settle(outcome, on_point)
+        if on_failure == "raise" and failed_outcome is None:
+            failed_outcome = outcome
+
+    while pending or running:
+        now = time.monotonic()
+        if failed_outcome is not None:
+            # Fail fast: stop launching, terminate in-flight attempts.
+            pending.clear()
+            for run in running.values():
+                run.process.terminate()
+                run.process.join()
+                run.conn.close()
+            running.clear()
+            raise SweepPointFailed(failed_outcome)
+        # Launch every ready pending point while worker slots are free.
+        launched = False
+        for entry in sorted(pending):
+            if len(running) >= jobs:
+                break
+            index, attempt, not_before = entry
+            if not_before > now:
+                continue
+            pending.remove(entry)
+            run = _spawn(fn, items[index], index, attempt, timeout, now)
+            running[run.conn] = run
+            launched = True
+        if launched:
+            continue
+        if not running:
+            # Everything pending is backing off; sleep until the earliest.
+            wake = min(entry[2] for entry in pending)
+            time.sleep(max(0.0, wake - now))
+            continue
+        # Wait for a result or the nearest deadline, whichever first.
+        deadlines = [run.deadline for run in running.values()
+                     if run.deadline is not None]
+        wait_for = (max(0.001, min(deadlines) - now) if deadlines else 0.25)
+        ready = mp_connection.wait(list(running), timeout=wait_for)
+        now = time.monotonic()
+        for conn in ready:
+            run = running.pop(conn)
+            ok, value, error, kind = _reap(run)
+            conn.close()
+            finish_attempt(run, ok, value, error, kind, now)
+        # Enforce deadlines on whatever is still running.
+        for conn, run in list(running.items()):
+            if run.deadline is not None and now >= run.deadline:
+                run.process.terminate()
+                run.process.join()
+                conn.close()
+                del running[conn]
+                finish_attempt(
+                    run, False, None,
+                    f"timed out after {timeout:.3f}s", "timeout", now)
+    return [outcomes[i] for i in range(len(items))]

@@ -17,6 +17,7 @@ def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path / "cache"))
     monkeypatch.delenv(cache.CACHE_ENV, raising=False)
     cache.counters["hits"] = cache.counters["misses"] = 0
+    cache.counters["quarantined"] = 0
     yield
 
 
@@ -43,9 +44,9 @@ def test_cached_exact_mwc_hits_on_second_call():
     g = cycle_graph(6)
     want = exact_mwc(g)
     assert cache.cached_exact_mwc(g) == want
-    assert cache.counters == {"hits": 0, "misses": 1}
+    assert cache.counters == {"hits": 0, "misses": 1, "quarantined": 0}
     assert cache.cached_exact_mwc(g) == want
-    assert cache.counters == {"hits": 1, "misses": 1}
+    assert cache.counters == {"hits": 1, "misses": 1, "quarantined": 0}
 
 
 def test_cached_exact_mwc_roundtrips_infinity():
@@ -93,7 +94,7 @@ def test_disable_env_bypasses_disk(monkeypatch):
     g = cycle_graph(5)
     assert cache.cached_exact_mwc(g) == exact_mwc(g)
     assert cache.cached_exact_mwc(g) == exact_mwc(g)
-    assert cache.counters == {"hits": 0, "misses": 0}
+    assert cache.counters == {"hits": 0, "misses": 0, "quarantined": 0}
     assert not os.listdir(cache.cache_root())
 
 
@@ -124,3 +125,74 @@ def test_info_and_clear():
     assert stats["total_bytes"] > 0
     assert cache.clear() == 2
     assert cache.info()["kinds"] == {}
+
+
+def test_quarantine_self_heal_keeps_post_mortem_copy():
+    g = cycle_graph(7)
+    cache.cached_exact_mwc(g)
+    path = os.path.join(cache.cache_root(), "mwc",
+                        f"{cache.graph_digest(g)}.json")
+    with open(path, "w") as f:
+        f.write("{truncated mid-wri")
+    cache.counters["quarantined"] = 0
+    assert cache.cached_exact_mwc(g) == exact_mwc(g)
+    # The damaged file was set aside, not deleted, and the entry re-stored.
+    assert cache.counters["quarantined"] == 1
+    with open(path + ".corrupt") as f:
+        assert f.read().startswith("{truncated")
+    with open(path) as f:
+        assert json.load(f)["key"] == cache.graph_digest(g)
+
+
+class TestBlobs:
+    def test_roundtrip_and_drop(self):
+        assert cache.load_blob("checkpoint", "k") is None
+        path = cache.store_blob("checkpoint", "k", b"\x00\x01binary\xff")
+        assert path is not None and path.endswith("k.bin")
+        assert cache.load_blob("checkpoint", "k") == b"\x00\x01binary\xff"
+        assert cache.drop_blob("checkpoint", "k") is True
+        assert cache.drop_blob("checkpoint", "k") is False
+        assert cache.load_blob("checkpoint", "k") is None
+
+    def test_store_leaves_no_tmp_files(self):
+        cache.store_blob("checkpoint", "k", b"data")
+        directory = os.path.join(cache.cache_root(), "checkpoint")
+        assert os.listdir(directory) == ["k.bin"]
+
+    def test_overwrite_is_atomic_latest_wins(self):
+        cache.store_blob("checkpoint", "k", b"old " * 10000)
+        cache.store_blob("checkpoint", "k", b"new")
+        assert cache.load_blob("checkpoint", "k") == b"new"
+
+    def test_concurrent_writers_never_leave_torn_blob(self):
+        # Racing writers each rename a private pid-unique tmp file;
+        # whichever rename lands last must leave one *complete* payload.
+        import multiprocessing
+        payloads = [bytes([i]) * 4096 for i in range(4)]
+        procs = [multiprocessing.Process(target=_race_writer, args=(p,))
+                 for p in payloads]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        final = cache.load_blob("checkpoint", "race")
+        assert final in payloads
+        directory = os.path.join(cache.cache_root(), "checkpoint")
+        assert os.listdir(directory) == ["race.bin"]  # no stray tmp files
+
+    def test_failed_write_keeps_previous_blob(self):
+        cache.store_blob("checkpoint", "k", b"good")
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(cache.os, "replace", broken_replace)
+            assert cache.store_blob("checkpoint", "k", b"half") is None
+        assert cache.load_blob("checkpoint", "k") == b"good"
+
+
+def _race_writer(data):
+    for _ in range(25):
+        cache.store_blob("checkpoint", "race", data)

@@ -208,6 +208,66 @@ class TestChaosObservabilityInterplay:
         assert traced.phase_report() != {}
 
 
+class TestKernelEngineUnderFaults:
+    """The vectorized kernel engine composes with fault injection.
+
+    An active fault plan must see every message, so ``kernel_path`` (which
+    rides on ``batching_supported``) is documented to refuse the fast path
+    and take the scalar fallback — with counters bit-identical to a run
+    that never asked for kernels. A zero plan is fully transparent, so the
+    kernel may engage and must still match the dict engine exactly.
+    """
+
+    def _mwc(self, plan, use_kernels, seed=5):
+        from repro.congest.batch import batching
+        from repro.congest.kernels import kernels
+
+        g = chaos_graph(seed, weighted=False)
+        net = FaultyNetwork(g, plan, seed=seed)
+        with batching(use_kernels), kernels(use_kernels):
+            res = exact_mwc_congest_on(ReliableNetwork(net))
+        return net, res
+
+    def test_nonzero_plan_takes_scalar_fallback(self):
+        from repro.congest.kernels import engaged_runs, kernel_path, kernels
+
+        plan = FaultPlan(drop_rate=0.2)
+        net = FaultyNetwork(chaos_graph(5, weighted=False), plan, seed=5)
+        assert not net.batching_supported()
+        before = engaged_runs()
+        with kernels(True):
+            assert not kernel_path(net)
+            _, res = self._mwc(plan, use_kernels=True)
+        assert engaged_runs() == before  # kernel never engaged
+        assert res.value == exact_mwc(chaos_graph(5, weighted=False))
+
+    def test_fallback_counters_bit_identical_to_scalar_run(self):
+        plan = FaultPlan(drop_rate=0.2, duplicate_rate=0.1)
+        net_k, res_k = self._mwc(plan, use_kernels=True)
+        net_s, res_s = self._mwc(plan, use_kernels=False)
+        assert res_k.value == res_s.value
+        assert res_k.rounds == res_s.rounds
+        assert res_k.stats == res_s.stats
+        assert net_k.fault_stats.as_dict() == net_s.fault_stats.as_dict()
+        assert net_k.fault_stats.dropped_messages > 0
+
+    def test_zero_plan_lets_kernel_engage_and_match(self):
+        from repro.congest.batch import batching
+        from repro.congest.kernels import engaged_runs, kernels
+
+        g = chaos_graph(5, weighted=False)
+        net = FaultyNetwork(g, FaultPlan(), seed=5)
+        assert net.batching_supported()
+        before = engaged_runs()
+        with batching(True), kernels(True):
+            res_k = exact_mwc_congest_on(net)
+        assert engaged_runs() > before  # kernel really ran
+        with batching(False), kernels(False):
+            res_s = exact_mwc_congest_on(FaultyNetwork(g, FaultPlan(), seed=5))
+        assert (res_k.value, res_k.rounds, res_k.stats) == (
+            res_s.value, res_s.rounds, res_s.stats)
+
+
 class TestSanitizerUnderFaults:
     """The runtime sanitizer composes with fault injection.
 

@@ -16,6 +16,8 @@ import pytest
 BENCHMARKS = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "benchmarks")
 BASELINE = os.path.join(BENCHMARKS, "results", "BENCH_SIMCORE.json")
+RESILIENCE_BASELINE = os.path.join(BENCHMARKS, "results",
+                                   "BENCH_RESILIENCE.json")
 
 if BENCHMARKS not in sys.path:
     sys.path.insert(0, BENCHMARKS)
@@ -92,6 +94,29 @@ def test_missing_files_exit_with_usage_code(tmp_path, baseline_payload):
         ["--baseline", str(tmp_path / "nope.json"), "--fresh", fresh]) == 2
     assert check_regression.main(
         ["--fresh", str(tmp_path / "nope.json")]) == 2
+
+
+def test_resilience_suite_passes_and_gates(tmp_path, capsys):
+    with open(RESILIENCE_BASELINE) as f:
+        payload = json.load(f)
+    fresh = _write(tmp_path, "fresh.json", payload)
+    assert check_regression.main(
+        ["--suite", "resilience", "--fresh", fresh]) == 0
+    assert "all checks passed" in capsys.readouterr().out
+    regressed = copy.deepcopy(payload)
+    regressed["rows"][0]["rounds"] = int(
+        round(regressed["rows"][0]["rounds"] * 1.25))
+    bad = _write(tmp_path, "regressed.json", regressed)
+    assert check_regression.main(
+        ["--suite", "resilience", "--fresh", bad]) == 1
+    assert "FAIL: rounds" in capsys.readouterr().out
+
+
+def test_all_suite_rejects_single_file_overrides(tmp_path, baseline_payload,
+                                                 capsys):
+    fresh = _write(tmp_path, "fresh.json", baseline_payload)
+    assert check_regression.main(["--suite", "all", "--fresh", fresh]) == 2
+    assert "single suite" in capsys.readouterr().err
 
 
 def test_row_indexing_and_wall_totals(baseline_payload):

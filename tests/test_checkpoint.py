@@ -1,0 +1,300 @@
+"""Tests for round-granular checkpoint/resume (repro.congest.checkpoint).
+
+The tentpole acceptance criterion: a simulation killed at an arbitrary
+round and resumed from its latest checkpoint produces a report
+byte-identical to the uninterrupted run — same value, rounds, messages,
+words, and phase buckets — on all three engines, with the runtime
+sanitizer armed.
+"""
+
+import pickle
+
+import pytest
+
+from repro import cache
+from repro.congest import CongestNetwork, FaultPlan, FaultyNetwork, RoundBudgetExceeded
+from repro.congest.batch import batching
+from repro.congest.checkpoint import (
+    CHECKPOINT_KIND,
+    SCHEMA,
+    CheckpointError,
+    CheckpointManager,
+    Snapshot,
+    capture,
+    network_fingerprint,
+    restore,
+    run_key_digest,
+)
+from repro.congest.kernels import kernels
+from repro.congest.sanitize import sanitizing
+from repro.core.exact_mwc import exact_mwc_congest_on
+from repro.graphs import erdos_renyi
+from repro.graphs.generators import random_weighted
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Checkpoint blobs land in a per-test cache root, never the repo's."""
+    monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(cache.CACHE_ENV, raising=False)
+    yield
+
+
+def phases_modulo_seconds(details):
+    """Phase buckets with the wall-clock field scrubbed (non-deterministic)."""
+    phases = details.get("phases")
+    if phases is None:
+        return None
+    return {name: {k: v for k, v in bucket.items() if k != "seconds"}
+            for name, bucket in phases.items()}
+
+
+def kill_and_resume(g, seed, kill_at, run_key, interval=4):
+    """Run under a round budget until it dies, then resume to completion."""
+    ck = CheckpointManager(run_key, interval=interval)
+    ck.clear()
+    net = CongestNetwork(g, seed=seed, max_rounds=kill_at)
+    with pytest.raises(RoundBudgetExceeded):
+        exact_mwc_congest_on(net, checkpoint=ck)
+    ck2 = CheckpointManager(run_key, interval=interval)
+    net2 = CongestNetwork(g, seed=seed)
+    return exact_mwc_congest_on(net2, checkpoint=ck2)
+
+
+class TestKillResumeBitIdentity:
+    """Killed-and-resumed == uninterrupted, bit for bit."""
+
+    @pytest.mark.parametrize("name,graph", [
+        ("undirected-weighted", random_weighted(36, 0.15, 9, seed=5)),
+        ("directed-weighted", erdos_renyi(30, 0.12, directed=True,
+                                          weighted=True, max_weight=7, seed=2)),
+        ("undirected-unweighted", erdos_renyi(34, 0.12, seed=4)),
+    ])
+    @pytest.mark.parametrize("frac", [4, 2])
+    def test_graph_classes(self, name, graph, frac):
+        with sanitizing(True):
+            base = exact_mwc_congest_on(CongestNetwork(graph, seed=11))
+            kill_at = max(1, base.rounds // frac)
+            res = kill_and_resume(graph, 11, kill_at, f"kr-{name}-{frac}")
+        assert res.value == base.value
+        assert res.rounds == base.rounds
+        assert res.stats == base.stats
+        assert res.details["checkpoint"]["resumed_stage"] is not None
+        assert (phases_modulo_seconds(res.details)
+                == phases_modulo_seconds(base.details))
+
+    @pytest.mark.parametrize("engine,batch,kernel", [
+        ("dict", False, False),
+        ("batch", True, False),
+        ("kernel", True, True),
+    ])
+    def test_all_three_engines(self, engine, batch, kernel):
+        g = random_weighted(32, 0.15, 9, seed=7)
+        with sanitizing(True), batching(batch), kernels(kernel):
+            base = exact_mwc_congest_on(CongestNetwork(g, seed=3))
+            kill_at = max(1, base.rounds // 3)
+            res = kill_and_resume(g, 3, kill_at, f"kr-eng-{engine}")
+        assert (res.value, res.rounds, res.stats) == (
+            base.value, base.rounds, base.stats)
+        assert (phases_modulo_seconds(res.details)
+                == phases_modulo_seconds(base.details))
+
+    def test_resume_not_limited_by_killed_runs_budget(self):
+        # max_rounds is a policy of the current run, not accounting state:
+        # the resumed (unbounded) network must not inherit the old budget.
+        g = random_weighted(30, 0.16, 8, seed=1)
+        base = exact_mwc_congest_on(CongestNetwork(g, seed=0))
+        ck = CheckpointManager("kr-budget", interval=4)
+        ck.clear()
+        with pytest.raises(RoundBudgetExceeded):
+            exact_mwc_congest_on(
+                CongestNetwork(g, seed=0, max_rounds=max(1, base.rounds // 2)),
+                checkpoint=ck)
+        net2 = CongestNetwork(g, seed=0)
+        res = exact_mwc_congest_on(
+            net2, checkpoint=CheckpointManager("kr-budget", interval=4))
+        assert net2.max_rounds is None
+        assert res.rounds == base.rounds
+
+    def test_fresh_run_with_manager_matches_plain(self):
+        g = random_weighted(28, 0.18, 6, seed=9)
+        plain = exact_mwc_congest_on(CongestNetwork(g, seed=5))
+        ck = CheckpointManager("fresh", interval=8)
+        ck.clear()
+        res = exact_mwc_congest_on(CongestNetwork(g, seed=5), checkpoint=ck)
+        assert (res.value, res.rounds, res.stats) == (
+            plain.value, plain.rounds, plain.stats)
+        assert res.details["checkpoint"]["resumed_stage"] is None
+        assert res.details["checkpoint"]["saved"] >= 1
+        # complete() dropped the blob: nothing left to resume.
+        assert CheckpointManager("fresh").load() is None
+
+
+class TestCompatibilityGuards:
+    def test_fingerprint_mismatch_on_different_graph(self):
+        g1 = erdos_renyi(20, 0.2, seed=1)
+        g2 = erdos_renyi(20, 0.2, seed=2)
+        net1 = CongestNetwork(g1, seed=0)
+        snapshot = capture(net1, "post-apsp")
+        with pytest.raises(CheckpointError, match="different run"):
+            restore(CongestNetwork(g2, seed=0), snapshot)
+
+    def test_fingerprint_mismatch_on_different_seed(self):
+        g = erdos_renyi(20, 0.2, seed=1)
+        snapshot = capture(CongestNetwork(g, seed=0), "post-apsp")
+        with pytest.raises(CheckpointError, match="seed"):
+            restore(CongestNetwork(g, seed=1), snapshot)
+
+    def test_fingerprint_mismatch_on_network_class(self):
+        g = erdos_renyi(20, 0.2, seed=1)
+        snapshot = capture(FaultyNetwork(g, FaultPlan(), seed=0), "post-apsp")
+        with pytest.raises(CheckpointError, match="class"):
+            restore(CongestNetwork(g, seed=0), snapshot)
+
+    def test_schema_mismatch_rejected_and_healed(self):
+        g = erdos_renyi(12, 0.3, seed=1)
+        net = CongestNetwork(g, seed=0)
+        snapshot = capture(net, "post-apsp")
+        snapshot.schema = SCHEMA + 1
+        with pytest.raises(CheckpointError, match="schema"):
+            restore(net, snapshot)
+        # A stale-schema blob on disk reads as a miss and is dropped.
+        ck = CheckpointManager("stale")
+        cache.store_blob(CHECKPOINT_KIND, run_key_digest("stale"),
+                         pickle.dumps(snapshot))
+        assert ck.load() is None
+        assert cache.load_blob(CHECKPOINT_KIND, run_key_digest("stale")) is None
+
+    def test_corrupted_blob_reads_as_miss(self):
+        ck = CheckpointManager("garbled")
+        cache.store_blob(CHECKPOINT_KIND, run_key_digest("garbled"),
+                         b"\x80\x04 this is not a pickle")
+        assert ck.load() is None
+
+    def test_engine_change_between_checkpoint_and_resume_raises(self):
+        # Checkpoint taken by the kernel engine; resuming under the dict
+        # engine must refuse rather than silently mix message schedules.
+        g = erdos_renyi(34, 0.12, seed=4)
+        with kernels(True):
+            base = exact_mwc_congest_on(CongestNetwork(g, seed=11))
+            ck = CheckpointManager("eng-switch", interval=2)
+            ck.clear()
+            with pytest.raises(RoundBudgetExceeded):
+                exact_mwc_congest_on(
+                    CongestNetwork(g, seed=11, max_rounds=max(1, base.rounds // 4)),
+                    checkpoint=ck)
+        assert ck.load().stage == "wave-kernel"
+        with batching(False), kernels(False):
+            with pytest.raises(CheckpointError, match="stage"):
+                exact_mwc_congest_on(
+                    CongestNetwork(g, seed=11),
+                    checkpoint=CheckpointManager("eng-switch"))
+
+
+class TestSnapshotRoundTrip:
+    def test_restore_is_exact_for_counters_state_and_rng(self):
+        g = random_weighted(16, 0.3, 5, seed=2)
+        net = CongestNetwork(g, seed=7)
+        for _ in range(5):
+            net.exchange({0: {u: [("probe", net.rng.integers(100))]
+                              for u in net.comm_neighbors_sorted(0)}})
+        net.state[3]["mark"] = {"deep": [1, 2, 3]}
+        snapshot = capture(net, "post-apsp", payload={"loop": 5})
+        twin = CongestNetwork(g, seed=7)
+        restore(twin, snapshot)
+        assert twin.rounds == net.rounds
+        assert twin.stats == net.stats
+        assert twin.state == net.state
+        assert twin.rng.bit_generator.state == net.rng.bit_generator.state
+        # Deep copy: mutating the twin must not reach back into the source.
+        twin.state[3]["mark"]["deep"].append(4)
+        assert net.state[3]["mark"]["deep"] == [1, 2, 3]
+
+    def test_faulty_network_restore_replays_identical_faults(self):
+        g = erdos_renyi(14, 0.3, seed=3)
+        plan = FaultPlan(drop_rate=0.3, duplicate_rate=0.1)
+        source = FaultyNetwork(g, plan, seed=9)
+        for _ in range(10):
+            source.exchange({0: {1: [("x", 1)]}})
+        snapshot = capture(source, "mid")
+        twin = FaultyNetwork(g, plan, seed=9)
+        restore(twin, snapshot)
+        assert twin.fault_stats == source.fault_stats
+        for net in (source, twin):
+            for _ in range(25):
+                net.exchange({0: {1: [("x", 1)]}})
+        assert twin.fault_stats == source.fault_stats
+        assert twin.rounds == source.rounds
+        assert twin.stats == source.stats
+
+    def test_fingerprint_covers_bandwidth(self):
+        g = erdos_renyi(10, 0.4, seed=0)
+        a = network_fingerprint(CongestNetwork(g, seed=0))
+        b = network_fingerprint(CongestNetwork(g, seed=0, bandwidth=4))
+        assert a != b
+
+
+class TestManagerPolicy:
+    def test_interval_zero_disables_cadence_but_not_save_now(self):
+        g = erdos_renyi(10, 0.4, seed=0)
+        net = CongestNetwork(g, seed=0)
+        ck = CheckpointManager("manual", interval=0)
+        ck.clear()
+        assert not ck.due(net)
+        assert not ck.maybe(net, "s", lambda: None)
+        ck.save_now(net, "s")
+        assert ck.saved == 1
+        assert ck.load().stage == "s"
+        ck.clear()
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointManager("bad", interval=-1)
+
+    def test_maybe_respects_cadence(self):
+        g = erdos_renyi(10, 0.4, seed=0)
+        net = CongestNetwork(g, seed=0)
+        ck = CheckpointManager("cadence", interval=3)
+        ck.clear()
+        saves = 0
+        nbr = net.comm_neighbors_sorted(0)[0]
+        for _ in range(12):
+            net.exchange({0: {nbr: [("t", 1)]}})
+            if ck.maybe(net, "s", lambda: None):
+                saves += 1
+        # First due() call arms the schedule; every 3 rounds after saves.
+        assert saves == 3
+        assert ck.load().seq == ck.seq
+        ck.clear()
+
+    def test_take_resume_is_one_shot(self):
+        g = erdos_renyi(10, 0.4, seed=0)
+        net = CongestNetwork(g, seed=0)
+        ck = CheckpointManager("oneshot", interval=0)
+        ck.clear()
+        ck.save_now(net, "s", payload={"i": 2})
+        ck2 = CheckpointManager("oneshot")
+        twin = CongestNetwork(g, seed=0)
+        assert ck2.resume(twin) == "s"
+        assert ck2.pending_stage == "s"
+        assert ck2.take_resume("s") == {"i": 2}
+        assert ck2.pending_stage is None
+        assert ck2.take_resume("s") is None
+        ck.clear()
+
+    def test_keep_on_success(self):
+        g = erdos_renyi(10, 0.4, seed=0)
+        net = CongestNetwork(g, seed=0)
+        ck = CheckpointManager("keeper", interval=0, keep_on_success=True)
+        ck.clear()
+        ck.save_now(net, "s")
+        ck.complete()
+        assert ck.load() is not None
+        ck.clear()
+
+    def test_snapshot_is_a_plain_picklable_dataclass(self):
+        g = erdos_renyi(10, 0.4, seed=0)
+        snapshot = capture(CongestNetwork(g, seed=0), "s")
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert isinstance(clone, Snapshot)
+        assert clone.fingerprint == snapshot.fingerprint

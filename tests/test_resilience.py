@@ -1,0 +1,361 @@
+"""Tests for the resilience layer (repro.resilience).
+
+Covers the three tentpole pieces outside the checkpoint subsystem:
+graceful degradation (budget exhaustion -> best-effort ``exact=False``
+result), the supervised sweep executor (timeouts, crash detection,
+deterministic retries), and the JSONL sweep journal with exact resume.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.congest import CongestNetwork, RoundBudgetExceeded
+from repro.core.exact_mwc import exact_mwc_congest_on
+from repro.core.girth import girth_2approx_on
+from repro.harness import (
+    SweepRow,
+    default_jobs,
+    report_fingerprint,
+    run_sweep,
+)
+from repro.obs.registry import get_registry, observing
+from repro.resilience import (
+    RetryPolicy,
+    SweepPointFailed,
+    degrade_enabled,
+    degrading,
+    finalize_result_details,
+    record_degradation,
+    supervise,
+)
+from repro.resilience.journal import JournalError, SweepJournal, read_journal
+from repro.sequential import exact_mwc
+from repro.graphs import erdos_renyi
+from repro.graphs.generators import random_weighted
+
+
+# --- graceful degradation -------------------------------------------------
+
+WEIGHTED = random_weighted(30, 0.18, 8, seed=3)
+UNWEIGHTED = erdos_renyi(28, 0.16, seed=6)
+
+
+class TestDegradeGate:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEGRADE", raising=False)
+        assert not degrade_enabled()
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADE", "1")
+        assert degrade_enabled()
+
+    def test_scope_overrides_env_both_ways(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADE", "1")
+        with degrading(False):
+            assert not degrade_enabled()
+        monkeypatch.delenv("REPRO_DEGRADE", raising=False)
+        with degrading(True):
+            assert degrade_enabled()
+        assert not degrade_enabled()
+
+
+class TestGracefulDegradation:
+    def test_budget_raises_without_degradation(self):
+        net = CongestNetwork(WEIGHTED, seed=1, max_rounds=10)
+        with pytest.raises(RoundBudgetExceeded):
+            exact_mwc_congest_on(net)
+
+    def test_budget_yields_upper_bound_with_degradation(self):
+        truth = exact_mwc(WEIGHTED)
+        with degrading(True):
+            net = CongestNetwork(WEIGHTED, seed=1, max_rounds=30)
+            res = exact_mwc_congest_on(net)
+        assert res.exact is False
+        assert res.details["degraded"]
+        assert res.details["confidence"]["value_is"] == "upper-bound"
+        assert res.details["confidence"]["round_budget"] == 30
+        assert res.value >= truth  # best-effort value never undershoots
+
+    def test_full_budget_run_stays_exact_under_degradation(self):
+        # The opt-in must not perturb runs that never hit their budget.
+        plain = exact_mwc_congest_on(CongestNetwork(WEIGHTED, seed=1))
+        with degrading(True):
+            res = exact_mwc_congest_on(CongestNetwork(WEIGHTED, seed=1))
+        assert res.exact is True
+        assert "degraded" not in res.details
+        assert (res.value, res.rounds, res.stats) == (
+            plain.value, plain.rounds, plain.stats)
+
+    def test_girth_degrades_too(self):
+        with degrading(True):
+            net = CongestNetwork(UNWEIGHTED, seed=2, max_rounds=8)
+            res = girth_2approx_on(net)
+        assert res.exact is False
+        assert res.details["degraded"]
+
+    def test_degraded_witness_is_not_constructed(self):
+        with degrading(True):
+            net = CongestNetwork(WEIGHTED, seed=1, max_rounds=30)
+            res = exact_mwc_congest_on(net, construct_witness=True)
+        assert res.exact is False
+        assert res.details.get("witness") is None
+
+    def test_events_attributed_via_obs(self):
+        get_registry().reset()
+        with observing():
+            with degrading(True):
+                net = CongestNetwork(WEIGHTED, seed=1, max_rounds=30)
+                exact_mwc_congest_on(net)
+            snap = get_registry().snapshot()
+        assert snap["resilience.degraded"]["value"] >= 1
+        staged = [k for k in snap if k.startswith("resilience.degraded.")]
+        assert staged
+
+    def test_finalize_result_details_contract(self):
+        net = CongestNetwork(UNWEIGHTED, seed=0)
+        details = {}
+        assert finalize_result_details(net, details) is True
+        assert details == {}
+        record_degradation(net, "unit-test", "synthetic")
+        assert finalize_result_details(net, details) is False
+        assert details["degraded"][0]["stage"] == "unit-test"
+        assert details["confidence"]["events"] == 1
+
+
+# --- supervisor -----------------------------------------------------------
+# Module-level workers: subprocess isolation pickles them by reference.
+
+def _square(n):
+    return n * n
+
+
+def _always_fails(n):
+    raise ValueError(f"boom {n}")
+
+
+def _sleep_forever(n):
+    import time
+    time.sleep(60)
+    return n
+
+
+def _hard_crash(n):
+    os._exit(13)
+
+
+def _fail_once_then_succeed(path):
+    # Cross-process flakiness: first attempt plants a marker and dies,
+    # the retry sees the marker and succeeds.
+    if not os.path.exists(path):
+        with open(path, "w") as fh:
+            fh.write("seen")
+        raise RuntimeError("first attempt always fails")
+    return "recovered"
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_per_label(self):
+        policy = RetryPolicy(retries=3, base_delay=0.1, jitter=0.5)
+        assert policy.delay("p", 2) == policy.delay("p", 2)
+        assert policy.delay("p", 0) != policy.delay("q", 0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.0)
+        assert policy.delay("x", 0) == pytest.approx(0.1)
+        assert policy.delay("x", 1) == pytest.approx(0.2)
+        assert policy.delay("x", 10) == pytest.approx(1.0)
+
+
+class TestSupervise:
+    def test_outcomes_in_item_order(self):
+        outcomes = supervise([3, 1, 2], _square, jobs=2)
+        assert [o.value for o in outcomes] == [9, 1, 4]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_timeout_kills_hung_worker(self):
+        outcomes = supervise([5], _sleep_forever, timeout=0.5,
+                             on_failure="skip")
+        assert not outcomes[0].ok
+        assert outcomes[0].failures == ["timeout"]
+        assert "timed out" in outcomes[0].error
+
+    def test_worker_crash_detected(self):
+        outcomes = supervise([5], _hard_crash, timeout=10.0,
+                             on_failure="skip")
+        assert not outcomes[0].ok
+        assert outcomes[0].failures == ["crash"]
+        assert "exit code" in outcomes[0].error
+
+    def test_retry_recovers_flaky_point(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        outcomes = supervise([marker], _fail_once_then_succeed,
+                             timeout=30.0,
+                             policy=RetryPolicy(retries=2, base_delay=0.01))
+        assert outcomes[0].ok
+        assert outcomes[0].value == "recovered"
+        assert outcomes[0].attempts == 2
+
+    def test_exhausted_point_raises_by_default(self):
+        with pytest.raises(SweepPointFailed) as info:
+            supervise([7], _always_fails,
+                      policy=RetryPolicy(retries=1, base_delay=0.01))
+        assert info.value.outcome.attempts == 2
+        assert "boom 7" in info.value.outcome.error
+
+    def test_on_failure_skip_keeps_going(self):
+        outcomes = supervise([2, 7, 3], _square_or_fail, on_failure="skip")
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert [o.value for o in outcomes] == [4, None, 9]
+
+    def test_unpicklable_fn_degrades_to_in_process(self):
+        offset = 5
+        outcomes = supervise([1, 2], lambda n: n + offset,  # noqa: B023
+                             jobs=2, timeout=10.0)
+        assert [o.value for o in outcomes] == [6, 7]
+
+
+def _square_or_fail(n):
+    if n == 7:
+        raise ValueError("unlucky")
+    return n * n
+
+
+# --- journal --------------------------------------------------------------
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepJournal.open(path, "EXP", [4, 8, 16], runner_ref="m:f") as j:
+            j.record_point(0, 4, {"n": 4, "rounds": 16.0}, attempts=1)
+            j.record_point(2, 16, {"n": 16, "rounds": 256.0}, attempts=2)
+            assert j.pending_indices(3) == [1]
+        header, completed = read_journal(path)
+        assert header["exp_id"] == "EXP" and header["sizes"] == [4, 8, 16]
+        assert header["runner"] == "m:f"
+        assert set(completed) == {0, 2}
+        assert completed[2]["rounds"] == 256.0
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepJournal.open(path, "EXP", [4, 8]) as j:
+            j.record_point(0, 4, {"n": 4, "rounds": 16.0})
+        with open(path, "a") as fh:
+            fh.write('{"kind": "point", "index": 1, "n": 8, "row": {"tru')
+        header, completed = read_journal(path)
+        assert set(completed) == {0}
+
+    def test_resume_rejects_other_sweep(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        SweepJournal.open(path, "EXP-A", [4, 8]).close()
+        with pytest.raises(JournalError, match="EXP-A"):
+            SweepJournal.open(path, "EXP-B", [4, 8], resume=True)
+        with pytest.raises(JournalError):
+            SweepJournal.open(path, "EXP-A", [4, 8, 16], resume=True)
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = str(tmp_path / "noise.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+    def test_failures_never_count_as_completed(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepJournal.open(path, "EXP", [4, 8]) as j:
+            j.record_failure(1, 8, "ValueError: boom", attempts=3)
+        _, completed = read_journal(path)
+        assert completed == {}
+
+
+# --- supervised run_sweep and resume --------------------------------------
+
+_CALLS = []
+
+
+def _counting_runner(n):
+    _CALLS.append(n)
+    return SweepRow(n=n, rounds=float(n * n), value=2.0, true_value=1.5)
+
+
+def _flaky_runner(n):
+    if n == 8:
+        raise ValueError("bad point")
+    return SweepRow(n=n, rounds=float(n))
+
+
+class TestSupervisedSweep:
+    def test_journaled_sweep_matches_classic(self, tmp_path):
+        classic = run_sweep("TEST-SUP", [4, 8, 16], _counting_runner)
+        journaled = run_sweep("TEST-SUP", [4, 8, 16], _counting_runner,
+                              journal=str(tmp_path / "j.jsonl"))
+        assert report_fingerprint(journaled) == report_fingerprint(classic)
+
+    def test_interrupted_sweep_resumes_exactly(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        baseline = run_sweep("TEST-RESUME", [4, 8, 16, 32], _counting_runner)
+        run_sweep("TEST-RESUME", [4, 8, 16, 32], _counting_runner,
+                  journal=path)
+        # Simulate a kill after two completed points: drop later lines.
+        with open(path) as fh:
+            lines = fh.readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[:3])  # header + 2 points
+        _CALLS.clear()
+        resumed = run_sweep("TEST-RESUME", [4, 8, 16, 32], _counting_runner,
+                            journal=path, resume=True)
+        assert _CALLS == [16, 32]  # only the missing points re-ran
+        assert report_fingerprint(resumed) == report_fingerprint(baseline)
+        # The journal now holds the full sweep: resuming again runs nothing.
+        _CALLS.clear()
+        again = run_sweep("TEST-RESUME", [4, 8, 16, 32], _counting_runner,
+                          journal=path, resume=True)
+        assert _CALLS == []
+        assert report_fingerprint(again) == report_fingerprint(baseline)
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError, match="journal"):
+            run_sweep("TEST-NOJ", [4, 8], _counting_runner, resume=True)
+
+    def test_on_failure_skip_drops_point(self, tmp_path):
+        report = run_sweep("TEST-SKIP", [4, 8, 16], _flaky_runner,
+                           journal=str(tmp_path / "j.jsonl"),
+                           on_failure="skip")
+        assert [r.n for r in report.rows] == [4, 16]
+        _, completed = read_journal(str(tmp_path / "j.jsonl"))
+        assert set(completed) == {0, 2}
+
+    def test_failing_point_raises_by_default(self):
+        with pytest.raises(SweepPointFailed):
+            run_sweep("TEST-RAISE", [4, 8], _flaky_runner, retries=0,
+                      backoff=RetryPolicy(retries=0))
+
+    def test_fingerprint_ignores_wall_clock_only(self):
+        a = run_sweep("TEST-FP", [4, 8], _counting_runner)
+        b = run_sweep("TEST-FP", [4, 8], _counting_runner)
+        b.wall_seconds = a.wall_seconds + 123.0
+        assert report_fingerprint(a) == report_fingerprint(b)
+        b.rows[0].phases = {"apsp": {"rounds": 3, "seconds": 0.5}}
+        a.rows[0].phases = {"apsp": {"rounds": 3, "seconds": 0.9}}
+        assert report_fingerprint(a) == report_fingerprint(b)
+        b.rows[0].rounds += 1
+        assert report_fingerprint(a) != report_fingerprint(b)
+
+
+class TestDefaultJobsValidation:
+    def test_invalid_values_warn_and_run_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "three")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.warns(RuntimeWarning, match="negative"):
+            assert default_jobs() == 1
+
+    def test_documented_serial_spellings_stay_silent(self, monkeypatch):
+        import warnings as warnings_mod
+        for raw in ("", "0", "1", " 4 "):
+            monkeypatch.setenv("REPRO_JOBS", raw)
+            with warnings_mod.catch_warnings():
+                warnings_mod.simplefilter("error")
+                assert default_jobs() in (1, 4)
